@@ -1,0 +1,48 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz cover fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+examples:
+	@for d in examples/*/; do echo "=== $$d ==="; $(GO) run ./$$d || exit 1; done
+
+# Short fuzzing pass over every parser (longer runs: raise FUZZTIME).
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -fuzz='^FuzzParseOEM$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -fuzz='^FuzzReadText$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -fuzz='^FuzzFromJSON$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/typing/
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/datalog/
+	$(GO) test -fuzz='^FuzzParsePath$$' -fuzztime $(FUZZTIME) ./internal/query/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,62 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§7):
+//
+//	experiments -table1   Table 1 (eight synthetic datasets)
+//	experiments -fig1     Figure 1 (optimal 6-type program for DBG)
+//	experiments -fig6     Figure 6 (DBG sensitivity graph)
+//	experiments -all      everything
+//
+// Measured values are printed next to the paper's where available; the
+// datasets are calibrated substitutes (see DESIGN.md), so shapes — not
+// absolute numbers — are the comparison target. The logic lives in
+// internal/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schemex/internal/experiments"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	fig1 := flag.Bool("fig1", false, "regenerate Figure 1")
+	fig6 := flag.Bool("fig6", false, "regenerate Figure 6")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+	if *all {
+		*table1, *fig1, *fig6 = true, true, true
+	}
+	if !*table1 && !*fig1 && !*fig6 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 {
+		rows, err := experiments.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteTable1(os.Stdout, rows)
+	}
+	if *fig1 {
+		res, err := experiments.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFigure1(os.Stdout, res)
+	}
+	if *fig6 {
+		sw, err := experiments.Figure6()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFigure6(os.Stdout, sw)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

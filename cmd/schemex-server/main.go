@@ -1,0 +1,36 @@
+// Command schemex-server serves schema extraction over HTTP (JSON API).
+//
+//	schemex-server -addr :8080
+//
+//	curl -s localhost:8080/v1/extract -d '{
+//	  "data": "{\"name\": \"Ada\", \"age\": 36}",
+//	  "format": "json",
+//	  "options": {"useSorts": true}
+//	}'
+//
+// Endpoints: POST /v1/extract, /v1/sweep, /v1/check, /v1/query;
+// GET /v1/healthz. See internal/httpapi for the envelope formats.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"schemex/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	log.Printf("schemex-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,27 @@
+// Command schemex extracts schema from semistructured data files.
+//
+// Usage:
+//
+//	schemex extract [-k N] [-delta NAME] [-multirole] [-empty] [-sorts] [-seed FILE] [-oem] <file>
+//	schemex perfect [-sorts] [-oem] <file>
+//	schemex sweep   [-delta NAME] [-oem] <file>
+//	schemex assign  [-k N] [-oem] <file>
+//	schemex gen     [-preset N | -dbg] [-out FILE]
+//	schemex check   -schema FILE [-oem] <file>
+//	schemex validate [-oem] <file>
+//	schemex stats   [-oem] <file>
+//
+// Input files use the line-oriented link/atomic format, or the OEM
+// nested-object syntax with -oem. "-" reads standard input. The command
+// logic lives in internal/cli.
+package main
+
+import (
+	"os"
+
+	"schemex/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], cli.DefaultEnv()))
+}

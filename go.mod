@@ -1,0 +1,3 @@
+module schemex
+
+go 1.22

@@ -1,0 +1,133 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		if s.Test(i) {
+			t.Errorf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+}
+
+func TestSetAllMasksTail(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("New(%d).SetAll().Count() = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(100)
+	a.Set(3)
+	a.Set(99)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Set(50)
+	if a.Equal(b) {
+		t.Fatal("sets equal after divergence")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{0, 5, 64, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsetAndIntersection(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(64)
+	b.Set(1)
+	b.Set(64)
+	b.Set(100)
+	if !a.Subset(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.Subset(a) {
+		t.Error("b should not be subset of a")
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Errorf("IntersectionCount = %d, want 2", got)
+	}
+}
+
+func TestHashEqualityProperty(t *testing.T) {
+	// Equal contents hash equally; differing contents rarely collide (not
+	// asserted), and hash is order-insensitive in construction.
+	f := func(bits []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, x := range bits {
+			a.Set(int(x))
+		}
+		for i := len(bits) - 1; i >= 0; i-- {
+			b.Set(int(bits[i]))
+		}
+		return a.Hash() == b.Hash() && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(1000)
+	ref := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		x := rng.Intn(1000)
+		if rng.Intn(2) == 0 {
+			s.Set(x)
+			ref[x] = true
+		} else {
+			s.Clear(x)
+			delete(ref, x)
+		}
+		if s.Count() != len(ref) {
+			t.Fatalf("after %d ops: Count=%d, ref=%d", i, s.Count(), len(ref))
+		}
+	}
+}

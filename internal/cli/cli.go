@@ -1,0 +1,518 @@
+// Package cli implements the schemex command line. cmd/schemex is a thin
+// wrapper; keeping the logic here makes every command unit-testable with
+// in-memory readers and writers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"schemex"
+	"schemex/internal/dbg"
+	"schemex/internal/graph"
+	"schemex/internal/perfect"
+	"schemex/internal/synth"
+)
+
+// Env carries the command environment (streams and a file opener), so tests
+// can run commands without touching the real file system for stdin/stdout.
+type Env struct {
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// DefaultEnv is the process environment.
+func DefaultEnv() *Env {
+	return &Env{Stdin: os.Stdin, Stdout: os.Stdout, Stderr: os.Stderr}
+}
+
+// Run dispatches a schemex command line (without the program name) and
+// returns the exit code.
+func Run(args []string, env *Env) int {
+	if env == nil {
+		env = DefaultEnv()
+	}
+	if len(args) < 1 {
+		usage(env.Stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "extract":
+		err = cmdExtract(rest, env)
+	case "perfect":
+		err = cmdPerfect(rest, env)
+	case "sweep":
+		err = cmdSweep(rest, env)
+	case "assign":
+		err = cmdAssign(rest, env)
+	case "gen":
+		err = cmdGen(rest, env)
+	case "query":
+		err = cmdQuery(rest, env)
+	case "convert":
+		err = cmdConvert(rest, env)
+	case "check":
+		err = cmdCheck(rest, env)
+	case "validate":
+		err = cmdValidate(rest, env)
+	case "stats":
+		err = cmdStats(rest, env)
+	case "help", "-h", "--help":
+		usage(env.Stdout)
+		return 0
+	default:
+		fmt.Fprintf(env.Stderr, "schemex: unknown command %q\n", cmd)
+		usage(env.Stderr)
+		return 2
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintln(env.Stderr, "schemex:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `schemex — schema extraction from semistructured data (SIGMOD '98)
+
+commands:
+  extract   run the full three-stage extraction and print the typing
+  perfect   print the minimal perfect typing (Stage 1 only)
+  sweep     print the defect/#types sensitivity curve
+  assign    print the per-object type assignment
+  gen       generate a built-in dataset (Table 1 presets or DBG)
+  query     answer a path query (naive or schema-guided)
+  convert   convert between data formats (text, oem, json in; text, oem out)
+  check     validate data against a schema file (conformance report)
+  validate  check a data file against the model constraints
+  stats     print dataset statistics
+
+run "schemex <command> -h" for flags.
+`)
+}
+
+func newFlagSet(name string, env *Env) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	return fs
+}
+
+func loadGraph(path string, oem bool, env *Env) (*schemex.Graph, error) {
+	return loadGraphFmt(path, oem, false, env)
+}
+
+func loadGraphFmt(path string, oem, jsonIn bool, env *Env) (*schemex.Graph, error) {
+	var r io.Reader
+	if path == "-" {
+		r = env.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch {
+	case oem && jsonIn:
+		return nil, fmt.Errorf("pass at most one of -oem and -json")
+	case oem:
+		return schemex.ParseOEM(r)
+	case jsonIn:
+		return schemex.ParseJSON(r, "root")
+	default:
+		return schemex.ReadGraph(r)
+	}
+}
+
+func fileArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one input file (or -), got %d args", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdExtract(args []string, env *Env) error {
+	fs := newFlagSet("extract", env)
+	k := fs.Int("k", 0, "target number of types (0 = automatic)")
+	delta := fs.String("delta", "", "distance function: delta1..delta5 or weighted-manhattan")
+	multiRole := fs.Bool("multirole", false, "decompose conjunction types (multiple roles)")
+	empty := fs.Bool("empty", false, "allow the empty type (unclassified objects)")
+	sorts := fs.Bool("sorts", false, "distinguish atomic values by sort (int, string, ...)")
+	seedPath := fs.String("seed", "", "file with a-priori known types in arrow notation")
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	jsonIn := fs.Bool("json", false, "input is a JSON document")
+	showPerfect := fs.Bool("show-perfect", false, "also print the minimal perfect typing")
+	datalog := fs.Bool("datalog", false, "also print the typing as datalog rules")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraphFmt(path, *oem, *jsonIn, env)
+	if err != nil {
+		return err
+	}
+	opts := schemex.Options{
+		K: *k, Delta: *delta, MultiRole: *multiRole, AllowEmpty: *empty, UseSorts: *sorts,
+	}
+	if *seedPath != "" {
+		seed, err := os.ReadFile(*seedPath)
+		if err != nil {
+			return err
+		}
+		opts.SeedSchema = string(seed)
+	}
+	res, err := schemex.Extract(g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stdout, "# %s\n", g.Stats())
+	fmt.Fprintf(env.Stdout, "# perfect typing: %d types; approximate typing: %d types", res.PerfectTypes(), res.NumTypes())
+	if res.AutoK() > 0 {
+		fmt.Fprintf(env.Stdout, " (chosen automatically)")
+	}
+	fmt.Fprintf(env.Stdout, "\n# defect: %d (excess %d + deficit %d); unclassified objects: %d\n\n",
+		res.Defect(), res.Excess(), res.Deficit(), res.Unclassified())
+	fmt.Fprint(env.Stdout, res.Schema())
+	if *showPerfect {
+		fmt.Fprintf(env.Stdout, "\n# minimal perfect typing:\n%s", res.PerfectSchema())
+	}
+	if *datalog {
+		fmt.Fprintf(env.Stdout, "\n# datalog form:\n%s", res.Datalog())
+	}
+	return nil
+}
+
+func cmdPerfect(args []string, env *Env) error {
+	fs := newFlagSet("perfect", env)
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	sorts := fs.Bool("sorts", false, "distinguish atomic values by sort")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	res, err := perfect.Minimal(g.DB(), perfect.Options{UseSorts: *sorts})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stdout, "# %s\n# minimal perfect typing: %d types\n\n", g.Stats(), res.Program.Len())
+	fmt.Fprint(env.Stdout, res.Program.String())
+	return nil
+}
+
+func cmdSweep(args []string, env *Env) error {
+	fs := newFlagSet("sweep", env)
+	delta := fs.String("delta", "", "distance function")
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	csv := fs.Bool("csv", false, "emit CSV for plotting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	sw, err := schemex.SweepAnalysis(g, schemex.Options{Delta: *delta})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprintln(env.Stdout, "types,defect,excess,deficit,total_distance,unclassified")
+		for i := len(sw.Points) - 1; i >= 0; i-- {
+			p := sw.Points[i]
+			fmt.Fprintf(env.Stdout, "%d,%d,%d,%d,%.1f,%d\n",
+				p.K, p.Defect, p.Excess, p.Deficit, p.TotalDistance, p.Unclassified)
+		}
+		return nil
+	}
+	fmt.Fprintln(env.Stdout, "types  defect  excess  deficit  total-distance  unclassified")
+	for i := len(sw.Points) - 1; i >= 0; i-- {
+		p := sw.Points[i]
+		fmt.Fprintf(env.Stdout, "%5d  %6d  %6d  %7d  %14.1f  %12d\n",
+			p.K, p.Defect, p.Excess, p.Deficit, p.TotalDistance, p.Unclassified)
+	}
+	fmt.Fprintf(env.Stdout, "# suggested number of types: %d\n", sw.Suggested)
+	return nil
+}
+
+func cmdAssign(args []string, env *Env) error {
+	fs := newFlagSet("assign", env)
+	k := fs.Int("k", 0, "target number of types (0 = automatic)")
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	res, err := schemex.Extract(g, schemex.Options{K: *k})
+	if err != nil {
+		return err
+	}
+	for _, ti := range res.Types() {
+		members := res.Members(ti.Name)
+		fmt.Fprintf(env.Stdout, "%s (%d members):\n", ti.Name, len(members))
+		for _, m := range members {
+			fmt.Fprintf(env.Stdout, "  %s\n", m)
+		}
+	}
+	return nil
+}
+
+func cmdGen(args []string, env *Env) error {
+	fs := newFlagSet("gen", env)
+	preset := fs.Int("preset", 0, "Table 1 preset number (1-8)")
+	useDBG := fs.Bool("dbg", false, "generate the DBG dataset")
+	specPath := fs.String("spec", "", "generate from a JSON spec file (see internal/synth)")
+	out := fs.String("out", "-", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := env.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case *useDBG:
+		db, _ := dbg.Generate(dbg.Options{})
+		return db.Write(w)
+	case *specPath != "":
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec, err := synth.ReadSpec(f)
+		if err != nil {
+			return err
+		}
+		db, err := spec.Generate()
+		if err != nil {
+			return err
+		}
+		return db.Write(w)
+	case *preset >= 1 && *preset <= 8:
+		p := synth.Presets()[*preset-1]
+		db, err := p.Build()
+		if err != nil {
+			return err
+		}
+		return db.Write(w)
+	default:
+		return fmt.Errorf("gen: pass -dbg, -preset 1..8, or -spec file.json")
+	}
+}
+
+func cmdQuery(args []string, env *Env) error {
+	fs := newFlagSet("query", env)
+	pathExpr := fs.String("path", "", "path expression, e.g. member.publication.conference (required)")
+	guided := fs.Bool("guided", false, "use the extracted schema to prune the search")
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pathExpr == "" {
+		return fmt.Errorf("query: -path is required")
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	var matches []string
+	if *guided {
+		res, err := schemex.Extract(g, schemex.Options{K: 1})
+		if err != nil {
+			return err
+		}
+		matches, err = res.FindPath(*pathExpr)
+		if err != nil {
+			return err
+		}
+	} else {
+		matches, err = g.FindPath(*pathExpr)
+		if err != nil {
+			return err
+		}
+	}
+	for _, m := range matches {
+		fmt.Fprintln(env.Stdout, m)
+	}
+	fmt.Fprintf(env.Stdout, "# %d objects match %s\n", len(matches), *pathExpr)
+	return nil
+}
+
+func cmdConvert(args []string, env *Env) error {
+	fs := newFlagSet("convert", env)
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	jsonIn := fs.Bool("json", false, "input is a JSON document")
+	to := fs.String("to", "text", "output format: text or oem")
+	out := fs.String("out", "-", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraphFmt(path, *oem, *jsonIn, env)
+	if err != nil {
+		return err
+	}
+	w := env.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *to {
+	case "text":
+		return g.Write(w)
+	case "oem":
+		return g.WriteOEM(w)
+	default:
+		return fmt.Errorf("convert: unknown output format %q (text, oem)", *to)
+	}
+}
+
+func cmdCheck(args []string, env *Env) error {
+	fs := newFlagSet("check", env)
+	schemaPath := fs.String("schema", "", "schema file in arrow notation (required)")
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schemaPath == "" {
+		return fmt.Errorf("check: -schema is required")
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	schemaBytes, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		return err
+	}
+	report, err := schemex.Check(g, string(schemaBytes))
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(report.Types))
+	for n := range report.Types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(env.Stdout, "%6d  %s\n", report.Types[n], n)
+	}
+	fmt.Fprintf(env.Stdout, "excess facts: %d; unclassified objects: %d\n", report.Excess, report.Unclassified)
+	if report.Conforms() {
+		fmt.Fprintln(env.Stdout, "data conforms to the schema")
+		return nil
+	}
+	return fmt.Errorf("data does not conform to the schema")
+}
+
+func cmdValidate(args []string, env *Env) error {
+	fs := newFlagSet("validate", env)
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stdout, "ok: %s\n", g.Stats())
+	return nil
+}
+
+func cmdStats(args []string, env *Env) error {
+	fs := newFlagSet("stats", env)
+	oem := fs.Bool("oem", false, "input is OEM syntax")
+	topLabels := fs.Int("top", 10, "show the N most frequent labels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(path, *oem, env)
+	if err != nil {
+		return err
+	}
+	db := g.DB()
+	fmt.Fprintln(env.Stdout, g.Stats())
+	counts := make(map[string]int)
+	db.Links(func(e graph.Edge) { counts[e.Label]++ })
+	type lc struct {
+		label string
+		n     int
+	}
+	ranked := make([]lc, 0, len(counts))
+	for l, n := range counts {
+		ranked = append(ranked, lc{l, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].label < ranked[j].label
+	})
+	if *topLabels > len(ranked) {
+		*topLabels = len(ranked)
+	}
+	for _, r := range ranked[:*topLabels] {
+		fmt.Fprintf(env.Stdout, "%6d  %s\n", r.n, r.label)
+	}
+	return nil
+}

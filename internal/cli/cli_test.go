@@ -1,0 +1,301 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a command line with captured streams.
+func run(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	env := &Env{Stdin: strings.NewReader(stdin), Stdout: &out, Stderr: &errb}
+	code = Run(args, env)
+	return code, out.String(), errb.String()
+}
+
+const sampleData = `link gates microsoft is-manager-of
+link jobs apple is-manager-of
+link microsoft gates is-managed-by
+link apple jobs is-managed-by
+link gates gn name
+link jobs jn name
+link microsoft mn name
+link apple an name
+atomic gn string Gates
+atomic jn string Jobs
+atomic mn string Microsoft
+atomic an string Apple
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, stderr := run(t, "")
+	if code != 2 || !strings.Contains(stderr, "commands:") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := run(t, "", "frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, stdout, _ := run(t, "", "help")
+	if code != 0 || !strings.Contains(stdout, "extract") {
+		t.Fatalf("code=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestExtractFromStdin(t *testing.T) {
+	code, stdout, stderr := run(t, sampleData, "extract", "-k", "2", "-")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "perfect typing: 2 types") {
+		t.Errorf("missing perfect-typing line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "type ") || !strings.Contains(stdout, "->name[0]") {
+		t.Errorf("missing schema:\n%s", stdout)
+	}
+}
+
+func TestExtractShowPerfectAndDatalog(t *testing.T) {
+	code, stdout, _ := run(t, sampleData, "extract", "-k", "2", "-show-perfect", "-datalog", "-")
+	if code != 0 {
+		t.Fatal("extract failed")
+	}
+	if !strings.Contains(stdout, "# minimal perfect typing:") {
+		t.Error("missing perfect typing section")
+	}
+	if !strings.Contains(stdout, ":- link(") {
+		t.Error("missing datalog section")
+	}
+}
+
+func TestPerfectCommand(t *testing.T) {
+	path := writeTemp(t, "data.txt", sampleData)
+	code, stdout, stderr := run(t, "", "perfect", path)
+	if code != 0 {
+		t.Fatalf("stderr=%q", stderr)
+	}
+	if !strings.Contains(stdout, "minimal perfect typing: 2 types") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestSweepCommand(t *testing.T) {
+	code, stdout, _ := run(t, sampleData, "sweep", "-")
+	if code != 0 {
+		t.Fatal("sweep failed")
+	}
+	if !strings.Contains(stdout, "types  defect") || !strings.Contains(stdout, "suggested number of types") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	code, stdout, _ := run(t, sampleData, "sweep", "-csv", "-")
+	if code != 0 {
+		t.Fatal("sweep -csv failed")
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if lines[0] != "types,defect,excess,deficit,total_distance,unclassified" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) < 2 || !strings.Contains(lines[1], ",") {
+		t.Fatalf("csv body:\n%s", stdout)
+	}
+}
+
+func TestAssignCommand(t *testing.T) {
+	code, stdout, _ := run(t, sampleData, "assign", "-k", "2", "-")
+	if code != 0 {
+		t.Fatal("assign failed")
+	}
+	if !strings.Contains(stdout, "gates") || !strings.Contains(stdout, "members") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestGenAndRoundtrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dbg.txt")
+	code, _, stderr := run(t, "", "gen", "-dbg", "-out", out)
+	if code != 0 {
+		t.Fatalf("gen failed: %q", stderr)
+	}
+	code, stdout, _ := run(t, "", "validate", out)
+	if code != 0 || !strings.Contains(stdout, "ok:") {
+		t.Fatalf("validate failed: %q", stdout)
+	}
+	code, stdout, _ = run(t, "", "stats", "-top", "3", out)
+	if code != 0 || !strings.Contains(stdout, "name") {
+		t.Fatalf("stats failed:\n%s", stdout)
+	}
+}
+
+func TestGenPreset(t *testing.T) {
+	code, stdout, _ := run(t, "", "gen", "-preset", "1")
+	if code != 0 {
+		t.Fatal("gen preset failed")
+	}
+	if !strings.Contains(stdout, "link ") {
+		t.Error("preset output missing link facts")
+	}
+	code, _, stderr := run(t, "", "gen")
+	if code != 1 || !strings.Contains(stderr, "-dbg, -preset 1..8, or -spec") {
+		t.Fatalf("gen without args: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	code, stdout, _ := run(t, "", "query", "-path", "is-manager-of.name", data)
+	if code != 0 {
+		t.Fatal("query failed")
+	}
+	if !strings.Contains(stdout, "gates") || !strings.Contains(stdout, "jobs") ||
+		!strings.Contains(stdout, "2 objects match") {
+		t.Errorf("output:\n%s", stdout)
+	}
+	// Guided mode returns the same matches.
+	code, guidedOut, _ := run(t, "", "query", "-guided", "-path", "is-manager-of.name", data)
+	if code != 0 || !strings.Contains(guidedOut, "2 objects match") {
+		t.Errorf("guided output:\n%s", guidedOut)
+	}
+	// Missing -path.
+	code, _, stderr := run(t, "", "query", data)
+	if code != 1 || !strings.Contains(stderr, "-path is required") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	// Bad path expression.
+	code, _, _ = run(t, "", "query", "-path", "a..b", data)
+	if code != 1 {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestConvertCommand(t *testing.T) {
+	// JSON -> OEM -> text: every hop must parse.
+	code, oemOut, stderr := run(t, `{"a": 1, "kids": [{"x": true}, {"x": false}]}`,
+		"convert", "-json", "-to", "oem", "-")
+	if code != 0 {
+		t.Fatalf("json->oem failed: %q", stderr)
+	}
+	if !strings.Contains(oemOut, "&root") || !strings.Contains(oemOut, "kids:") {
+		t.Fatalf("oem output:\n%s", oemOut)
+	}
+	code, textOut, _ := run(t, oemOut, "convert", "-oem", "-to", "text", "-")
+	if code != 0 {
+		t.Fatal("oem->text failed")
+	}
+	if !strings.Contains(textOut, "link root ") {
+		t.Fatalf("text output:\n%s", textOut)
+	}
+	// Unknown output format.
+	code, _, stderr = run(t, "{}", "convert", "-json", "-to", "xml", "-")
+	if code != 1 || !strings.Contains(stderr, "unknown output format") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	schema := writeTemp(t, "schema.types", `
+type person = ->is-manager-of[firm] & ->name[0] & <-is-managed-by[firm]
+type firm = ->is-managed-by[person] & ->name[0] & <-is-manager-of[person]
+`)
+	code, stdout, _ := run(t, "", "check", "-schema", schema, data)
+	if code != 0 {
+		t.Fatalf("conforming data rejected:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "data conforms") {
+		t.Errorf("output:\n%s", stdout)
+	}
+
+	// Non-conforming data exits 1.
+	bad := writeTemp(t, "bad.txt", sampleData+"link stray gn has-name\n")
+	code, stdout, stderr := run(t, "", "check", "-schema", schema, bad)
+	if code != 1 {
+		t.Fatalf("non-conforming data accepted: %q %q", stdout, stderr)
+	}
+
+	// Missing -schema flag.
+	code, _, stderr = run(t, "", "check", data)
+	if code != 1 || !strings.Contains(stderr, "-schema is required") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestExtractWithSeedAndSorts(t *testing.T) {
+	data := writeTemp(t, "d.txt", `
+link r1 a1 id
+link r2 a2 id
+atomic a1 int 1
+atomic a2 int 2
+`)
+	seed := writeTemp(t, "seed.types", "type numbered = ->id[0:int]\n")
+	code, stdout, stderr := run(t, "", "extract", "-k", "1", "-sorts", "-seed", seed, data)
+	if code != 0 {
+		t.Fatalf("stderr=%q", stderr)
+	}
+	if !strings.Contains(stdout, "type numbered") || !strings.Contains(stdout, "[0:int]") {
+		t.Errorf("seeded sorted schema missing:\n%s", stdout)
+	}
+}
+
+func TestJSONInput(t *testing.T) {
+	code, stdout, stderr := run(t, `{"name": "x", "tags": ["a", "b"], "nested": {"k": 1}}`,
+		"extract", "-json", "-k", "2", "-")
+	if code != 0 {
+		t.Fatalf("json extract failed: %q", stderr)
+	}
+	if !strings.Contains(stdout, "->tags[0]") || !strings.Contains(stdout, "->nested[") {
+		t.Errorf("output:\n%s", stdout)
+	}
+	// -oem and -json together is an error.
+	code, _, stderr = run(t, `{}`, "extract", "-json", "-oem", "-")
+	if code != 1 || !strings.Contains(stderr, "at most one") {
+		t.Fatalf("conflicting flags: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestOEMInput(t *testing.T) {
+	code, stdout, _ := run(t, `&a { name: "x", friend: *b } &b { name: "y", friend: *a }`,
+		"extract", "-k", "1", "-oem", "-")
+	if code != 0 {
+		t.Fatal("oem extract failed")
+	}
+	if !strings.Contains(stdout, "->friend[") {
+		t.Errorf("output:\n%s", stdout)
+	}
+}
+
+func TestBadInputErrors(t *testing.T) {
+	code, _, stderr := run(t, "garbage here\n", "extract", "-")
+	if code != 1 || stderr == "" {
+		t.Fatalf("bad input accepted: code=%d", code)
+	}
+	code, _, _ = run(t, "", "extract", "/nonexistent/file.txt")
+	if code != 1 {
+		t.Fatal("missing file accepted")
+	}
+	code, _, _ = run(t, "", "extract") // no file arg
+	if code != 1 {
+		t.Fatal("missing file arg accepted")
+	}
+}

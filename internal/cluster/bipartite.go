@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"sort"
+
+	"schemex/internal/typing"
+)
+
+// This file covers the bipartite special case of §5.2: when all typed links
+// point to atomic objects (relational data, or data from a file of
+// records), each type is simply the set of labels on its outgoing links —
+// the hypercube has no class-valued dimensions, so coalescing never
+// projects it and the greedy engine degenerates to plain weighted set
+// clustering. Even this case is NP-hard, per the paper.
+
+// IsBipartiteProgram reports whether every typed link of p targets atomic
+// objects. The greedy engine needs no hypercube projection on such
+// programs; this predicate is also used by tests and reporting.
+func IsBipartiteProgram(p *typing.Program) bool {
+	for _, t := range p.Types {
+		for _, l := range t.Links {
+			if l.Target != typing.AtomicTarget {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AttributeSets returns the per-type label sets of a bipartite program —
+// the "attributes in the relational case" view of §5.2. It returns false
+// when the program is not bipartite.
+func AttributeSets(p *typing.Program) ([][]string, bool) {
+	if !IsBipartiteProgram(p) {
+		return nil, false
+	}
+	out := make([][]string, len(p.Types))
+	for i, t := range p.Types {
+		seen := make(map[string]bool, len(t.Links))
+		for _, l := range t.Links {
+			seen[l.Label] = true
+		}
+		labels := make([]string, 0, len(seen))
+		for l := range seen {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		out[i] = labels
+	}
+	return out, true
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"schemex/internal/typing"
+)
+
+// EmptySlot is the pseudo-destination of a move that unclassifies a type's
+// objects (the "empty set type" of Example 5.3).
+const EmptySlot = -1
+
+// Config configures the greedy coalescing.
+type Config struct {
+	// Delta is the weighted distance function; Delta2 (the weighted
+	// Manhattan distance of the paper's experiments) if zero.
+	Delta Delta
+	// AllowEmpty permits moving a type to the empty set type, i.e. choosing
+	// not to classify its objects. The empty type does not count toward the
+	// number of types.
+	AllowEmpty bool
+	// EmptyBias scales the cost of empty moves; values below 1 favor
+	// unclassification over distant merges. Defaults to 1.
+	EmptyBias float64
+	// Pinned marks type slots that must survive clustering: a pinned slot
+	// can absorb other types but is never merged away or retired to the
+	// empty type. Used for a-priori known types (the §2 extension of
+	// integrating data with a known structure). May be nil or shorter than
+	// the program; missing entries are unpinned.
+	Pinned []bool
+}
+
+func (c Config) pinned(slot int) bool {
+	return slot < len(c.Pinned) && c.Pinned[slot]
+}
+
+func (c Config) delta() Delta {
+	if c.Delta.Func == nil {
+		return Delta2
+	}
+	return c.Delta
+}
+
+func (c Config) emptyBias() float64 {
+	if c.EmptyBias == 0 {
+		return 1
+	}
+	return c.EmptyBias
+}
+
+// Step records one coalescing operation.
+type Step struct {
+	From     int     // slot whose objects were moved
+	To       int     // destination slot, or EmptySlot
+	D        int     // Manhattan distance at the time of the move
+	Cost     float64 // δ value paid
+	NumTypes int     // active types after the step
+}
+
+// Greedy is the incremental coalescing engine. Construct with NewGreedy,
+// then call Step until the desired number of types remains; Program
+// materializes the current typing at any point, so a single run yields the
+// whole sensitivity curve of §7.2.
+type Greedy struct {
+	cfg     Config
+	links   []typing.LinkSet // slot -> current definition (targets are slots)
+	weight  []int
+	name    []string
+	members [][]int // slot -> original type indices absorbed
+	active  []bool
+	inEmpty []int // original type indices moved to the empty type
+
+	slotOf []int // original type index -> current slot, or EmptySlot
+	dist   [][]int32
+	nAct   int
+	L      int
+
+	totalDistance  float64
+	defectEstimate int
+	movedWeight    int // weight retired by the most recent move
+	trace          []Step
+
+	// Per-row best-move caches: bestCost[k]/bestTo[k] describe the cheapest
+	// move FROM slot k under the current state; rowValid[k] marks rows whose
+	// cache is current. Merges invalidate only the affected rows, turning
+	// the cubic全-pair rescan into a near-quadratic pass in practice.
+	bestCost []float64
+	bestTo   []int
+	rowValid []bool
+}
+
+// NewGreedy initializes the engine from a Stage 1 program. Type weights must
+// be set (home-class sizes); link targets refer to type indices of p.
+func NewGreedy(p *typing.Program, cfg Config) *Greedy {
+	n := len(p.Types)
+	g := &Greedy{
+		cfg:     cfg,
+		links:   make([]typing.LinkSet, n),
+		weight:  make([]int, n),
+		name:    make([]string, n),
+		members: make([][]int, n),
+		active:  make([]bool, n),
+		slotOf:  make([]int, n),
+		nAct:    n,
+		L:       p.DistinctLinks(),
+	}
+	for i, t := range p.Types {
+		t.Canonicalize() // sorted-slice distances below require canonical links
+		g.links[i] = typing.NewLinkSet(t.Links)
+		g.weight[i] = t.Weight
+		if g.weight[i] == 0 {
+			g.weight[i] = 1
+		}
+		g.name[i] = t.Name
+		g.members[i] = []int{i}
+		g.active[i] = true
+		g.slotOf[i] = i
+	}
+	g.dist = make([][]int32, n)
+	for i := range g.dist {
+		g.dist[i] = make([]int32, n)
+	}
+	g.bestCost = make([]float64, n)
+	g.bestTo = make([]int, n)
+	g.rowValid = make([]bool, n)
+	// The initial distance matrix is the hot spot for large programs;
+	// canonical sorted slices make each pairwise distance a linear merge
+	// instead of two map scans. (Later recomputations run on the mutated
+	// LinkSets, which only a small touched set ever needs.)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int32(ManhattanSlices(p.Types[i].Links, p.Types[j].Links))
+			g.dist[i][j], g.dist[j][i] = d, d
+		}
+	}
+	return g
+}
+
+// NumActive returns the number of active (non-coalesced) types.
+func (g *Greedy) NumActive() int { return g.nAct }
+
+// TotalDistance returns the cumulative δ cost paid so far (the "distance"
+// curve of Figure 6).
+func (g *Greedy) TotalDistance() float64 { return g.totalDistance }
+
+// DefectEstimate returns Σ d·w₂ over the moves so far — the δ2 accounting
+// that upper-bounds the defect of the final program (§5.2).
+func (g *Greedy) DefectEstimate() int { return g.defectEstimate }
+
+// Trace returns the steps performed so far.
+func (g *Greedy) Trace() []Step { return g.trace }
+
+// Step performs the cheapest available move. It reports false when fewer
+// than two active types remain and no move was made.
+func (g *Greedy) Step() (Step, bool) {
+	if g.nAct < 2 {
+		return Step{}, false
+	}
+	bestCost := math.Inf(1)
+	bestFrom, bestTo := -1, -2
+	for k := 0; k < len(g.links); k++ {
+		if !g.active[k] || g.cfg.pinned(k) {
+			continue
+		}
+		if !g.rowValid[k] {
+			g.computeRow(k)
+		}
+		if g.bestTo[k] == -2 {
+			continue // no legal move from k
+		}
+		cost, to := g.bestCost[k], g.bestTo[k]
+		if cost < bestCost ||
+			(cost == bestCost && (to < bestTo || (to == bestTo && k < bestFrom))) {
+			bestCost, bestFrom, bestTo = cost, k, to
+		}
+	}
+	if bestFrom < 0 {
+		return Step{}, false
+	}
+	var bestD int
+	if bestTo == EmptySlot {
+		bestD = len(g.links[bestFrom])
+		g.moveToEmpty(bestFrom)
+	} else {
+		bestD = int(g.dist[bestTo][bestFrom])
+		g.merge(bestTo, bestFrom)
+	}
+	st := Step{From: bestFrom, To: bestTo, D: bestD, Cost: bestCost, NumTypes: g.nAct}
+	g.totalDistance += bestCost
+	g.defectEstimate += bestD * g.movedWeight
+	g.trace = append(g.trace, st)
+	return st, true
+}
+
+// RunTo performs steps until k active types remain (or no further move is
+// possible). It returns the number of active types afterwards.
+func (g *Greedy) RunTo(k int) int {
+	for g.nAct > k {
+		if _, ok := g.Step(); !ok {
+			break
+		}
+	}
+	return g.nAct
+}
+
+// computeRow refreshes the cached cheapest move from slot k: the best
+// merge destination (ties to the smallest slot, matching the original
+// full-scan ordering) and, when allowed, the empty move.
+func (g *Greedy) computeRow(k int) {
+	delta := g.cfg.delta()
+	best := math.Inf(1)
+	bestTo := -2
+	for m := 0; m < len(g.links); m++ {
+		if m == k || !g.active[m] {
+			continue
+		}
+		d := int(g.dist[m][k])
+		cost := delta.Eval(g.weight[m], g.weight[k], d, g.L)
+		if cost < best || (cost == best && m < bestTo) {
+			best, bestTo = cost, m
+		}
+	}
+	if g.cfg.AllowEmpty {
+		d := len(g.links[k])
+		w1 := len(g.inEmpty)
+		if w1 == 0 {
+			w1 = 1
+		}
+		cost := delta.Eval(w1, g.weight[k], d, g.L) * g.cfg.emptyBias()
+		if cost < best || (cost == best && EmptySlot < bestTo) {
+			best, bestTo = cost, EmptySlot
+		}
+	}
+	g.bestCost[k], g.bestTo[k] = best, bestTo
+	g.rowValid[k] = true
+}
+
+// merge moves the objects of slot j into slot i: i's definition survives
+// (after projection), weights add, and every remaining definition that
+// referenced class j is rewritten to reference class i (the hypercube
+// projection of §5.1).
+func (g *Greedy) merge(i, j int) {
+	g.movedWeight = g.weight[j]
+	g.weight[i] += g.weight[j]
+	g.members[i] = append(g.members[i], g.members[j]...)
+	for _, orig := range g.members[j] {
+		g.slotOf[orig] = i
+	}
+	g.active[j] = false
+	g.nAct--
+	touched := g.project(j, i)
+	touched[i] = true
+	g.recompute(touched)
+	// Repair the row caches. Stale information comes from three places: j
+	// is gone, i's weight grew (all move costs into i changed), and the
+	// projection changed the touched clusters' definitions, hence every
+	// distance to a touched cluster. A row must be recomputed when its
+	// cached destination is any of those; otherwise the only way its best
+	// can IMPROVE is via one of the changed destinations, which are folded
+	// in directly.
+	delta := g.cfg.delta()
+	for k := range g.links {
+		if !g.active[k] || !g.rowValid[k] {
+			continue
+		}
+		if k == i || touched[k] || g.bestTo[k] == j || g.bestTo[k] == i || touchedHas(touched, g.bestTo[k]) {
+			g.rowValid[k] = false
+			continue
+		}
+		for t := range touched {
+			if t == k || !g.active[t] {
+				continue
+			}
+			d := int(g.dist[t][k])
+			cost := delta.Eval(g.weight[t], g.weight[k], d, g.L)
+			if cost < g.bestCost[k] || (cost == g.bestCost[k] && t < g.bestTo[k]) {
+				g.bestCost[k], g.bestTo[k] = cost, t
+			}
+		}
+	}
+	g.rowValid[i] = false
+}
+
+func touchedHas(touched map[int]bool, slot int) bool {
+	return slot >= 0 && touched[slot]
+}
+
+// moveToEmpty retires slot i to the empty type: its objects become
+// unclassified, and links referencing class i are dropped from the remaining
+// definitions (nothing can witness a link to an unclassified class).
+func (g *Greedy) moveToEmpty(i int) {
+	g.movedWeight = g.weight[i]
+	g.inEmpty = append(g.inEmpty, g.members[i]...)
+	for _, orig := range g.members[i] {
+		g.slotOf[orig] = EmptySlot
+	}
+	g.active[i] = false
+	g.nAct--
+	touched := g.project(i, EmptySlot)
+	g.recompute(touched)
+	// Empty moves are rare and change the empty type's weight, which feeds
+	// every row's empty candidate: invalidate everything.
+	for k := range g.rowValid {
+		g.rowValid[k] = false
+	}
+}
+
+// project rewrites links targeting slot old: retargeted to repl (merge) or
+// removed (repl == EmptySlot). It returns the slots whose definitions
+// changed.
+func (g *Greedy) project(old, repl int) map[int]bool {
+	touched := make(map[int]bool)
+	for c := range g.links {
+		if !g.active[c] {
+			continue
+		}
+		var changedLinks []typing.TypedLink
+		for l := range g.links[c] {
+			if l.Target == old {
+				changedLinks = append(changedLinks, l)
+			}
+		}
+		if len(changedLinks) == 0 {
+			continue
+		}
+		for _, l := range changedLinks {
+			delete(g.links[c], l)
+			if repl != EmptySlot {
+				nl := l
+				nl.Target = repl
+				g.links[c][nl] = true
+			}
+		}
+		touched[c] = true
+	}
+	return touched
+}
+
+// recompute refreshes distance rows for the touched slots.
+func (g *Greedy) recompute(touched map[int]bool) {
+	for c := range touched {
+		if !g.active[c] {
+			continue
+		}
+		for x := range g.links {
+			if x == c || !g.active[x] {
+				continue
+			}
+			d := int32(Manhattan(g.links[c], g.links[x]))
+			g.dist[c][x], g.dist[x][c] = d, d
+		}
+	}
+}
+
+// Program materializes the current typing: the active slots become a compact
+// program (weights = accumulated weights), and the returned slice maps every
+// original type index to its compact cluster index, or EmptySlot for types
+// retired to the empty type.
+func (g *Greedy) Program() (*typing.Program, []int) {
+	compact := make(map[int]int)
+	p := typing.NewProgram()
+	for slot := range g.links {
+		if !g.active[slot] {
+			continue
+		}
+		compact[slot] = len(p.Types)
+		t := &typing.Type{Name: g.name[slot], Weight: g.weight[slot]}
+		for l := range g.links[slot] {
+			t.Links = append(t.Links, l)
+		}
+		p.Add(t)
+	}
+	// Remap link targets from slots to compact indices.
+	for _, t := range p.Types {
+		for li, l := range t.Links {
+			if l.Target == typing.AtomicTarget {
+				continue
+			}
+			ci, ok := compact[l.Target]
+			if !ok {
+				panic(fmt.Sprintf("cluster: link targets inactive slot %d", l.Target))
+			}
+			t.Links[li].Target = ci
+		}
+		t.Canonicalize()
+	}
+	mapping := make([]int, len(g.slotOf))
+	for orig, slot := range g.slotOf {
+		if slot == EmptySlot {
+			mapping[orig] = EmptySlot
+		} else {
+			mapping[orig] = compact[slot]
+		}
+	}
+	return p, mapping
+}

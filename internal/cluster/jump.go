@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"sort"
+
+	"schemex/internal/typing"
+)
+
+// This file implements the "variation to k-clustering" of §5.2: first
+// cluster the Stage 1 types without their weights under the plain Manhattan
+// distance, then use the weights within each cluster and a measure of the
+// relative importance of each typed link (the jump function of [14]) to
+// choose the cluster's center definition.
+
+// JumpResult is the outcome of the unweighted clustering variation.
+type JumpResult struct {
+	// Program has one type per cluster; definitions are the jump-selected
+	// centers, with weights summed over cluster members.
+	Program *typing.Program
+	// Mapping sends each original type index to its cluster index.
+	Mapping []int
+}
+
+// JumpCluster groups the types of p into k clusters by greedy agglomeration
+// under the unweighted Manhattan distance, then derives each cluster's
+// center by the jump heuristic: typed links are ranked by their weighted
+// support within the cluster, and the center keeps the links above the
+// largest relative gap ("jump") in the support sequence. As the paper warns,
+// the approach can misbehave when the hypercube is densely populated; it is
+// provided as the comparison variation.
+func JumpCluster(p *typing.Program, k int) *JumpResult {
+	n := len(p.Types)
+	if k < 1 {
+		k = 1
+	}
+	sets := make([]typing.LinkSet, n)
+	for i, t := range p.Types {
+		sets[i] = typing.NewLinkSet(t.Links)
+	}
+
+	// Greedy agglomeration on unweighted d: repeatedly merge the closest
+	// pair of clusters (single linkage over type representatives' union).
+	parent := identity(n)
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	type pair struct{ i, j, d int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j, Manhattan(sets[i], sets[j])})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].d != pairs[b].d {
+			return pairs[a].d < pairs[b].d
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	clusters := n
+	for _, pr := range pairs {
+		if clusters <= k {
+			break
+		}
+		ri, rj := find(pr.i), find(pr.j)
+		if ri != rj {
+			parent[rj] = ri
+			clusters--
+		}
+	}
+
+	// Materialize clusters.
+	clusterIdx := make(map[int]int)
+	var memberLists [][]int
+	mapping := make([]int, n)
+	for t := 0; t < n; t++ {
+		r := find(t)
+		ci, ok := clusterIdx[r]
+		if !ok {
+			ci = len(memberLists)
+			clusterIdx[r] = ci
+			memberLists = append(memberLists, nil)
+		}
+		memberLists[ci] = append(memberLists[ci], t)
+		mapping[t] = ci
+	}
+
+	// Center of each cluster by the jump heuristic. Support counts use the
+	// weights ("only use the weights within a cluster to determine its type
+	// definition corresponding to its center").
+	out := typing.NewProgram()
+	for _, members := range memberLists {
+		support := make(map[typing.TypedLink]int)
+		weight := 0
+		for _, t := range members {
+			w := p.Types[t].Weight
+			if w == 0 {
+				w = 1
+			}
+			weight += w
+			for _, l := range p.Types[t].Links {
+				support[l] += w
+			}
+		}
+		links := selectByJump(support)
+		name := p.Types[members[0]].Name
+		t := &typing.Type{Name: name, Links: links, Weight: weight}
+		out.Add(t)
+	}
+	// Link targets still refer to original type indices; retarget through
+	// the mapping.
+	for _, t := range out.Types {
+		for li, l := range t.Links {
+			if l.Target != typing.AtomicTarget {
+				t.Links[li].Target = mapping[l.Target]
+			}
+		}
+		t.Canonicalize()
+	}
+	return &JumpResult{Program: out, Mapping: mapping}
+}
+
+// selectByJump ranks links by descending support and keeps those above the
+// largest relative gap between consecutive supports. With uniform supports
+// all links are kept.
+func selectByJump(support map[typing.TypedLink]int) []typing.TypedLink {
+	type ls struct {
+		l typing.TypedLink
+		s int
+	}
+	ranked := make([]ls, 0, len(support))
+	for l, s := range support {
+		ranked = append(ranked, ls{l, s})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s > ranked[j].s
+		}
+		return ranked[i].l.Compare(ranked[j].l) < 0
+	})
+	if len(ranked) == 0 {
+		return nil
+	}
+	cut := len(ranked)
+	bestRatio := 1.0
+	for i := 0; i+1 < len(ranked); i++ {
+		if ranked[i+1].s == 0 {
+			cut = i + 1
+			break
+		}
+		ratio := float64(ranked[i].s) / float64(ranked[i+1].s)
+		if ratio > bestRatio {
+			bestRatio = ratio
+			cut = i + 1
+		}
+	}
+	links := make([]typing.TypedLink, 0, cut)
+	for _, r := range ranked[:cut] {
+		links = append(links, r.l)
+	}
+	return links
+}

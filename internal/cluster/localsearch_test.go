@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemex/internal/typing"
+)
+
+func TestLocalSearchBasics(t *testing.T) {
+	p := typing.MustParse(`
+		type a1 = ->x[0] & ->y[0]
+		type a2 = ->x[0] & ->y[0] & ->z[0]
+		type b1 = ->p[0] & ->q[0]
+		type b2 = ->p[0]
+	`)
+	weights := []int{10, 2, 8, 3}
+	for i, ty := range p.Types {
+		ty.Weight = weights[i]
+	}
+	res := LocalSearchKMedian(p, 2, 0, 0)
+	if len(res.Centers) != 2 {
+		t.Fatalf("centers = %v, want 2", res.Centers)
+	}
+	// The natural clustering: {a1,a2} and {b1,b2}.
+	if res.Assign[0] != res.Assign[1] || res.Assign[2] != res.Assign[3] || res.Assign[0] == res.Assign[2] {
+		t.Fatalf("assign = %v, want a-family and b-family separated", res.Assign)
+	}
+	// Cost: min moves are a2->a1 (d=1,w=2) and b2->b1 (d=1,w=3) = 5.
+	if res.Cost != 5 {
+		t.Fatalf("cost = %v, want 5", res.Cost)
+	}
+}
+
+func TestLocalSearchMatchesExactOnTinyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	labels := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 12; trial++ {
+		p := typing.NewProgram()
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			ty := &typing.Type{Name: "t" + string(rune('0'+i)), Weight: 1 + rng.Intn(9)}
+			for _, l := range labels {
+				if rng.Intn(2) == 0 {
+					ty.Links = append(ty.Links, typing.TypedLink{
+						Dir: typing.Out, Label: l, Target: typing.AtomicTarget,
+					})
+				}
+			}
+			p.Add(ty)
+		}
+		k := 1 + rng.Intn(3)
+		exact, _ := ExactKMedian(p, k)
+		ls := LocalSearchKMedian(p, k, 0, 0)
+		if ls.Cost+1e-9 < exact {
+			t.Fatalf("trial %d: local search %v beat exact %v", trial, ls.Cost, exact)
+		}
+		// Single-swap local optima for k-median are within a constant factor
+		// of optimal [12]; on these tiny instances it is nearly always exact.
+		if exact > 0 && ls.Cost > 5*exact {
+			t.Errorf("trial %d: local search %v far above exact %v", trial, ls.Cost, exact)
+		}
+	}
+}
+
+func TestLocalSearchDegenerate(t *testing.T) {
+	p := typing.MustParse(`
+		type a = ->x[0]
+		type b = ->y[0]
+	`)
+	res := LocalSearchKMedian(p, 5, 0, 0)
+	if res.Cost != 0 || len(res.Centers) != 2 {
+		t.Fatalf("k >= n should be free: %+v", res)
+	}
+}
+
+func TestLocalSearchMaterialize(t *testing.T) {
+	p := typing.MustParse(`
+		type a1 = ->x[0] & ->ref[b1]
+		type a2 = ->x[0] & ->ref[b2]
+		type b1 = ->y[0]
+		type b2 = ->y[0] & ->z[0]
+	`)
+	for _, ty := range p.Types {
+		ty.Weight = 5
+	}
+	res := LocalSearchKMedian(p, 2, 0, 0)
+	prog, mapping := res.Materialize(p)
+	if prog.Len() != 2 {
+		t.Fatalf("materialized %d types", prog.Len())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid program: %v\n%s", err, prog)
+	}
+	total := 0
+	for _, ty := range prog.Types {
+		total += ty.Weight
+	}
+	if total != 20 {
+		t.Fatalf("total weight = %d, want 20", total)
+	}
+	if len(mapping) != 4 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Link targets must point inside the compact program.
+	for _, ty := range prog.Types {
+		for _, l := range ty.Links {
+			if l.Target != typing.AtomicTarget && (l.Target < 0 || l.Target >= prog.Len()) {
+				t.Fatalf("dangling target %d", l.Target)
+			}
+		}
+	}
+}
+
+// TestLocalSearchVsGreedyAblation compares the two Stage 2 engines' δ2
+// totals on a mid-sized random instance: both should land in the same
+// ballpark, documenting the paper's choice of greedy "because of its lower
+// time complexity and implementation ease".
+func TestLocalSearchVsGreedyAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := randomClusterProgram(rng, 30)
+	k := 5
+	greedy := GreedyKMedianCost(p.Clone(), k)
+	ls := LocalSearchKMedian(p, k, 0, 0)
+	if ls.Cost <= 0 || greedy <= 0 {
+		t.Skip("degenerate instance")
+	}
+	ratio := greedy / ls.Cost
+	if ratio > 4 || ratio < 0.25 {
+		t.Errorf("greedy %v vs local search %v: unexpectedly far apart", greedy, ls.Cost)
+	}
+	t.Logf("greedy δ2 total %.0f, local search cost %.0f (swaps %d)", greedy, ls.Cost, ls.Swaps)
+}

@@ -1,0 +1,392 @@
+// Package core orchestrates the paper's three-stage schema-extraction
+// method: Stage 1 minimal perfect typing (internal/perfect), Stage 2 greedy
+// type clustering (internal/cluster), and Stage 3 recasting with defect
+// accounting (internal/recast, internal/defect). It also implements the
+// sensitivity sweep of §7.2 (defect and total distance as functions of the
+// number of types) and the automatic choice of a "natural" number of types.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"schemex/internal/cluster"
+	"schemex/internal/defect"
+	"schemex/internal/graph"
+	"schemex/internal/perfect"
+	"schemex/internal/recast"
+	"schemex/internal/typing"
+)
+
+// Options configure the extraction pipeline.
+type Options struct {
+	// K is the target number of types. K <= 0 selects the number
+	// automatically from the sensitivity sweep (elbow of the defect curve).
+	K int
+	// Delta is the Stage 2 weighted distance; the paper's weighted Manhattan
+	// distance (δ2) if unset.
+	Delta cluster.Delta
+	// AllowEmpty lets Stage 2 move types to the empty set type
+	// (unclassified objects); EmptyBias scales the cost of doing so.
+	AllowEmpty bool
+	EmptyBias  float64
+	// MultiRole applies the §4.2 conjunction-type decomposition between
+	// Stages 1 and 2, so objects may have several home types.
+	MultiRole bool
+	// Recast configures Stage 3. Zero value means recast.DefaultOptions.
+	Recast *recast.Options
+	// NameFor overrides Stage 1 class naming.
+	NameFor func(db *graph.DB, members []graph.ObjectID, classIdx int) string
+	// UseNaiveGFP selects the reference fixpoint evaluator (benchmarks).
+	UseNaiveGFP bool
+	// UseBisimulation selects bisimulation partition refinement as the
+	// Stage 1 engine (faster; refines the paper's equivalence).
+	UseBisimulation bool
+	// UseSorts distinguishes atomic targets by value sort (Remark 2.1)
+	// throughout the pipeline.
+	UseSorts bool
+	// ValueLabels lists labels whose atomic values participate in typing
+	// (the value-predicate extension), e.g. ["sex"].
+	ValueLabels []string
+	// Seed supplies a-priori known types (the §2 extension for integrating
+	// data with a known structure). Seed types are added to the clustering
+	// as pinned slots: they can absorb discovered types but always survive
+	// into the final program. Link targets inside Seed refer to Seed's own
+	// types.
+	Seed *typing.Program
+}
+
+func (o Options) recastOptions() recast.Options {
+	rc := recast.DefaultOptions()
+	if o.Recast != nil {
+		rc = *o.Recast
+	}
+	if o.UseSorts {
+		rc.UseSorts = true
+	}
+	if len(o.ValueLabels) > 0 {
+		rc.ValueLabels = append([]string(nil), o.ValueLabels...)
+	}
+	return rc
+}
+
+// Result is the outcome of Extract.
+type Result struct {
+	// Stage1 is the minimal perfect typing.
+	Stage1 *perfect.Result
+	// Roles is the multiple-roles decomposition, when Options.MultiRole is
+	// set (nil otherwise). Clustering then starts from Roles.Program.
+	Roles *perfect.RolesResult
+	// PerfectTypes is the number of types in the minimal perfect typing.
+	PerfectTypes int
+	// Program is the final approximate typing with K types.
+	Program *typing.Program
+	// Mapping sends each pre-clustering type index (Stage1 or Roles program)
+	// to its final cluster, or cluster.EmptySlot.
+	Mapping []int
+	// Homes maps each object to its home clusters in Program.
+	Homes map[graph.ObjectID][]int
+	// Assignment is the Stage 3 recast assignment.
+	Assignment *typing.Assignment
+	// Defect is the excess/deficit accounting of the assignment.
+	Defect defect.Report
+	// Unclassified counts objects with no assigned type.
+	Unclassified int
+	// TotalDistance is the cumulative Stage 2 δ cost.
+	TotalDistance float64
+	// AutoK reports the automatically selected K when Options.K <= 0.
+	AutoK int
+}
+
+// Extract runs the full three-stage pipeline on db.
+func Extract(db *graph.DB, opts Options) (*Result, error) {
+	if db.NumObjects()-db.NumAtomic() == 0 {
+		return nil, fmt.Errorf("core: database has no complex objects")
+	}
+	stage1, err := perfect.Minimal(db, perfect.Options{NameFor: opts.NameFor, UseNaiveGFP: opts.UseNaiveGFP, UseSorts: opts.UseSorts, ValueLabels: opts.ValueLabels, UseBisimulation: opts.UseBisimulation})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stage1: stage1, PerfectTypes: stage1.Program.Len()}
+
+	baseProg := stage1.Program
+	baseHomes := make(map[graph.ObjectID][]int, len(stage1.Home))
+	for o, h := range stage1.Home {
+		baseHomes[o] = []int{h}
+	}
+	if opts.MultiRole {
+		roles := perfect.ApplyRoles(stage1)
+		res.Roles = roles
+		baseProg = roles.Program
+		baseHomes = roles.Homes
+	}
+
+	baseProg, pinned, err := withSeeds(baseProg, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	k := opts.K
+	if k <= 0 {
+		sweep, err := sweepFrom(db, baseProg, baseHomes, pinned, opts)
+		if err != nil {
+			return nil, err
+		}
+		k = sweep.Knee()
+		res.AutoK = k
+	}
+	if k > baseProg.Len() {
+		k = baseProg.Len()
+	}
+	if nPinned := countTrue(pinned); k < nPinned {
+		k = nPinned
+	}
+
+	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
+		Delta:      opts.Delta,
+		AllowEmpty: opts.AllowEmpty,
+		EmptyBias:  opts.EmptyBias,
+		Pinned:     pinned,
+	})
+	g.RunTo(k)
+	prog, mapping := g.Program()
+	res.Program = prog
+	res.Mapping = mapping
+	res.TotalDistance = g.TotalDistance()
+
+	res.Homes = mapHomes(baseHomes, mapping)
+	rc := recast.Recast(db, prog, res.Homes, opts.recastOptions())
+	res.Assignment = rc.Assignment
+	res.Defect = rc.Defect
+	res.Unclassified = rc.Unclassified
+	return res, nil
+}
+
+// withSeeds appends the seed types of a-priori knowledge to the
+// pre-clustering program as pinned slots, remapping seed-internal link
+// targets and disambiguating name collisions.
+func withSeeds(base *typing.Program, seed *typing.Program) (*typing.Program, []bool, error) {
+	if seed == nil || seed.Len() == 0 {
+		return base, nil, nil
+	}
+	if err := seed.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: invalid seed program: %v", err)
+	}
+	out := base.Clone()
+	offset := out.Len()
+	used := make(map[string]bool, offset)
+	for _, t := range out.Types {
+		used[t.Name] = true
+	}
+	for _, st := range seed.Types {
+		t := st.Clone()
+		for li, l := range t.Links {
+			if l.Target != typing.AtomicTarget {
+				t.Links[li].Target = l.Target + offset
+			}
+		}
+		orig := t.Name
+		for n := 2; used[t.Name]; n++ {
+			t.Name = fmt.Sprintf("%s%d", orig, n)
+		}
+		used[t.Name] = true
+		out.Add(t)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: seeding failed: %v", err)
+	}
+	pinned := make([]bool, out.Len())
+	for i := offset; i < out.Len(); i++ {
+		pinned[i] = true
+	}
+	return out, pinned, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// mapHomes pushes pre-clustering home types through the cluster mapping,
+// dropping types retired to the empty slot and deduplicating.
+func mapHomes(base map[graph.ObjectID][]int, mapping []int) map[graph.ObjectID][]int {
+	out := make(map[graph.ObjectID][]int, len(base))
+	for o, hs := range base {
+		var mapped []int
+		for _, h := range hs {
+			c := mapping[h]
+			if c == cluster.EmptySlot {
+				continue
+			}
+			dup := false
+			for _, x := range mapped {
+				if x == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				mapped = append(mapped, c)
+			}
+		}
+		out[o] = mapped
+	}
+	return out
+}
+
+// SweepPoint is one point of the §7.2 sensitivity graph.
+type SweepPoint struct {
+	K             int
+	Excess        int
+	Deficit       int
+	Defect        int
+	TotalDistance float64
+	Unclassified  int
+}
+
+// SweepResult is the full sensitivity curve, ordered by decreasing K (the
+// order the greedy run produces it in).
+type SweepResult struct {
+	Points []SweepPoint
+}
+
+// Sweep runs Stage 1 once and then the greedy coalescing from the perfect
+// typing down to one type, recasting and measuring the defect at every
+// intermediate number of types — the Figure 6 experiment.
+func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
+	stage1, err := perfect.Minimal(db, perfect.Options{NameFor: opts.NameFor, UseNaiveGFP: opts.UseNaiveGFP, UseSorts: opts.UseSorts, ValueLabels: opts.ValueLabels, UseBisimulation: opts.UseBisimulation})
+	if err != nil {
+		return nil, err
+	}
+	baseProg := stage1.Program
+	baseHomes := make(map[graph.ObjectID][]int, len(stage1.Home))
+	for o, h := range stage1.Home {
+		baseHomes[o] = []int{h}
+	}
+	if opts.MultiRole {
+		roles := perfect.ApplyRoles(stage1)
+		baseProg = roles.Program
+		baseHomes = roles.Homes
+	}
+	baseProg, pinned, err := withSeeds(baseProg, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return sweepFrom(db, baseProg, baseHomes, pinned, opts)
+}
+
+func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
+	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
+		Delta:      opts.Delta,
+		AllowEmpty: opts.AllowEmpty,
+		EmptyBias:  opts.EmptyBias,
+		Pinned:     pinned,
+	})
+
+	// The greedy merge sequence is inherently serial, but measuring each
+	// intermediate typing (recast + defect) is independent work: capture a
+	// snapshot per size during the single run, then measure them on all
+	// CPUs. Results are deterministic (indexed writes).
+	type snapshot struct {
+		k             int
+		prog          *typing.Program
+		mapping       []int
+		totalDistance float64
+	}
+	var snaps []snapshot
+	capture := func() {
+		prog, mapping := g.Program()
+		snaps = append(snaps, snapshot{g.NumActive(), prog, mapping, g.TotalDistance()})
+	}
+	capture()
+	for {
+		if _, ok := g.Step(); !ok {
+			break
+		}
+		capture()
+	}
+
+	db.Freeze() // concurrent readers need the lazy edge sorting flushed
+	sw := &SweepResult{Points: make([]SweepPoint, len(snaps))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(snaps) {
+		workers = len(snaps)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := snaps[i]
+				homes := mapHomes(baseHomes, s.mapping)
+				rc := recast.Recast(db, s.prog, homes, opts.recastOptions())
+				sw.Points[i] = SweepPoint{
+					K:             s.k,
+					Excess:        rc.Defect.Excess,
+					Deficit:       rc.Defect.Deficit,
+					Defect:        rc.Defect.Total(),
+					TotalDistance: s.totalDistance,
+					Unclassified:  rc.Unclassified,
+				}
+			}
+		}()
+	}
+	for i := range snaps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return sw, nil
+}
+
+// Knee returns the number of types at the elbow of the defect curve: the
+// point with maximum perpendicular distance from the straight line joining
+// the curve's endpoints. This is the "optimal trade-off between number of
+// types and defect" the paper's sensitivity analysis looks for; ties go to
+// the smaller defect, then the smaller K.
+func (s *SweepResult) Knee() int {
+	if len(s.Points) == 0 {
+		return 1
+	}
+	if len(s.Points) <= 2 {
+		return s.Points[len(s.Points)-1].K
+	}
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	dx := float64(last.K - first.K)
+	dy := float64(last.Defect - first.Defect)
+	norm := dx*dx + dy*dy
+	if norm == 0 {
+		return first.K
+	}
+	bestIdx, bestDist := 0, -1.0
+	for i, p := range s.Points {
+		// Perpendicular distance from p to the line (first)-(last).
+		num := dy*float64(p.K-first.K) - dx*float64(p.Defect-first.Defect)
+		if num < 0 {
+			num = -num
+		}
+		d := num
+		if d > bestDist || (d == bestDist && p.Defect < s.Points[bestIdx].Defect) {
+			bestIdx, bestDist = i, d
+		}
+	}
+	return s.Points[bestIdx].K
+}
+
+// At returns the sweep point for a given K, if present.
+func (s *SweepResult) At(k int) (SweepPoint, bool) {
+	for _, p := range s.Points {
+		if p.K == k {
+			return p, true
+		}
+	}
+	return SweepPoint{}, false
+}

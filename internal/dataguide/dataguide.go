@@ -1,0 +1,182 @@
+// Package dataguide implements strong DataGuides (Goldman & Widom, VLDB
+// 1997), the main prior art the paper positions itself against: a
+// deterministic, exact summary of all label paths from a set of roots. A
+// DataGuide is a perfect structure in the paper's terms — and that is its
+// weakness: it tracks outgoing paths only, gives every object set a unique
+// node (unique roles), and can be exponentially large on irregular data.
+// The comparison tests and benchmarks quantify this against the paper's
+// typings.
+package dataguide
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"schemex/internal/graph"
+)
+
+// Node is one state of the DataGuide: a distinct target set — the exact set
+// of objects reachable from the roots by some label path.
+type Node struct {
+	// ID is the node index in Guide.Nodes.
+	ID int
+	// Targets is the target set, in ID order.
+	Targets []graph.ObjectID
+	// Out maps labels to successor node IDs.
+	Out map[string]int
+}
+
+// Guide is a strong DataGuide.
+type Guide struct {
+	db    *graph.DB
+	Nodes []*Node
+	// Root is the ID of the start node (the root set itself).
+	Root int
+}
+
+// DefaultRoots returns the conventional root set for an unrooted database:
+// the complex objects with no incoming edges, or every complex object if
+// all objects have incoming edges.
+func DefaultRoots(db *graph.DB) []graph.ObjectID {
+	var roots []graph.ObjectID
+	for _, o := range db.ComplexObjects() {
+		if len(db.In(o)) == 0 {
+			roots = append(roots, o)
+		}
+	}
+	if len(roots) == 0 {
+		roots = db.ComplexObjects()
+	}
+	return roots
+}
+
+// Build computes the strong DataGuide of db from the given roots (nil means
+// DefaultRoots). The construction is the subset construction over target
+// sets; it is exact and deterministic but can be exponential in the worst
+// case — the behaviour the paper's approximate typings avoid.
+func Build(db *graph.DB, roots []graph.ObjectID) *Guide {
+	if roots == nil {
+		roots = DefaultRoots(db)
+	}
+	g := &Guide{db: db}
+	memo := make(map[string]int)
+
+	canonical := func(set []graph.ObjectID) ([]graph.ObjectID, string) {
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		out := set[:0]
+		var sb strings.Builder
+		var prev graph.ObjectID = -1
+		for _, o := range set {
+			if o == prev {
+				continue
+			}
+			out = append(out, o)
+			prev = o
+			sb.WriteString(strconv.Itoa(int(o)))
+			sb.WriteByte(',')
+		}
+		return out, sb.String()
+	}
+
+	var intern func(set []graph.ObjectID) int
+	intern = func(set []graph.ObjectID) int {
+		set, key := canonical(set)
+		if id, ok := memo[key]; ok {
+			return id
+		}
+		node := &Node{ID: len(g.Nodes), Targets: set, Out: make(map[string]int)}
+		g.Nodes = append(g.Nodes, node)
+		memo[key] = node.ID
+
+		// Group successors by label.
+		byLabel := make(map[string][]graph.ObjectID)
+		for _, o := range set {
+			for _, e := range db.Out(o) {
+				byLabel[e.Label] = append(byLabel[e.Label], e.To)
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			node.Out[l] = intern(byLabel[l])
+		}
+		return node.ID
+	}
+	g.Root = intern(append([]graph.ObjectID(nil), roots...))
+	return g
+}
+
+// NumNodes returns the DataGuide's size in nodes (the summary-size metric).
+func (g *Guide) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the number of labeled edges in the guide.
+func (g *Guide) NumEdges() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n += len(node.Out)
+	}
+	return n
+}
+
+// Contains reports whether some object is reachable from the roots by the
+// exact label path — the DataGuide's O(|path|) membership test, the query-
+// formulation use case of [10].
+func (g *Guide) Contains(path []string) bool {
+	_, ok := g.lookup(path)
+	return ok
+}
+
+// TargetsOf returns the exact target set of a label path (nil, false when
+// the path does not occur). This is the DataGuide-as-path-index use.
+func (g *Guide) TargetsOf(path []string) ([]graph.ObjectID, bool) {
+	n, ok := g.lookup(path)
+	if !ok {
+		return nil, false
+	}
+	return n.Targets, true
+}
+
+func (g *Guide) lookup(path []string) (*Node, bool) {
+	cur := g.Nodes[g.Root]
+	for _, label := range path {
+		next, ok := cur.Out[label]
+		if !ok {
+			return nil, false
+		}
+		cur = g.Nodes[next]
+	}
+	return cur, true
+}
+
+// Paths enumerates every label path of the guide up to maxDepth, sorted.
+// Useful for presenting the summary (the DataGuide UI use case).
+func (g *Guide) Paths(maxDepth int) []string {
+	var out []string
+	var walk func(id int, prefix []string, seen map[int]bool)
+	walk = func(id int, prefix []string, seen map[int]bool) {
+		if len(prefix) > 0 {
+			out = append(out, strings.Join(prefix, "."))
+		}
+		if len(prefix) == maxDepth || seen[id] {
+			return
+		}
+		seen[id] = true
+		node := g.Nodes[id]
+		labels := make([]string, 0, len(node.Out))
+		for l := range node.Out {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			walk(node.Out[l], append(prefix, l), seen)
+		}
+		delete(seen, id)
+	}
+	walk(g.Root, nil, make(map[int]bool))
+	sort.Strings(out)
+	return out
+}

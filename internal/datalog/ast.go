@@ -1,0 +1,184 @@
+// Package datalog implements a positive datalog engine: abstract syntax, a
+// rule parser, naive and semi-naive least-fixpoint evaluation, and downward
+// greatest-fixpoint evaluation for programs with monadic intensional
+// predicates.
+//
+// The typing language of the paper (internal/typing) compiles to this engine;
+// the specialized typing evaluator is cross-checked against it in tests. The
+// engine is general enough to run arbitrary positive datalog over extensional
+// relations such as link/3 and atomic/2.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a constant or a variable.
+type Term struct {
+	Var  bool
+	Name string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: true, Name: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Var: false, Name: name} }
+
+func (t Term) String() string {
+	if t.Var {
+		return t.Name
+	}
+	if needsQuotes(t.Name) {
+		return fmt.Sprintf("%q", t.Name)
+	}
+	return t.Name
+}
+
+func needsQuotes(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r == '_', r == '-':
+		case r >= '0' && r <= '9' && i > 0:
+		case r >= 'A' && r <= 'Z' && i > 0:
+		default:
+			return true
+		}
+	}
+	// Variables start with an uppercase letter; a constant that looks like a
+	// variable must be quoted.
+	return false
+}
+
+// Atom is a predicate applied to terms, possibly negated (body atoms only;
+// see negation.go for the stratified semantics).
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	neg := ""
+	if a.Negated {
+		neg = "!"
+	}
+	return fmt.Sprintf("%s%s(%s)", neg, a.Pred, strings.Join(parts, ", "))
+}
+
+// Rule is Head :- Body[0] & ... & Body[n-1].
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s :- %s.", r.Head.String(), strings.Join(parts, " & "))
+}
+
+// Program is a set of rules. Predicates with at least one rule are
+// intensional (IDB); all others are extensional (EDB).
+type Program struct {
+	Rules []Rule
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, r := range p.Rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// IDBPreds returns the intensional predicate names, sorted.
+func (p *Program) IDBPreds() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks range restriction (safety): every variable in a rule head
+// must occur in its body, and predicates must be used with a consistent
+// arity throughout the program.
+func (p *Program) Validate() error {
+	arity := make(map[string]int)
+	check := func(a Atom) error {
+		if n, ok := arity[a.Pred]; ok && n != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, n, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		if r.Head.Negated {
+			return fmt.Errorf("datalog: rule %s: negated head", r)
+		}
+		bodyVars := make(map[string]bool)
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return err
+			}
+			if a.Negated {
+				continue // only positive atoms bind variables
+			}
+			for _, t := range a.Args {
+				if t.Var {
+					bodyVars[t.Name] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.Var && !bodyVars[t.Name] {
+				return fmt.Errorf("datalog: unsafe rule %s: head variable %s not bound in body", r, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// IsMonadicIDB reports whether every intensional predicate of p is monadic
+// (arity 1), the class of programs for which SolveGFP is defined.
+func (p *Program) IsMonadicIDB() bool {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	for _, r := range p.Rules {
+		if len(r.Head.Args) != 1 {
+			return false
+		}
+		for _, a := range r.Body {
+			if idb[a.Pred] && len(a.Args) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}

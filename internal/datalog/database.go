@@ -1,0 +1,196 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of constants.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Relation is a set of tuples of a fixed arity, with lazily built per-column
+// hash indexes used by the join evaluator.
+type Relation struct {
+	arity   int
+	tuples  []Tuple
+	present map[string]bool
+	index   []map[string][]int // column -> value -> tuple positions
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, present: make(map[string]bool)}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Add inserts a tuple, reporting whether it was new. It panics if the arity
+// does not match.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("datalog: arity mismatch: relation has arity %d, tuple %v", r.arity, t))
+	}
+	k := t.key()
+	if r.present[k] {
+		return false
+	}
+	r.present[k] = true
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for c, idx := range r.index {
+		if idx != nil {
+			idx[t[c]] = append(idx[t[c]], pos)
+		}
+	}
+	return true
+}
+
+// Has reports whether the relation contains t.
+func (r *Relation) Has(t Tuple) bool { return r.present[t.key()] }
+
+// Tuples returns the tuples in insertion order. The result must not be
+// modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sorted returns the tuples in lexicographic order (for deterministic
+// output).
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// matching returns the positions of tuples whose column c equals v, using a
+// lazily built index.
+func (r *Relation) matching(c int, v string) []int {
+	if r.index == nil {
+		r.index = make([]map[string][]int, r.arity)
+	}
+	if r.index[c] == nil {
+		idx := make(map[string][]int)
+		for pos, t := range r.tuples {
+			idx[t[c]] = append(idx[t[c]], pos)
+		}
+		r.index[c] = idx
+	}
+	return r.index[c][v]
+}
+
+// Database maps predicate names to relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Relation returns the relation for pred, or nil if absent.
+func (db *Database) Relation(pred string) *Relation {
+	return db.rels[pred]
+}
+
+// Ensure returns the relation for pred, creating it with the given arity if
+// absent. It panics on arity conflict.
+func (db *Database) Ensure(pred string, arity int) *Relation {
+	if r, ok := db.rels[pred]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("datalog: predicate %s has arity %d, requested %d", pred, r.arity, arity))
+		}
+		return r
+	}
+	r := NewRelation(arity)
+	db.rels[pred] = r
+	return r
+}
+
+// Add inserts a fact pred(args...).
+func (db *Database) Add(pred string, args ...string) bool {
+	return db.Ensure(pred, len(args)).Add(Tuple(args))
+}
+
+// Has reports whether the fact pred(args...) holds.
+func (db *Database) Has(pred string, args ...string) bool {
+	r := db.rels[pred]
+	return r != nil && r.Has(Tuple(args))
+}
+
+// Preds returns the predicate names present, sorted.
+func (db *Database) Preds() []string {
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Facts returns the total number of facts.
+func (db *Database) Facts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database (indexes are not copied).
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for name, r := range db.rels {
+		nr := NewRelation(r.arity)
+		for _, t := range r.tuples {
+			nr.Add(append(Tuple(nil), t...))
+		}
+		c.rels[name] = nr
+	}
+	return c
+}
+
+// Constants returns every constant appearing in the database, sorted. This
+// is the active domain used as the GFP universe when none is supplied.
+func (db *Database) Constants() []string {
+	set := make(map[string]bool)
+	for _, r := range db.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *Database) String() string {
+	var sb strings.Builder
+	for _, pred := range db.Preds() {
+		for _, t := range db.rels[pred].Sorted() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = C(v).String()
+			}
+			fmt.Fprintf(&sb, "%s(%s).\n", pred, strings.Join(parts, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(2)
+	if r.Arity() != 2 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+	if !r.Add(Tuple{"a", "b"}) || r.Add(Tuple{"a", "b"}) {
+		t.Fatal("Add dedup broken")
+	}
+	if !r.Has(Tuple{"a", "b"}) || r.Has(Tuple{"b", "a"}) {
+		t.Fatal("Has broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	r.Add(Tuple{"x"})
+}
+
+func TestRelationSorted(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(Tuple{"b", "x"})
+	r.Add(Tuple{"a", "z"})
+	r.Add(Tuple{"a", "y"})
+	s := r.Sorted()
+	if s[0][0] != "a" || s[0][1] != "y" || s[2][0] != "b" {
+		t.Fatalf("Sorted = %v", s)
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	db := NewDatabase()
+	db.Add("p", "a", "b")
+	db.Add("q", "Weird Constant")
+	s := db.String()
+	if !strings.Contains(s, "p(a, b).") || !strings.Contains(s, `q("Weird Constant").`) {
+		t.Fatalf("String = %q", s)
+	}
+	// The rendered facts re-parse.
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("rendered facts do not re-parse: %v", err)
+	}
+}
+
+func TestEnsureArityConflictPanics(t *testing.T) {
+	db := NewDatabase()
+	db.Ensure("p", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity conflict did not panic")
+		}
+	}()
+	db.Ensure("p", 3)
+}
+
+func TestIndexUpdatedOnAdd(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(Tuple{"a", "1"})
+	// Force index build, then add more and verify the index sees it.
+	if got := len(r.matching(0, "a")); got != 1 {
+		t.Fatalf("matching = %d", got)
+	}
+	r.Add(Tuple{"a", "2"})
+	if got := len(r.matching(0, "a")); got != 2 {
+		t.Fatalf("matching after add = %d (stale index)", got)
+	}
+}

@@ -1,0 +1,335 @@
+package datalog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure2EDB encodes the manager/firm database of Figure 2.
+func figure2EDB() *Database {
+	edb := NewDatabase()
+	edb.Add("link", "g", "m", "is-manager-of")
+	edb.Add("link", "j", "a", "is-manager-of")
+	edb.Add("link", "m", "g", "is-managed-by")
+	edb.Add("link", "a", "j", "is-managed-by")
+	edb.Add("link", "g", "gn", "name")
+	edb.Add("link", "j", "jn", "name")
+	edb.Add("link", "m", "mn", "name")
+	edb.Add("link", "a", "an", "name")
+	edb.Add("atomic", "gn", "Gates")
+	edb.Add("atomic", "jn", "Jobs")
+	edb.Add("atomic", "mn", "Microsoft")
+	edb.Add("atomic", "an", "Apple")
+	return edb
+}
+
+// figure2Program is the paper's typing program P0.
+const figure2Src = `
+	person(X) :- link(X, Y, "is-manager-of") & firm(Y) & link(X, Y2, "name") & atomic(Y2, Z).
+	firm(X)   :- link(X, Y, "is-managed-by") & person(Y) & link(X, Y2, "name") & atomic(Y2, Z).
+`
+
+func idbSet(db *Database, pred string) map[string]bool {
+	out := make(map[string]bool)
+	if r := db.Relation(pred); r != nil {
+		for _, t := range r.Tuples() {
+			out[t[0]] = true
+		}
+	}
+	return out
+}
+
+func TestFigure2GFPClassifies(t *testing.T) {
+	p := MustParse(figure2Src)
+	m, err := SolveGFP(p, figure2EDB(), []string{"g", "j", "m", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := idbSet(m, "person")
+	firms := idbSet(m, "firm")
+	if len(persons) != 2 || !persons["g"] || !persons["j"] {
+		t.Fatalf("person = %v, want {g, j}", persons)
+	}
+	if len(firms) != 2 || !firms["m"] || !firms["a"] {
+		t.Fatalf("firm = %v, want {m, a}", firms)
+	}
+	if !IsFixpoint(p, m) {
+		t.Fatal("GFP result is not a fixpoint")
+	}
+}
+
+// TestFigure2LFPFailsToClassify checks the paper's observation: "for this
+// program, a least fixpoint semantics would fail to classify any object."
+func TestFigure2LFPFailsToClassify(t *testing.T) {
+	p := MustParse(figure2Src)
+	m, err := SolveLFP(p, figure2EDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(idbSet(m, "person")) + len(idbSet(m, "firm")); n != 0 {
+		t.Fatalf("LFP classified %d objects, want 0", n)
+	}
+}
+
+func TestLFPTransitiveClosure(t *testing.T) {
+	p := MustParse(`
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y) & edge(Y, Z).
+	`)
+	edb := NewDatabase()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		edb.Add("edge", e[0], e[1])
+	}
+	m, err := SolveLFP(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := m.Relation("path")
+	if paths.Len() != 6 {
+		t.Fatalf("path has %d tuples, want 6: %v", paths.Len(), paths.Sorted())
+	}
+	if !m.Has("path", "a", "d") {
+		t.Fatal("missing path(a, d)")
+	}
+}
+
+func TestNaiveAndSemiNaiveAgree(t *testing.T) {
+	p := MustParse(`
+		reach(X) :- start(X).
+		reach(Y) :- reach(X) & edge(X, Y).
+		big(X, Y) :- reach(X) & reach(Y) & edge(X, Y).
+	`)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		edb := NewDatabase()
+		edb.Add("start", "n0")
+		nodes := 3 + rng.Intn(8)
+		for i := 0; i < nodes*2; i++ {
+			a := rng.Intn(nodes)
+			b := rng.Intn(nodes)
+			edb.Add("edge", nodeName(a), nodeName(b))
+		}
+		m1, err := SolveLFPNaive(p, edb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := SolveLFP(p, edb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFacts(m1, m2) {
+			t.Fatalf("trial %d: naive and semi-naive disagree:\n%v\nvs\n%v", trial, m1, m2)
+		}
+	}
+}
+
+func nodeName(i int) string { return "n" + string(rune('0'+i)) }
+
+func sameFacts(a, b *Database) bool {
+	if a.Facts() != b.Facts() {
+		return false
+	}
+	for _, pred := range a.Preds() {
+		ra, rb := a.Relation(pred), b.Relation(pred)
+		if rb == nil || ra.Len() != rb.Len() {
+			return false
+		}
+		for _, t := range ra.Tuples() {
+			if !rb.Has(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGFPIsGreatest(t *testing.T) {
+	// On a cycle, gfp(p) includes the whole cycle while lfp is empty; both
+	// are fixpoints, and GFP must contain LFP.
+	p := MustParse(`good(X) :- link(X, Y, "next") & good(Y).`)
+	edb := NewDatabase()
+	edb.Add("link", "a", "b", "next")
+	edb.Add("link", "b", "c", "next")
+	edb.Add("link", "c", "a", "next")
+	edb.Add("link", "d", "a", "next")
+	m, err := SolveGFP(p, edb, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := idbSet(m, "good")
+	for _, o := range []string{"a", "b", "c", "d"} {
+		if !good[o] {
+			t.Errorf("GFP should keep %s (reaches the cycle)", o)
+		}
+	}
+	if !IsFixpoint(p, m) {
+		t.Fatal("not a fixpoint")
+	}
+	// A dangling object with no outgoing next edge must be dropped.
+	edb.Add("link", "e", "x", "other")
+	m, err = SolveGFP(p, edb, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idbSet(m, "good")["e"] {
+		t.Error("GFP kept object with no possible derivation")
+	}
+}
+
+func TestGFPRequiresMonadic(t *testing.T) {
+	p := MustParse(`pair(X, Y) :- edge(X, Y) & pair(Y, X).`)
+	edb := NewDatabase()
+	edb.Add("edge", "a", "b")
+	if _, err := SolveGFP(p, edb, nil); err == nil {
+		t.Fatal("SolveGFP accepted a non-monadic IDB")
+	}
+}
+
+func TestGFPRejectsEDBIDBOverlap(t *testing.T) {
+	p := MustParse(`edge(X) :- edge(X).`)
+	edb := NewDatabase()
+	edb.Ensure("edge", 1).Add(Tuple{"a"})
+	if _, err := SolveGFP(p, edb, nil); err == nil {
+		t.Fatal("SolveGFP accepted a predicate that is both EDB and IDB")
+	}
+}
+
+func TestValidateUnsafeRule(t *testing.T) {
+	p := &Program{Rules: []Rule{{
+		Head: Atom{Pred: "p", Args: []Term{V("X"), V("Y")}},
+		Body: []Atom{{Pred: "q", Args: []Term{V("X")}}},
+	}}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("Validate = %v, want unsafe-rule error", err)
+	}
+}
+
+func TestValidateArityConflict(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Atom{Pred: "p", Args: []Term{V("X")}}, Body: []Atom{{Pred: "q", Args: []Term{V("X")}}}},
+		{Head: Atom{Pred: "p", Args: []Term{V("X"), V("Y")}}, Body: []Atom{{Pred: "q", Args: []Term{V("X")}}, {Pred: "r", Args: []Term{V("Y")}}}},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "arit") {
+		t.Fatalf("Validate = %v, want arity error", err)
+	}
+}
+
+func TestParseRenderRoundtrip(t *testing.T) {
+	src := `person(X) :- link(X, Y, "is-manager-of") & firm(Y).
+firm(X) :- link(X, Y, "is-managed-by") & person(Y).
+seed(a).
+`
+	p := MustParse(src)
+	p2 := MustParse(p.String())
+	if p.String() != p2.String() {
+		t.Fatalf("roundtrip changed program:\n%s\nvs\n%s", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(X)`,               // missing terminator
+		`p(X) :- q(X)`,       // missing dot
+		`p(X) : q(X).`,       // bad implies
+		`p(X) :- .`,          // empty body atom
+		`p(X) :- q(X,).`,     // trailing comma in args
+		`p("unterminated`,    // unterminated string
+		`p(X) :- q(Y) r(X).`, // missing conjunct separator
+		`p(X) :- q(Y).`,      // unsafe: X unbound
+		`(X) :- q(X).`,       // missing predicate name
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestConstantsAndQuoting(t *testing.T) {
+	p := MustParse(`p(X) :- q(X, "Upper Constant", lower, "with space").`)
+	body := p.Rules[0].Body[0]
+	if body.Args[1].Var || body.Args[2].Var || body.Args[3].Var {
+		t.Fatal("quoted strings and lowercase idents must be constants")
+	}
+	if !p.Rules[0].Body[0].Args[0].Var {
+		t.Fatal("uppercase ident must be a variable")
+	}
+	// Rendering must re-quote constants that look like variables.
+	s := p.String()
+	if !strings.Contains(s, `"Upper Constant"`) || !strings.Contains(s, `"with space"`) {
+		t.Fatalf("rendering lost quoting: %s", s)
+	}
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("rendered program does not re-parse: %v", err)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	p := MustParse(`self(X) :- edge(X, X).`)
+	edb := NewDatabase()
+	edb.Add("edge", "a", "a")
+	edb.Add("edge", "a", "b")
+	m, err := SolveLFP(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfs := idbSet(m, "self")
+	if !selfs["a"] || selfs["b"] || len(selfs) != 1 {
+		t.Fatalf("self = %v, want {a}", selfs)
+	}
+}
+
+func TestDatabaseCloneIndependent(t *testing.T) {
+	a := NewDatabase()
+	a.Add("p", "x")
+	b := a.Clone()
+	b.Add("p", "y")
+	if a.Relation("p").Len() != 1 || b.Relation("p").Len() != 2 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestConstantsActiveDomain(t *testing.T) {
+	edb := NewDatabase()
+	edb.Add("p", "b", "a")
+	edb.Add("q", "c")
+	got := edb.Constants()
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Constants = %v, want %v", got, want)
+	}
+}
+
+func TestQuickParsePrintStability(t *testing.T) {
+	// Generating random rule texts from components and checking print/parse
+	// stability exercises the quoting logic.
+	heads := []string{"p", "q", "r"}
+	edbs := []string{"e1", "e2", "link"}
+	consts := []string{"a", "Name With Space", "x-y", "Z9"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &Program{}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			head := Atom{Pred: heads[rng.Intn(len(heads))], Args: []Term{V("X")}}
+			body := []Atom{{Pred: "base", Args: []Term{V("X")}}}
+			for j := 0; j < rng.Intn(3); j++ {
+				body = append(body, Atom{
+					Pred: edbs[rng.Intn(len(edbs))],
+					Args: []Term{V("X"), C(consts[rng.Intn(len(consts))])},
+				})
+			}
+			prog.Rules = append(prog.Rules, Rule{Head: head, Body: body})
+		}
+		s1 := prog.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			return false
+		}
+		return p2.String() == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// bindings maps variable names to constants during rule evaluation.
+type bindings map[string]string
+
+// applyRule evaluates one rule against db and calls emit for every derived
+// head tuple. If deltaPred is nonempty, the body atom at deltaPos is
+// evaluated against delta instead of db (semi-naive evaluation).
+func applyRule(r Rule, db *Database, deltaPos int, delta *Relation, emit func(Tuple)) {
+	var rec func(i int, b bindings)
+	rec = func(i int, b bindings) {
+		if i == len(r.Body) {
+			head := make(Tuple, len(r.Head.Args))
+			for k, t := range r.Head.Args {
+				if t.Var {
+					head[k] = b[t.Name]
+				} else {
+					head[k] = t.Name
+				}
+			}
+			emit(head)
+			return
+		}
+		atom := r.Body[i]
+		if atom.Negated {
+			// Safety + reordering guarantee every argument is bound here:
+			// evaluate as an absence check.
+			ground := make(Tuple, len(atom.Args))
+			for k, t := range atom.Args {
+				if t.Var {
+					ground[k] = b[t.Name]
+				} else {
+					ground[k] = t.Name
+				}
+			}
+			rel := db.Relation(atom.Pred)
+			if rel == nil || !rel.Has(ground) {
+				rec(i+1, b)
+			}
+			return
+		}
+		var rel *Relation
+		if i == deltaPos {
+			rel = delta
+		} else {
+			rel = db.Relation(atom.Pred)
+		}
+		if rel == nil || rel.Len() == 0 {
+			return
+		}
+		// Pick the first bound column to use the index; fall back to a scan.
+		boundCol, boundVal := -1, ""
+		for k, t := range atom.Args {
+			if !t.Var {
+				boundCol, boundVal = k, t.Name
+				break
+			}
+			if v, ok := b[t.Name]; ok {
+				boundCol, boundVal = k, v
+				break
+			}
+		}
+		try := func(tup Tuple) {
+			if len(tup) != len(atom.Args) {
+				return
+			}
+			newVars := make([]string, 0, 3)
+			ok := true
+			for k, t := range atom.Args {
+				if !t.Var {
+					if tup[k] != t.Name {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, bound := b[t.Name]; bound {
+					if tup[k] != v {
+						ok = false
+						break
+					}
+					continue
+				}
+				b[t.Name] = tup[k]
+				newVars = append(newVars, t.Name)
+			}
+			if ok {
+				rec(i+1, b)
+			}
+			for _, v := range newVars {
+				delete(b, v)
+			}
+		}
+		if boundCol >= 0 {
+			for _, pos := range rel.matching(boundCol, boundVal) {
+				try(rel.tuples[pos])
+			}
+		} else {
+			for _, tup := range rel.tuples {
+				try(tup)
+			}
+		}
+	}
+	rec(0, bindings{})
+}
+
+// SolveLFPNaive computes the least fixpoint of p over edb by naive
+// iteration: all rules are re-evaluated against the full database until no
+// new fact is derived. edb is not modified; the returned database contains
+// EDB and IDB facts.
+func SolveLFPNaive(p *Program, edb *Database) (*Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("datalog: SolveLFPNaive does not support negation; use SolveStratified")
+	}
+	db := edb.Clone()
+	for _, r := range p.Rules {
+		db.Ensure(r.Head.Pred, len(r.Head.Args))
+	}
+	for {
+		changed := false
+		for _, r := range p.Rules {
+			rel := db.Relation(r.Head.Pred)
+			applyRule(r, db, -1, nil, func(t Tuple) {
+				if rel.Add(t) {
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			return db, nil
+		}
+	}
+}
+
+// SolveLFP computes the least fixpoint of p over edb using semi-naive
+// evaluation: after the first round, each rule is evaluated once per IDB
+// body atom with that atom restricted to the facts derived in the previous
+// round.
+func SolveLFP(p *Program, edb *Database) (*Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("datalog: SolveLFP does not support negation; use SolveStratified")
+	}
+	db := edb.Clone()
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		db.Ensure(r.Head.Pred, len(r.Head.Args))
+		idb[r.Head.Pred] = true
+	}
+
+	// Round 0: full evaluation, collecting the initial deltas.
+	delta := make(map[string]*Relation)
+	for _, r := range p.Rules {
+		rel := db.Relation(r.Head.Pred)
+		applyRule(r, db, -1, nil, func(t Tuple) {
+			if rel.Add(t) {
+				d, ok := delta[r.Head.Pred]
+				if !ok {
+					d = NewRelation(len(t))
+					delta[r.Head.Pred] = d
+				}
+				d.Add(t)
+			}
+		})
+	}
+
+	for len(delta) > 0 {
+		next := make(map[string]*Relation)
+		for _, r := range p.Rules {
+			rel := db.Relation(r.Head.Pred)
+			for pos, a := range r.Body {
+				if !idb[a.Pred] {
+					continue
+				}
+				d, ok := delta[a.Pred]
+				if !ok || d.Len() == 0 {
+					continue
+				}
+				applyRule(r, db, pos, d, func(t Tuple) {
+					if rel.Add(t) {
+						nd, ok := next[r.Head.Pred]
+						if !ok {
+							nd = NewRelation(len(t))
+							next[r.Head.Pred] = nd
+						}
+						nd.Add(t)
+					}
+				})
+			}
+		}
+		delta = next
+	}
+	return db, nil
+}
+
+// SolveGFP computes the greatest fixpoint of p over edb, for programs whose
+// IDB predicates are all monadic. Following the paper's §4 ("Computational
+// Efficiency"): start from M_all, which assigns every IDB predicate to every
+// element of the universe, then repeatedly apply P until no change occurs.
+//
+// If universe is nil, the active domain of edb is used. edb facts are part
+// of every fixpoint by definition (M coincides with D on the EDB).
+func SolveGFP(p *Program, edb *Database, universe []string) (*Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.IsMonadicIDB() {
+		return nil, fmt.Errorf("datalog: SolveGFP requires monadic IDB predicates")
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("datalog: SolveGFP does not support negation (the paper's typing language is negation-free)")
+	}
+	if universe == nil {
+		universe = edb.Constants()
+	}
+	idbPreds := p.IDBPreds()
+	edbOnly := edb.Clone()
+	for _, pred := range idbPreds {
+		if edbOnly.Relation(pred) != nil {
+			return nil, fmt.Errorf("datalog: predicate %s is both EDB and IDB", pred)
+		}
+	}
+
+	// db holds EDB facts plus the current candidate IDB assignment.
+	db := edb.Clone()
+	for _, pred := range idbPreds {
+		rel := db.Ensure(pred, 1)
+		for _, o := range universe {
+			rel.Add(Tuple{o})
+		}
+	}
+
+	// Downward iteration: recompute P(M) for the IDB part and shrink until
+	// stable. Indexes on IDB relations change every round, so rebuild the
+	// relations rather than mutating them.
+	for {
+		derived := make(map[string]*Relation, len(idbPreds))
+		for _, pred := range idbPreds {
+			derived[pred] = NewRelation(1)
+		}
+		for _, r := range p.Rules {
+			applyRule(r, db, -1, nil, func(t Tuple) {
+				derived[r.Head.Pred].Add(t)
+			})
+		}
+		changed := false
+		for _, pred := range idbPreds {
+			cur := db.Relation(pred)
+			if derived[pred].Len() != cur.Len() {
+				changed = true
+				continue
+			}
+			for _, t := range derived[pred].Tuples() {
+				if !cur.Has(t) {
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return db, nil
+		}
+		db = edbOnly.Clone()
+		for _, pred := range idbPreds {
+			db.rels[pred] = derived[pred]
+		}
+	}
+}
+
+// IsFixpoint reports whether the IDB assignment in m is a fixpoint of p,
+// i.e. P(m)(c) == m(c) for every IDB predicate c. m must contain the EDB
+// facts as well.
+func IsFixpoint(p *Program, m *Database) bool {
+	derived := make(map[string]*Relation)
+	for _, pred := range p.IDBPreds() {
+		derived[pred] = NewRelation(1)
+	}
+	for _, r := range p.Rules {
+		applyRule(r, m, -1, nil, func(t Tuple) {
+			if d, ok := derived[r.Head.Pred]; ok {
+				d.Add(t)
+			}
+		})
+	}
+	for pred, d := range derived {
+		cur := m.Relation(pred)
+		curLen := 0
+		if cur != nil {
+			curLen = cur.Len()
+		}
+		if d.Len() != curLen {
+			return false
+		}
+		for _, t := range d.Tuples() {
+			if cur == nil || !cur.Has(t) {
+				return false
+			}
+		}
+	}
+	return true
+}

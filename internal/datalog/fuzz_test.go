@@ -1,0 +1,33 @@
+package datalog
+
+import "testing"
+
+// FuzzParse checks the datalog parser never panics and accepted programs
+// validate and round-trip through the printer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`p(X) :- q(X).`,
+		`p(X) :- link(X, Y, "l") & atomic(Y, Z).`,
+		`fact(a, b). p(X) :- fact(X, Y), fact(Y, X).`,
+		`p(X) :- q(X) & !r(X).`,
+		`% comment` + "\n" + `p(X) :- q(X).`,
+		`p() :- q().`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("print/parse not stable:\n%q\nvs\n%q", rendered, p2.String())
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// This file extends the engine with stratified negation. The paper's typing
+// language is negation-free (which is why type extents can overlap, §4.2);
+// negation is provided as a substrate extension so that exact (non-
+// overlapping) classifications and complements can be expressed. Negated
+// atoms are written !p(...) in the textual syntax.
+
+// ValidateStratified checks the additional conditions negation imposes:
+// every variable of a negated atom must also occur in a positive body atom
+// of the same rule, and the program must be stratifiable (no recursion
+// through negation).
+func (p *Program) ValidateStratified() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, r := range p.Rules {
+		pos := make(map[string]bool)
+		for _, a := range r.Body {
+			if a.Negated {
+				continue
+			}
+			for _, t := range a.Args {
+				if t.Var {
+					pos[t.Name] = true
+				}
+			}
+		}
+		for _, a := range r.Body {
+			if !a.Negated {
+				continue
+			}
+			for _, t := range a.Args {
+				if t.Var && !pos[t.Name] {
+					return fmt.Errorf("datalog: unsafe negation in rule %s: variable %s not bound positively", r, t.Name)
+				}
+			}
+		}
+	}
+	_, err := p.Stratify()
+	return err
+}
+
+// Stratify assigns each intensional predicate a stratum: positive
+// dependencies stay within a stratum or go up; negative dependencies must go
+// strictly up. It returns an error when the program recurses through
+// negation (e.g. win(X) :- move(X,Y) & !win(Y)).
+func (p *Program) Stratify() (map[string]int, error) {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	strata := make(map[string]int, len(idb))
+	n := len(idb)
+	// Bellman-Ford-style relaxation: at most n·|rules| improvements before a
+	// stratum exceeds n, which certifies a negative cycle.
+	for iter := 0; iter <= n*len(p.Rules)+1; iter++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := strata[r.Head.Pred]
+			for _, a := range r.Body {
+				if !idb[a.Pred] {
+					continue
+				}
+				want := strata[a.Pred]
+				if a.Negated {
+					want++
+				}
+				if want > h {
+					h = want
+				}
+			}
+			if h > n {
+				return nil, fmt.Errorf("datalog: program is not stratifiable (recursion through negation involving %s)", r.Head.Pred)
+			}
+			if h != strata[r.Head.Pred] {
+				strata[r.Head.Pred] = h
+				changed = true
+			}
+		}
+		if !changed {
+			return strata, nil
+		}
+	}
+	return nil, fmt.Errorf("datalog: stratification did not converge")
+}
+
+// SolveStratified computes the standard stratified-negation semantics: the
+// strata are evaluated bottom-up, each by semi-naive least fixpoint with the
+// lower strata (and negated atoms over them) treated as extensional.
+func SolveStratified(p *Program, edb *Database) (*Database, error) {
+	if err := p.ValidateStratified(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	maxStratum := 0
+	for _, s := range strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	db := edb.Clone()
+	for _, r := range p.Rules {
+		db.Ensure(r.Head.Pred, len(r.Head.Args))
+	}
+	for s := 0; s <= maxStratum; s++ {
+		var layer Program
+		for _, r := range p.Rules {
+			if strata[r.Head.Pred] == s {
+				layer.Rules = append(layer.Rules, r)
+			}
+		}
+		if len(layer.Rules) == 0 {
+			continue
+		}
+		if err := lfpLayer(&layer, db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// lfpLayer runs semi-naive evaluation of one stratum in place over db.
+// Negated atoms refer to lower strata, which are complete in db, so they are
+// evaluated as simple absence checks.
+func lfpLayer(layer *Program, db *Database) error {
+	idb := make(map[string]bool)
+	for _, r := range layer.Rules {
+		idb[r.Head.Pred] = true
+	}
+	delta := make(map[string]*Relation)
+	for _, r := range layer.Rules {
+		rel := db.Relation(r.Head.Pred)
+		applyRule(reorderNegated(r), db, -1, nil, func(t Tuple) {
+			if rel.Add(t) {
+				d, ok := delta[r.Head.Pred]
+				if !ok {
+					d = NewRelation(len(t))
+					delta[r.Head.Pred] = d
+				}
+				d.Add(t)
+			}
+		})
+	}
+	for len(delta) > 0 {
+		next := make(map[string]*Relation)
+		for _, r := range layer.Rules {
+			rel := db.Relation(r.Head.Pred)
+			rr := reorderNegated(r)
+			for pos, a := range rr.Body {
+				if a.Negated || !idb[a.Pred] {
+					continue
+				}
+				d, ok := delta[a.Pred]
+				if !ok || d.Len() == 0 {
+					continue
+				}
+				applyRule(rr, db, pos, d, func(t Tuple) {
+					if rel.Add(t) {
+						nd, ok := next[r.Head.Pred]
+						if !ok {
+							nd = NewRelation(len(t))
+							next[r.Head.Pred] = nd
+						}
+						nd.Add(t)
+					}
+				})
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+// reorderNegated moves negated atoms to the end of the body so that their
+// variables are bound when they are evaluated (safety guarantees every such
+// variable occurs positively).
+func reorderNegated(r Rule) Rule {
+	var pos, neg []Atom
+	for _, a := range r.Body {
+		if a.Negated {
+			neg = append(neg, a)
+		} else {
+			pos = append(pos, a)
+		}
+	}
+	if len(neg) == 0 {
+		return r
+	}
+	out := Rule{Head: r.Head, Body: make([]Atom, 0, len(r.Body))}
+	out.Body = append(out.Body, pos...)
+	out.Body = append(out.Body, neg...)
+	return out
+}
+
+// HasNegation reports whether any rule body contains a negated atom.
+func (p *Program) HasNegation() bool {
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if a.Negated {
+				return true
+			}
+		}
+	}
+	return false
+}

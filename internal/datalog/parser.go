@@ -1,0 +1,273 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Parse reads a datalog program in the textual syntax
+//
+//	person(X) :- link(X, Y, "is-manager-of") & firm(Y).
+//	fact(a, b).
+//
+// Variables start with an uppercase letter or '_'; everything else is a
+// constant. Conjuncts may be separated by '&' or ','; a body atom may be
+// negated with a leading '!' (stratified semantics, see SolveStratified).
+// Rules end with '.'. Line comments start with '%' or '//'.
+func Parse(src string) (*Program, error) {
+	toks, err := lexDatalog(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dlParser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type dlTokKind int
+
+const (
+	dlEOF dlTokKind = iota
+	dlIdent
+	dlString
+	dlLParen
+	dlRParen
+	dlComma
+	dlAmp
+	dlDot
+	dlBang
+	dlImplies // :-
+)
+
+type dlTok struct {
+	kind dlTokKind
+	text string
+	line int
+}
+
+func (t dlTok) String() string {
+	switch t.kind {
+	case dlEOF:
+		return "end of input"
+	case dlString:
+		return fmt.Sprintf("string %q", t.text)
+	case dlImplies:
+		return "':-'"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func lexDatalog(src string) ([]dlTok, error) {
+	var toks []dlTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, dlTok{dlLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, dlTok{dlRParen, ")", line})
+			i++
+		case c == ',':
+			toks = append(toks, dlTok{dlComma, ",", line})
+			i++
+		case c == '&':
+			toks = append(toks, dlTok{dlAmp, "&", line})
+			i++
+		case c == '.':
+			toks = append(toks, dlTok{dlDot, ".", line})
+			i++
+		case c == '!':
+			toks = append(toks, dlTok{dlBang, "!", line})
+			i++
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == '-' {
+				toks = append(toks, dlTok{dlImplies, ":-", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: line %d: expected ':-'", line)
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '"' || src[j] == '\n' {
+					break
+				}
+				j++
+			}
+			if j >= len(src) || src[j] == '\n' {
+				return nil, fmt.Errorf("datalog: line %d: unterminated string", line)
+			}
+			unq, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("datalog: line %d: bad quoted string %s: %v", line, src[i:j+1], err)
+			}
+			toks = append(toks, dlTok{dlString, unq, line})
+			i = j + 1
+		case isDlIdentByte(c):
+			j := i
+			for j < len(src) && isDlIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, dlTok{dlIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("datalog: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, dlTok{dlEOF, "", line})
+	return toks, nil
+}
+
+func isDlIdentByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type dlParser struct {
+	toks []dlTok
+	pos  int
+}
+
+func (p *dlParser) atEOF() bool { return p.toks[p.pos].kind == dlEOF }
+
+func (p *dlParser) next() dlTok {
+	t := p.toks[p.pos]
+	if t.kind != dlEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *dlParser) peek() dlTok { return p.toks[p.pos] }
+
+func (p *dlParser) expect(k dlTokKind, what string) (dlTok, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("datalog: line %d: expected %s, got %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+func (p *dlParser) rule() (Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return Rule{}, err
+	}
+	t := p.next()
+	switch t.kind {
+	case dlDot:
+		return Rule{Head: head}, nil
+	case dlImplies:
+		var body []Atom
+		for {
+			negated := false
+			if p.peek().kind == dlBang {
+				p.next()
+				negated = true
+			}
+			a, err := p.atom()
+			if err != nil {
+				return Rule{}, err
+			}
+			a.Negated = negated
+			body = append(body, a)
+			sep := p.next()
+			switch sep.kind {
+			case dlAmp, dlComma:
+				continue
+			case dlDot:
+				return Rule{Head: head, Body: body}, nil
+			default:
+				return Rule{}, fmt.Errorf("datalog: line %d: expected '&', ',' or '.', got %s", sep.line, sep)
+			}
+		}
+	default:
+		return Rule{}, fmt.Errorf("datalog: line %d: expected ':-' or '.', got %s", t.line, t)
+	}
+}
+
+func (p *dlParser) atom() (Atom, error) {
+	name, err := p.expect(dlIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	if _, err := p.expect(dlLParen, "'('"); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	if p.peek().kind == dlRParen {
+		p.next()
+		return Atom{Pred: name.text, Args: args}, nil
+	}
+	for {
+		t := p.next()
+		switch t.kind {
+		case dlIdent:
+			args = append(args, classifyTerm(t.text))
+		case dlString:
+			args = append(args, C(t.text))
+		default:
+			return Atom{}, fmt.Errorf("datalog: line %d: expected term, got %s", t.line, t)
+		}
+		sep := p.next()
+		switch sep.kind {
+		case dlComma:
+			continue
+		case dlRParen:
+			return Atom{Pred: name.text, Args: args}, nil
+		default:
+			return Atom{}, fmt.Errorf("datalog: line %d: expected ',' or ')', got %s", sep.line, sep)
+		}
+	}
+}
+
+// classifyTerm decides whether an identifier is a variable (leading
+// uppercase or '_') or a constant.
+func classifyTerm(s string) Term {
+	r := rune(s[0])
+	if r == '_' || unicode.IsUpper(r) {
+		return V(s)
+	}
+	return C(s)
+}

@@ -1,0 +1,201 @@
+// Package dbg reconstructs a dataset in the image of the paper's DBG data
+// set — "various information about the members of the Data Base group at
+// Stanford" — whose optimal typing is Figure 1 of the paper and whose
+// sensitivity graph is Figure 6.
+//
+// The original web data was never published, so this is a calibrated
+// substitute (see DESIGN.md): six intended roles — project, publication,
+// db-person, student, birthday, degree — carrying the typed links Figure 1
+// shows. Irregularity is encoded as an explicit shape quotient (53 shapes,
+// matching the paper's 53 perfect types): person shapes differ in optional
+// attributes and project membership, students in advisors and nicknames,
+// publications in attributes and author shapes, and owned birthday/degree
+// sub-objects split by owner shape, exactly as the greatest-fixpoint typing
+// does on real data.
+package dbg
+
+import (
+	"fmt"
+
+	"schemex/internal/graph"
+	"schemex/internal/synth"
+)
+
+// Options configure generation.
+type Options struct {
+	// Seed for deterministic generation; the default 0 is a valid seed.
+	Seed int64
+	// Scale multiplies every shape's population; 0 means 1. Perfect-type
+	// counts are scale-invariant by construction.
+	Scale int
+}
+
+// Roles gives the intended role of every complex object, used to name the
+// extracted classes the way Figure 1 does.
+type Roles map[graph.ObjectID]string
+
+// Generate builds the dataset and its ground-truth role map.
+func Generate(opts Options) (*graph.DB, Roles) {
+	spec := Spec(opts)
+	db, roles, err := spec.GenerateShapes()
+	if err != nil {
+		panic(fmt.Sprintf("dbg: invalid built-in spec: %v", err)) // spec is a constant of the package
+	}
+	return db, Roles(roles)
+}
+
+// Spec returns the shape-quotient specification of the DBG substitute. It
+// has 53 shapes across the six roles of Figure 1 plus the group root.
+func Spec(opts Options) *synth.ShapeSpec {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	s := &synth.ShapeSpec{Name: "dbg", Seed: opts.Seed}
+	add := func(sh synth.Shape) string {
+		sh.Count *= scale
+		s.Shapes = append(s.Shapes, sh)
+		return sh.Name
+	}
+	atoms := func(extra ...string) []string {
+		return append([]string{"name", "email", "home-page"}, extra...)
+	}
+
+	// Projects: three shapes (one missing its home page).
+	pr0 := add(synth.Shape{Name: "pr0", Role: "project", Count: 4, Atoms: []string{"name", "home-page"}})
+	pr1 := add(synth.Shape{Name: "pr1", Role: "project", Count: 3, Atoms: []string{"name", "home-page"}})
+	pr2 := add(synth.Shape{Name: "pr2", Role: "project", Count: 3, Atoms: []string{"name"}})
+
+	// Birthday and degree shapes are owned children; each person shape that
+	// has them owns its own child shape (the fixpoint typing splits owned
+	// sub-objects by owner class).
+	nBd, nDg := 0, 0
+	birthday := func(withName bool) string {
+		a := []string{"month", "day", "year"}
+		if withName {
+			a = append([]string{"name"}, a...)
+		}
+		name := fmt.Sprintf("bd%d", nBd)
+		nBd++
+		return add(synth.Shape{Name: name, Role: "birthday", Atoms: a})
+	}
+	degree := func(withName bool) string {
+		a := []string{"major", "school", "year"}
+		if withName {
+			a = append([]string{"name"}, a...)
+		}
+		name := fmt.Sprintf("dg%d", nDg)
+		nDg++
+		return add(synth.Shape{Name: name, Role: "degree", Atoms: a})
+	}
+
+	// Person shapes: 13 combinations of optional attributes, project
+	// membership (with the project-member reciprocal of Figure 1), and
+	// birthday/degree sub-objects.
+	nPe := 0
+	person := func(count int, extraAtoms []string, projects []string, bday, deg bool, degRepeat int, variantNames bool) string {
+		name := fmt.Sprintf("pe%d", nPe)
+		nPe++
+		sh := synth.Shape{Name: name, Role: "db-person", Count: count, Atoms: atoms(extraAtoms...)}
+		for _, p := range projects {
+			sh.Links = append(sh.Links, synth.ShapeLink{Label: "project", Target: p, Reciprocal: "project-member"})
+		}
+		if bday {
+			sh.Children = append(sh.Children, synth.ChildSpec{Label: "birthday", Shape: birthday(variantNames)})
+		}
+		if deg {
+			sh.Children = append(sh.Children, synth.ChildSpec{Label: "degree", Shape: degree(variantNames), Repeat: degRepeat})
+		}
+		return add(sh)
+	}
+	pe0 := person(4, []string{"title", "years-at-stanford", "research-interest"}, []string{pr0}, true, true, 1, false)
+	pe1 := person(3, []string{"title", "years-at-stanford", "research-interest", "personal-interest"}, []string{pr0}, true, true, 1, true)
+	pe2 := person(3, []string{"title", "research-interest"}, []string{pr1}, true, true, 1, false)
+	pe3 := person(3, []string{"years-at-stanford", "research-interest", "original-home"}, []string{pr1}, true, true, 1, false)
+	person(2, []string{"title", "years-at-stanford"}, []string{pr2}, false, true, 1, false) // pe4
+	pe5 := person(3, []string{"research-interest"}, []string{pr0}, true, false, 0, false)
+	pe6 := person(2, []string{"title", "years-at-stanford", "research-interest", "original-home", "personal-interest"}, []string{pr0, pr1}, true, true, 2, false)
+	person(2, nil, []string{pr2}, false, false, 0, false) // pe7
+	pe8 := person(3, []string{"title", "years-at-stanford", "research-interest"}, []string{pr1}, true, true, 1, false)
+	pe9 := person(2, []string{"years-at-stanford", "research-interest"}, []string{pr0}, true, true, 1, false)
+	person(2, []string{"title", "years-at-stanford", "personal-interest"}, []string{pr1}, false, true, 1, false) // pe10
+	person(2, []string{"title", "research-interest", "original-home"}, []string{pr2}, true, false, 0, false)     // pe11
+	pe12 := person(2, []string{"years-at-stanford"}, []string{pr1}, true, true, 1, false)
+
+	// Student shapes: 7 combinations of nickname/title, advisor target and
+	// project membership.
+	nSt := 0
+	student := func(count int, extraAtoms []string, advisor, project string) string {
+		name := fmt.Sprintf("st%d", nSt)
+		nSt++
+		sh := synth.Shape{Name: name, Role: "student", Count: count, Atoms: atoms(extraAtoms...)}
+		sh.Links = append(sh.Links,
+			synth.ShapeLink{Label: "advisor", Target: advisor},
+			synth.ShapeLink{Label: "project", Target: project, Reciprocal: "project-member"},
+		)
+		return add(sh)
+	}
+	st0 := student(4, []string{"nickname"}, pe0, pr0)
+	st1 := student(3, []string{"nickname", "title"}, pe2, pr1)
+	student(3, nil, pe0, pr2) // st2
+	student(3, []string{"nickname"}, pe6, pr1)
+	student(2, []string{"title"}, pe3, pr0)
+	student(3, []string{"nickname"}, pe1, pr2)
+	student(2, []string{"title", "nickname"}, pe9, pr0)
+
+	// Publication shapes: 9 combinations of attributes and author shapes.
+	// Authors usually link back (the <-publication of Figure 1).
+	nPu := 0
+	pub := func(count int, a []string, authors ...string) {
+		name := fmt.Sprintf("pu%d", nPu)
+		nPu++
+		sh := synth.Shape{Name: name, Role: "publication", Count: count, Atoms: a}
+		for _, au := range authors {
+			sh.Links = append(sh.Links, synth.ShapeLink{Label: "author", Target: au, Reciprocal: "publication"})
+		}
+		add(sh)
+	}
+	full := []string{"name", "conference", "postscript"}
+	pub(6, full, pe0)
+	pub(4, full, pe1)
+	pub(4, []string{"name", "conference"}, pe2)
+	pub(4, full, pe6, st0)
+	pub(4, []string{"name", "postscript"}, pe8)
+	pub(3, full, st1)
+	pub(3, []string{"name"}, pe5)
+	pub(4, full, pe9, pe3)
+	pub(3, []string{"name", "conference"}, pe12)
+
+	// The group root links to every person and student shape.
+	root := synth.Shape{Name: "dbgroup", Role: "group", Count: 1, Atoms: []string{"name"}}
+	for i := 0; i < nPe; i++ {
+		root.Links = append(root.Links, synth.ShapeLink{Label: "group-member", Target: fmt.Sprintf("pe%d", i)})
+	}
+	for i := 0; i < nSt; i++ {
+		root.Links = append(root.Links, synth.ShapeLink{Label: "group-member", Target: fmt.Sprintf("st%d", i)})
+	}
+	add(root)
+	return s
+}
+
+// NameFor returns a Stage 1 class namer that labels each class with the
+// majority ground-truth role of its members, disambiguating duplicates.
+func (r Roles) NameFor(db *graph.DB, members []graph.ObjectID, classIdx int) string {
+	counts := make(map[string]int)
+	for _, o := range members {
+		counts[r[o]]++
+	}
+	best, bestN := "", 0
+	for role, n := range counts {
+		if role == "" {
+			continue
+		}
+		if n > bestN || (n == bestN && role < best) {
+			best, bestN = role, n
+		}
+	}
+	if best == "" {
+		return "class"
+	}
+	return best
+}

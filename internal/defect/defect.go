@@ -1,0 +1,279 @@
+// Package defect implements the paper's quality measures for a typing (§2):
+//
+//   - excess — the number of ground link facts that are not used to justify
+//     the type of any object under a membership (typically the greatest
+//     fixpoint of the typing program);
+//   - deficit — the number of ground facts that must be invented so that all
+//     type derivations in a typing assignment become possible.
+//
+// defect = excess + deficit. Example 2.2 of the paper is reproduced in the
+// package tests.
+package defect
+
+import (
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+	"schemex/internal/typing"
+)
+
+// Excess counts the link facts of db that are in excess with respect to the
+// membership in member (per type, a set of objects): a fact link(o, o', ℓ)
+// is in excess iff there are no classes c ∋ o and c' ∋ o' such that the
+// definition of c or c' stipulates an ℓ-link from c to c'. For an atomic o'
+// the only possible justification is an →ℓ[0] link of some class of o.
+func Excess(p *typing.Program, db *graph.DB, member []*bitset.Set) int {
+	stip := newStipulation(p)
+	excess := 0
+	db.Links(func(e graph.Edge) {
+		if !justified(stip, db, member, e) {
+			excess++
+		}
+	})
+	return excess
+}
+
+// ExcessEdges returns the excess facts themselves, for reporting.
+func ExcessEdges(p *typing.Program, db *graph.DB, member []*bitset.Set) []graph.Edge {
+	stip := newStipulation(p)
+	var edges []graph.Edge
+	db.Links(func(e graph.Edge) {
+		if !justified(stip, db, member, e) {
+			edges = append(edges, e)
+		}
+	})
+	return edges
+}
+
+// stipulation indexes, per label, which (from-class, to-class) pairs are
+// stipulated by some type definition, and which from-classes stipulate an
+// ℓ-link to an atomic object (per sort constraint, for the Remark 2.1
+// extension).
+// atomicKey identifies one kind of atomic-target stipulation: the sort and
+// optional value constraints of the typed link.
+type atomicKey struct {
+	sort     typing.SortConstraint
+	value    string
+	hasValue bool
+}
+
+func (k atomicKey) matches(v graph.Value) bool {
+	return typing.SortMatches(k.sort, v.Sort) && (!k.hasValue || k.value == v.Text)
+}
+
+type stipulation struct {
+	n        int
+	pairs    map[string]map[int]*bitset.Set       // label -> from class -> to classes
+	toAtomic map[string]map[atomicKey]*bitset.Set // label -> constraint -> from classes
+}
+
+func newStipulation(p *typing.Program) *stipulation {
+	s := &stipulation{
+		n:        len(p.Types),
+		pairs:    make(map[string]map[int]*bitset.Set),
+		toAtomic: make(map[string]map[atomicKey]*bitset.Set),
+	}
+	addPair := func(label string, from, to int) {
+		m, ok := s.pairs[label]
+		if !ok {
+			m = make(map[int]*bitset.Set)
+			s.pairs[label] = m
+		}
+		set, ok := m[from]
+		if !ok {
+			set = bitset.New(s.n)
+			m[from] = set
+		}
+		set.Set(to)
+	}
+	for ci, t := range p.Types {
+		for _, l := range t.Links {
+			switch {
+			case l.Dir == typing.Out && l.Target == typing.AtomicTarget:
+				byKey, ok := s.toAtomic[l.Label]
+				if !ok {
+					byKey = make(map[atomicKey]*bitset.Set)
+					s.toAtomic[l.Label] = byKey
+				}
+				key := atomicKey{sort: l.Sort, value: l.Value, hasValue: l.HasValue}
+				set, ok := byKey[key]
+				if !ok {
+					set = bitset.New(s.n)
+					byKey[key] = set
+				}
+				set.Set(ci)
+			case l.Dir == typing.Out:
+				addPair(l.Label, ci, l.Target)
+			default: // In: an ℓ-edge from the target class into ci
+				addPair(l.Label, l.Target, ci)
+			}
+		}
+	}
+	return s
+}
+
+func justified(s *stipulation, db *graph.DB, member []*bitset.Set, e graph.Edge) bool {
+	if db.IsAtomic(e.To) {
+		byKey := s.toAtomic[e.Label]
+		if byKey == nil {
+			return false
+		}
+		v, _ := db.AtomicValue(e.To)
+		for key, set := range byKey {
+			if !key.matches(v) {
+				continue
+			}
+			for c := 0; c < s.n; c++ {
+				if set.Test(c) && member[c].Test(int(e.From)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	m := s.pairs[e.Label]
+	if m == nil {
+		return false
+	}
+	for from, tos := range m {
+		if !member[from].Test(int(e.From)) {
+			continue
+		}
+		found := false
+		tos.ForEach(func(to int) {
+			if !found && member[to].Test(int(e.To)) {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Requirement is one unsatisfied typed link of an assignment: object Obj is
+// assigned a type whose definition demands Link, but no witnessing fact
+// exists.
+type Requirement struct {
+	Obj  graph.ObjectID
+	Link typing.TypedLink
+}
+
+// Deficit counts the facts that must be invented for the assignment a to
+// make all its type derivations possible. Requirements are deduplicated per
+// (object, typed link): if two types of the same object demand the same
+// typed link, one invented fact serves both. The count is the paper's
+// operational measure (Example 2.2); see DeficitShared for the tighter
+// variant that also shares one invented fact between the out-requirement of
+// one object and the in-requirement of another.
+func Deficit(a *typing.Assignment) int {
+	return len(UnsatisfiedRequirements(a))
+}
+
+// UnsatisfiedRequirements returns the deduplicated unsatisfied requirements
+// of an assignment.
+func UnsatisfiedRequirements(a *typing.Assignment) []Requirement {
+	member := a.Membership()
+	seen := make(map[Requirement]bool)
+	var reqs []Requirement
+	for _, o := range a.DB.ComplexObjects() {
+		for _, ti := range a.Of(o) {
+			for _, l := range a.Program.Types[ti].Links {
+				if satisfiedUnder(a.DB, member, o, l) {
+					continue
+				}
+				r := Requirement{Obj: o, Link: l}
+				if !seen[r] {
+					seen[r] = true
+					reqs = append(reqs, r)
+				}
+			}
+		}
+	}
+	return reqs
+}
+
+func satisfiedUnder(db *graph.DB, member []*bitset.Set, o graph.ObjectID, l typing.TypedLink) bool {
+	if l.Dir == typing.Out {
+		for _, e := range db.Out(o) {
+			if e.Label != l.Label {
+				continue
+			}
+			if l.Target == typing.AtomicTarget {
+				if db.IsAtomic(e.To) {
+					if v, ok := db.AtomicValue(e.To); ok && typing.SortMatches(l.Sort, v.Sort) &&
+						(!l.HasValue || v.Text == l.Value) {
+						return true
+					}
+				}
+			} else if member[l.Target].Test(int(e.To)) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range db.In(o) {
+		if e.Label == l.Label && member[l.Target].Test(int(e.From)) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeficitShared is a tighter deficit: a single invented fact link(o, x, ℓ)
+// can satisfy both an →ℓ[j] requirement of o (with x assigned j) and an
+// ←ℓ[c] requirement of x (with o assigned c). Complementary requirement
+// pairs are matched greedily; the result is between the true minimum and
+// Deficit.
+func DeficitShared(a *typing.Assignment) int {
+	reqs := UnsatisfiedRequirements(a)
+	var outs, ins []Requirement
+	for _, r := range reqs {
+		if r.Link.Dir == typing.Out {
+			outs = append(outs, r)
+		} else {
+			ins = append(ins, r)
+		}
+	}
+	usedIn := make([]bool, len(ins))
+	shared := 0
+	for _, or := range outs {
+		if or.Link.Target == typing.AtomicTarget {
+			continue
+		}
+		for ii, ir := range ins {
+			if usedIn[ii] || ir.Link.Label != or.Link.Label {
+				continue
+			}
+			// Invent link(or.Obj, ir.Obj, ℓ): needs ir.Obj assigned
+			// or.Link.Target and or.Obj assigned ir.Link.Target.
+			if a.Has(ir.Obj, or.Link.Target) && a.Has(or.Obj, ir.Link.Target) {
+				usedIn[ii] = true
+				shared++
+				break
+			}
+		}
+	}
+	return len(reqs) - shared
+}
+
+// Report is a full defect accounting for a program, database, membership
+// (for excess) and assignment (for deficit).
+type Report struct {
+	Excess  int
+	Deficit int
+}
+
+// Total returns excess + deficit.
+func (r Report) Total() int { return r.Excess + r.Deficit }
+
+// Measure computes the defect of assignment a, using the assignment itself
+// as the membership for the excess computation (the paper's Example 2.2
+// convention: the assignment plays both roles).
+func Measure(a *typing.Assignment) Report {
+	member := a.Membership()
+	return Report{
+		Excess:  Excess(a.Program, a.DB, member),
+		Deficit: Deficit(a),
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"schemex/internal/core"
+)
+
+// TestTable1Shape asserts the paper's Table 1 claims on the measured rows —
+// this is the executable form of the reproduction record in EXPERIMENTS.md.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byNo := map[int]Table1Row{}
+	for _, r := range rows {
+		byNo[r.DBNo] = r
+		// The optimal typing always reaches the intended type count.
+		if r.OptimalTypes != r.Intended {
+			t.Errorf("DB%d: optimal %d != intended %d", r.DBNo, r.OptimalTypes, r.Intended)
+		}
+		// Counts stay within 15%% of the paper's.
+		if !within(r.Objects, r.Paper.Objects, 15) || !within(r.Links, r.Paper.Links, 15) {
+			t.Errorf("DB%d: objects/links %d/%d too far from paper %d/%d",
+				r.DBNo, r.Objects, r.Links, r.Paper.Objects, r.Paper.Links)
+		}
+	}
+	// Perturbation dramatically increases the number of perfect types...
+	for _, pair := range [][2]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}} {
+		clean, pert := byNo[pair[0]], byNo[pair[1]]
+		if pert.PerfectTypes <= clean.PerfectTypes {
+			t.Errorf("DB%d->%d: perturbation did not increase perfect types (%d -> %d)",
+				pair[0], pair[1], clean.PerfectTypes, pert.PerfectTypes)
+		}
+		// ...while the defect of the optimal typing moves moderately.
+		if pert.Defect <= clean.Defect {
+			t.Errorf("DB%d->%d: perturbation did not increase defect (%d -> %d)",
+				pair[0], pair[1], clean.Defect, pert.Defect)
+		}
+		if pert.Defect > 3*clean.Defect {
+			t.Errorf("DB%d->%d: defect exploded under slight perturbation (%d -> %d)",
+				pair[0], pair[1], clean.Defect, pert.Defect)
+		}
+	}
+	// Bipartite datasets have far fewer perfect types than non-bipartite.
+	maxBip, minGen := 0, 1<<30
+	for _, r := range rows {
+		if r.Bipartite && r.PerfectTypes > maxBip {
+			maxBip = r.PerfectTypes
+		}
+		if !r.Bipartite && r.PerfectTypes < minGen {
+			minGen = r.PerfectTypes
+		}
+	}
+	if minGen < 2*maxBip {
+		t.Errorf("bipartite max %d not clearly below non-bipartite min %d", maxBip, minGen)
+	}
+}
+
+func within(got, want, pct int) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff*100 <= want*pct
+}
+
+func TestWriteTable1(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") || strings.Count(out, "\n") < 10 {
+		t.Fatalf("table rendering suspicious:\n%s", out)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfectTypes != 53 {
+		t.Errorf("perfect types = %d, want 53", res.PerfectTypes)
+	}
+	if res.OptimalTypes != 6 {
+		t.Errorf("optimal types = %d, want 6", res.OptimalTypes)
+	}
+	for _, role := range []string{"type project", "type db-person", "type student", "type publication", "type birthday", "type degree"} {
+		if !strings.Contains(res.Program, role) {
+			t.Errorf("program missing %q:\n%s", role, res.Program)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf, res)
+	if !strings.Contains(buf.String(), "53 types") {
+		t.Errorf("figure rendering suspicious:\n%s", buf.String())
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	sw, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sw.Points[0]
+	if first.K != 53 || first.Defect != 0 {
+		t.Fatalf("sweep must start at the 53-type perfect typing with defect 0, got %+v", first)
+	}
+	last := sw.Points[len(sw.Points)-1]
+	if last.K != 1 || last.Defect < 3*mustAt(t, sw, 6).Defect {
+		t.Fatalf("defect at k=1 (%d) should dwarf the plateau", last.Defect)
+	}
+	knee := sw.Knee()
+	if knee < 3 || knee > 13 {
+		t.Errorf("knee = %d, expected near the paper's 6-10 range", knee)
+	}
+	var buf bytes.Buffer
+	WriteFigure6(&buf, sw)
+	if !strings.Contains(buf.String(), "suggested number of types") {
+		t.Errorf("figure rendering suspicious")
+	}
+}
+
+func mustAt(t *testing.T, sw *core.SweepResult, k int) core.SweepPoint {
+	t.Helper()
+	p, ok := sw.At(k)
+	if !ok {
+		t.Fatalf("no sweep point for k=%d", k)
+	}
+	return p
+}

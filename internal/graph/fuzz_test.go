@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseOEM checks the OEM parser never panics and that whatever it
+// accepts yields a valid database that survives a text-format round trip.
+func FuzzParseOEM(f *testing.F) {
+	seeds := []string{
+		`&a { b: 1 }`,
+		`&a { x: *b } &b { y: "s" }`,
+		`{ nested: { deep: true }, arr: 1, arr2: "x" }`,
+		`&a { "quoted label": "v", t: 3.5 }`,
+		`# comment only`,
+		`&a {} &b { r: *a, r2: *a }`,
+		`*forward`,
+		`&x { a: 1, }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseOEMString(src)
+		if err != nil {
+			return
+		}
+		if verr := db.Validate(); verr != nil {
+			t.Fatalf("parsed db invalid: %v (input %q)", verr, src)
+		}
+		var buf bytes.Buffer
+		if err := db.Write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("serialized form does not re-read: %v", err)
+		}
+	})
+}
+
+// FuzzReadText checks the line-format reader never panics and its accepted
+// output is valid and round-trips.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"link a b l\natomic c string v\n",
+		"obj lonely\n# comment\nlink a \"b c\" \"l l\"\n",
+		"atomic x int 42\natomic y bool true\n",
+		"link a b l\nlink a b l2\nlink b c l\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := db.Write(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if back.NumLinks() != db.NumLinks() || back.NumObjects() != db.NumObjects() {
+			t.Fatalf("round trip changed counts")
+		}
+	})
+}
+
+// FuzzFromJSON checks the JSON loader never panics on arbitrary documents
+// and always produces valid databases.
+func FuzzFromJSON(f *testing.F) {
+	seeds := []string{
+		`{"a": 1}`,
+		`{"a": [1, "x", true, null], "b": {"c": 2.5}}`,
+		`[[1, 2], [3]]`,
+		`"bare string"`,
+		`{"deep": {"deeper": {"deepest": [{"x": 1}]}}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, _, err := FromJSON(strings.NewReader(src), "root")
+		if err != nil {
+			return
+		}
+		if verr := db.Validate(); verr != nil {
+			t.Fatalf("json-loaded db invalid: %v (input %q)", verr, src)
+		}
+	})
+}

@@ -1,0 +1,464 @@
+// Package graph implements the semistructured data model of Nestorov,
+// Abiteboul and Motwani (SIGMOD 1998): a labeled directed graph stored as two
+// base relations,
+//
+//	link(FromObj, ToObj, Label)
+//	atomic(Obj, Value)
+//
+// subject to the paper's two integrity constraints: (i) Obj is a key in
+// atomic (each atomic object has exactly one value), and (ii) the first
+// projections of link and atomic are disjoint (atomic objects have no
+// outgoing edges). For a given label there is at most one edge between a
+// given pair of objects.
+//
+// Objects are interned: user-facing string names map to dense ObjectIDs so
+// that the typing algorithms can use slice-indexed tables and bitsets.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectID identifies an object in a DB. IDs are dense: they are assigned
+// 0,1,2,... in order of first mention, so they can index slices.
+type ObjectID int
+
+// NoObject is returned by lookups that find nothing.
+const NoObject ObjectID = -1
+
+// Edge is one link fact: an edge labeled Label from From to To.
+type Edge struct {
+	From  ObjectID
+	To    ObjectID
+	Label string
+}
+
+// Sort classifies atomic values (the Remark 2.1 extension). The typing
+// algorithms treat all atomic objects as a single type; sorts are available
+// for applications that want finer atomic domains.
+type Sort int
+
+// Atomic value sorts.
+const (
+	SortString Sort = iota
+	SortInt
+	SortFloat
+	SortBool
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortString:
+		return "string"
+	case SortInt:
+		return "int"
+	case SortFloat:
+		return "float"
+	case SortBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Sort(%d)", int(s))
+	}
+}
+
+// Value is the value of an atomic object.
+type Value struct {
+	Sort Sort
+	Text string // canonical textual form
+}
+
+func (v Value) String() string { return v.Text }
+
+// DB is a semistructured database: an instance over {link, atomic}.
+// The zero value is an empty database ready to use.
+//
+// DB is not safe for concurrent mutation; concurrent reads are safe once
+// construction is complete.
+type DB struct {
+	names   []string            // ObjectID -> name
+	byName  map[string]ObjectID // name -> ObjectID
+	out     [][]Edge            // ObjectID -> outgoing edges, sorted by (Label, To)
+	in      [][]Edge            // ObjectID -> incoming edges, sorted by (Label, From)
+	atomic  map[ObjectID]Value
+	nLinks  int
+	dirty   map[ObjectID]bool // objects whose edge lists need re-sorting
+	sortedQ bool              // whether all edge lists are currently sorted
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		byName: make(map[string]ObjectID),
+		atomic: make(map[ObjectID]Value),
+		dirty:  make(map[ObjectID]bool),
+	}
+}
+
+// Intern returns the ObjectID for name, creating the object if needed.
+func (db *DB) Intern(name string) ObjectID {
+	if db.byName == nil {
+		db.byName = make(map[string]ObjectID)
+		db.atomic = make(map[ObjectID]Value)
+		db.dirty = make(map[ObjectID]bool)
+	}
+	if id, ok := db.byName[name]; ok {
+		return id
+	}
+	id := ObjectID(len(db.names))
+	db.names = append(db.names, name)
+	db.byName[name] = id
+	db.out = append(db.out, nil)
+	db.in = append(db.in, nil)
+	return id
+}
+
+// Lookup returns the ObjectID for name, or NoObject if the name is unknown.
+func (db *DB) Lookup(name string) ObjectID {
+	if id, ok := db.byName[name]; ok {
+		return id
+	}
+	return NoObject
+}
+
+// Name returns the name of an object.
+func (db *DB) Name(id ObjectID) string {
+	if id < 0 || int(id) >= len(db.names) {
+		return fmt.Sprintf("obj#%d", int(id))
+	}
+	return db.names[id]
+}
+
+// NumObjects reports the number of objects (complex and atomic).
+func (db *DB) NumObjects() int { return len(db.names) }
+
+// NumLinks reports the number of link facts.
+func (db *DB) NumLinks() int { return db.nLinks }
+
+// NumAtomic reports the number of atomic objects.
+func (db *DB) NumAtomic() int { return len(db.atomic) }
+
+// AddLink records link(from, to, label). Duplicate facts are ignored (the
+// model allows at most one ℓ-labeled edge between a pair of objects).
+// It returns an error if from is an atomic object.
+func (db *DB) AddLink(from, to ObjectID, label string) error {
+	if err := db.checkID(from); err != nil {
+		return err
+	}
+	if err := db.checkID(to); err != nil {
+		return err
+	}
+	if _, ok := db.atomic[from]; ok {
+		return fmt.Errorf("graph: AddLink: %q is atomic and cannot have outgoing edges", db.Name(from))
+	}
+	if db.hasEdge(from, to, label) {
+		return nil
+	}
+	e := Edge{From: from, To: to, Label: label}
+	db.out[from] = append(db.out[from], e)
+	db.in[to] = append(db.in[to], e)
+	db.nLinks++
+	db.dirty[from] = true
+	db.dirty[to] = true
+	return nil
+}
+
+// Link is like AddLink but interns names and panics on constraint violation.
+// It is intended for building example and test databases.
+func (db *DB) Link(from, to, label string) {
+	if err := db.AddLink(db.Intern(from), db.Intern(to), label); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveLink deletes the fact link(from, to, label), reporting whether it
+// was present.
+func (db *DB) RemoveLink(from, to ObjectID, label string) bool {
+	if from < 0 || int(from) >= len(db.names) {
+		return false
+	}
+	removed := false
+	outs := db.out[from]
+	for i, e := range outs {
+		if e.To == to && e.Label == label {
+			db.out[from] = append(outs[:i:i], outs[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return false
+	}
+	ins := db.in[to]
+	for i, e := range ins {
+		if e.From == from && e.Label == label {
+			db.in[to] = append(ins[:i:i], ins[i+1:]...)
+			break
+		}
+	}
+	db.nLinks--
+	return true
+}
+
+// SetAtomic declares obj atomic with the given value. It returns an error if
+// obj has outgoing edges or already has a different value.
+func (db *DB) SetAtomic(obj ObjectID, v Value) error {
+	if err := db.checkID(obj); err != nil {
+		return err
+	}
+	if len(db.out[obj]) > 0 {
+		return fmt.Errorf("graph: SetAtomic: %q has outgoing edges and cannot be atomic", db.Name(obj))
+	}
+	if old, ok := db.atomic[obj]; ok && old != v {
+		return fmt.Errorf("graph: SetAtomic: %q already has value %q (atomic objects have exactly one value)", db.Name(obj), old.Text)
+	}
+	db.atomic[obj] = v
+	return nil
+}
+
+// Atom is like SetAtomic but interns the name, uses a string value, and
+// panics on constraint violation. Intended for building example databases.
+func (db *DB) Atom(name, value string) {
+	if err := db.SetAtomic(db.Intern(name), Value{Sort: SortString, Text: value}); err != nil {
+		panic(err)
+	}
+}
+
+// LinkAtom adds link(from, fresh, label) where fresh is a new atomic object
+// holding value. The fresh object is named name. Intended for building
+// example databases; panics on constraint violation.
+func (db *DB) LinkAtom(from, label, name, value string) {
+	db.Atom(name, value)
+	db.Link(from, name, label)
+}
+
+// IsAtomic reports whether obj is atomic.
+func (db *DB) IsAtomic(obj ObjectID) bool {
+	_, ok := db.atomic[obj]
+	return ok
+}
+
+// AtomicValue returns the value of an atomic object.
+func (db *DB) AtomicValue(obj ObjectID) (Value, bool) {
+	v, ok := db.atomic[obj]
+	return v, ok
+}
+
+// Out returns the outgoing edges of obj, sorted by (Label, To). The returned
+// slice must not be modified.
+func (db *DB) Out(obj ObjectID) []Edge {
+	db.ensureSorted()
+	if obj < 0 || int(obj) >= len(db.out) {
+		return nil
+	}
+	return db.out[obj]
+}
+
+// In returns the incoming edges of obj, sorted by (Label, From). The returned
+// slice must not be modified.
+func (db *DB) In(obj ObjectID) []Edge {
+	db.ensureSorted()
+	if obj < 0 || int(obj) >= len(db.in) {
+		return nil
+	}
+	return db.in[obj]
+}
+
+// Freeze flushes the lazy edge-index sorting. After Freeze, concurrent
+// readers (Out, In, Links) are safe until the next mutation.
+func (db *DB) Freeze() { db.ensureSorted() }
+
+// Objects calls fn for every object, in ID order.
+func (db *DB) Objects(fn func(ObjectID)) {
+	for i := range db.names {
+		fn(ObjectID(i))
+	}
+}
+
+// ComplexObjects returns the IDs of all non-atomic objects, in ID order.
+func (db *DB) ComplexObjects() []ObjectID {
+	var ids []ObjectID
+	for i := range db.names {
+		if _, ok := db.atomic[ObjectID(i)]; !ok {
+			ids = append(ids, ObjectID(i))
+		}
+	}
+	return ids
+}
+
+// AtomicObjects returns the IDs of all atomic objects, in ID order.
+func (db *DB) AtomicObjects() []ObjectID {
+	var ids []ObjectID
+	for i := range db.names {
+		if _, ok := db.atomic[ObjectID(i)]; ok {
+			ids = append(ids, ObjectID(i))
+		}
+	}
+	return ids
+}
+
+// Links calls fn for every link fact. The iteration order is by source
+// object ID, then by (Label, To).
+func (db *DB) Links(fn func(Edge)) {
+	db.ensureSorted()
+	for _, edges := range db.out {
+		for _, e := range edges {
+			fn(e)
+		}
+	}
+}
+
+// Labels returns the distinct edge labels, sorted.
+func (db *DB) Labels() []string {
+	set := make(map[string]bool)
+	for _, edges := range db.out {
+		for _, e := range edges {
+			set[e.Label] = true
+		}
+	}
+	labels := make([]string, 0, len(set))
+	for l := range set {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// HasEdge reports whether link(from, to, label) holds.
+func (db *DB) HasEdge(from, to ObjectID, label string) bool {
+	return db.hasEdge(from, to, label)
+}
+
+// IsBipartite reports whether every edge goes from a complex object to an
+// atomic object (the special case of §5.2: relational or record data).
+func (db *DB) IsBipartite() bool {
+	for _, edges := range db.out {
+		for _, e := range edges {
+			if !db.IsAtomic(e.To) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the model's integrity constraints and returns the first
+// violation found, or nil. A freshly built DB maintained only through
+// AddLink/SetAtomic is always valid; Validate is useful after loading
+// external data.
+func (db *DB) Validate() error {
+	for id := range db.names {
+		obj := ObjectID(id)
+		if db.IsAtomic(obj) && len(db.out[obj]) > 0 {
+			return fmt.Errorf("graph: atomic object %q has outgoing edges", db.Name(obj))
+		}
+		seen := make(map[Edge]bool, len(db.out[obj]))
+		for _, e := range db.out[obj] {
+			if seen[e] {
+				return fmt.Errorf("graph: duplicate edge %s", db.edgeString(e))
+			}
+			seen[e] = true
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the database.
+func (db *DB) Clone() *DB {
+	c := New()
+	c.names = append([]string(nil), db.names...)
+	for n, id := range db.byName {
+		c.byName[n] = id
+	}
+	c.out = make([][]Edge, len(db.out))
+	c.in = make([][]Edge, len(db.in))
+	for i := range db.out {
+		c.out[i] = append([]Edge(nil), db.out[i]...)
+		c.in[i] = append([]Edge(nil), db.in[i]...)
+	}
+	for o, v := range db.atomic {
+		c.atomic[o] = v
+	}
+	c.nLinks = db.nLinks
+	for o := range db.dirty {
+		c.dirty[o] = true
+	}
+	return c
+}
+
+// Stats summarizes a database for reporting.
+type Stats struct {
+	Objects   int
+	Complex   int
+	Atomic    int
+	Links     int
+	Labels    int
+	Bipartite bool
+}
+
+// Stats returns summary statistics.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Objects:   db.NumObjects(),
+		Complex:   db.NumObjects() - db.NumAtomic(),
+		Atomic:    db.NumAtomic(),
+		Links:     db.NumLinks(),
+		Labels:    len(db.Labels()),
+		Bipartite: db.IsBipartite(),
+	}
+}
+
+func (s Stats) String() string {
+	bip := "N"
+	if s.Bipartite {
+		bip = "Y"
+	}
+	return fmt.Sprintf("%d objects (%d complex, %d atomic), %d links, %d labels, bipartite=%s",
+		s.Objects, s.Complex, s.Atomic, s.Links, s.Labels, bip)
+}
+
+func (db *DB) checkID(id ObjectID) error {
+	if id < 0 || int(id) >= len(db.names) {
+		return fmt.Errorf("graph: unknown object id %d", int(id))
+	}
+	return nil
+}
+
+func (db *DB) hasEdge(from, to ObjectID, label string) bool {
+	if from < 0 || int(from) >= len(db.out) {
+		return false
+	}
+	for _, e := range db.out[from] {
+		if e.To == to && e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+func (db *DB) edgeString(e Edge) string {
+	return fmt.Sprintf("link(%s, %s, %s)", db.Name(e.From), db.Name(e.To), e.Label)
+}
+
+func (db *DB) ensureSorted() {
+	if len(db.dirty) == 0 {
+		return
+	}
+	for obj := range db.dirty {
+		sort.Slice(db.out[obj], func(i, j int) bool {
+			a, b := db.out[obj][i], db.out[obj][j]
+			if a.Label != b.Label {
+				return a.Label < b.Label
+			}
+			return a.To < b.To
+		})
+		sort.Slice(db.in[obj], func(i, j int) bool {
+			a, b := db.in[obj][i], db.in[obj][j]
+			if a.Label != b.Label {
+				return a.Label < b.Label
+			}
+			return a.From < b.From
+		})
+	}
+	db.dirty = make(map[ObjectID]bool)
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2DB builds the manager/firm database of Figure 2 of the paper.
+func figure2DB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.Link("g", "m", "is-manager-of")
+	db.Link("j", "a", "is-manager-of")
+	db.Link("m", "g", "is-managed-by")
+	db.Link("a", "j", "is-managed-by")
+	db.LinkAtom("g", "name", "gn", "Gates")
+	db.LinkAtom("j", "name", "jn", "Jobs")
+	db.LinkAtom("m", "name", "mn", "Microsoft")
+	db.LinkAtom("a", "name", "an", "Apple")
+	return db
+}
+
+func TestInternAndLookup(t *testing.T) {
+	db := New()
+	a := db.Intern("a")
+	b := db.Intern("b")
+	if a == b {
+		t.Fatal("distinct names interned to same id")
+	}
+	if db.Intern("a") != a {
+		t.Fatal("Intern not idempotent")
+	}
+	if db.Lookup("a") != a {
+		t.Fatal("Lookup disagrees with Intern")
+	}
+	if db.Lookup("zzz") != NoObject {
+		t.Fatal("Lookup of unknown name should be NoObject")
+	}
+	if db.Name(a) != "a" {
+		t.Fatalf("Name = %q, want a", db.Name(a))
+	}
+}
+
+func TestFigure2Stats(t *testing.T) {
+	db := figure2DB(t)
+	s := db.Stats()
+	if s.Objects != 8 || s.Complex != 4 || s.Atomic != 4 {
+		t.Fatalf("stats %+v: want 8 objects, 4 complex, 4 atomic", s)
+	}
+	if s.Links != 8 {
+		t.Fatalf("links = %d, want 8", s.Links)
+	}
+	if s.Bipartite {
+		t.Fatal("figure 2 data is not bipartite")
+	}
+}
+
+func TestAtomicConstraints(t *testing.T) {
+	db := New()
+	db.Atom("v", "hello")
+	x := db.Intern("x")
+	v := db.Lookup("v")
+	if err := db.AddLink(v, x, "l"); err == nil {
+		t.Fatal("AddLink from atomic object should fail")
+	}
+	// Same value again is fine; different value is not.
+	if err := db.SetAtomic(v, Value{Sort: SortString, Text: "hello"}); err != nil {
+		t.Fatalf("re-setting same value: %v", err)
+	}
+	if err := db.SetAtomic(v, Value{Sort: SortString, Text: "other"}); err == nil {
+		t.Fatal("SetAtomic with conflicting value should fail")
+	}
+	// An object with outgoing edges cannot become atomic.
+	y := db.Intern("y")
+	if err := db.AddLink(x, y, "l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetAtomic(x, Value{Text: "nope"}); err == nil {
+		t.Fatal("SetAtomic on object with outgoing edges should fail")
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	db := New()
+	db.Link("a", "b", "l")
+	db.Link("a", "b", "l")
+	if db.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d, want 1 (duplicates ignored)", db.NumLinks())
+	}
+	db.Link("a", "b", "other")
+	if db.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2 (different label is a new edge)", db.NumLinks())
+	}
+}
+
+func TestEdgeIndexesSorted(t *testing.T) {
+	db := New()
+	db.Link("x", "c", "b")
+	db.Link("x", "a", "b")
+	db.Link("x", "z", "a")
+	out := db.Out(db.Lookup("x"))
+	if len(out) != 3 {
+		t.Fatalf("out degree = %d, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Label > out[i].Label {
+			t.Fatalf("out edges not sorted by label: %v", out)
+		}
+	}
+	if out[0].Label != "a" {
+		t.Fatalf("first edge label = %q, want a", out[0].Label)
+	}
+	in := db.In(db.Lookup("a"))
+	if len(in) != 1 || in[0].From != db.Lookup("x") {
+		t.Fatalf("in edges of a: %v", in)
+	}
+}
+
+func TestRemoveLink(t *testing.T) {
+	db := figure2DB(t)
+	g, m := db.Lookup("g"), db.Lookup("m")
+	if !db.RemoveLink(g, m, "is-manager-of") {
+		t.Fatal("RemoveLink should report removal")
+	}
+	if db.RemoveLink(g, m, "is-manager-of") {
+		t.Fatal("second RemoveLink should report false")
+	}
+	if db.HasEdge(g, m, "is-manager-of") {
+		t.Fatal("edge still present after removal")
+	}
+	if db.NumLinks() != 7 {
+		t.Fatalf("NumLinks = %d, want 7", db.NumLinks())
+	}
+	for _, e := range db.In(m) {
+		if e.From == g && e.Label == "is-manager-of" {
+			t.Fatal("in-index still holds removed edge")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	db := figure2DB(t)
+	c := db.Clone()
+	c.Link("new", "g", "extra")
+	if db.NumLinks() == c.NumLinks() {
+		t.Fatal("mutating clone changed original link count")
+	}
+	if db.Lookup("new") != NoObject {
+		t.Fatal("clone's new object leaked into original")
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	db := figure2DB(t)
+	labels := db.Labels()
+	want := []string{"is-managed-by", "is-manager-of", "name"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	db := New()
+	db.LinkAtom("r1", "name", "n1", "x")
+	db.LinkAtom("r2", "name", "n2", "y")
+	if !db.IsBipartite() {
+		t.Fatal("record data should be bipartite")
+	}
+	db.Link("r1", "r2", "next")
+	if db.IsBipartite() {
+		t.Fatal("complex-to-complex edge should break bipartiteness")
+	}
+}
+
+func TestComplexAndAtomicObjects(t *testing.T) {
+	db := figure2DB(t)
+	if got := len(db.ComplexObjects()); got != 4 {
+		t.Fatalf("complex objects = %d, want 4", got)
+	}
+	if got := len(db.AtomicObjects()); got != 4 {
+		t.Fatalf("atomic objects = %d, want 4", got)
+	}
+	for _, o := range db.AtomicObjects() {
+		if !db.IsAtomic(o) {
+			t.Fatalf("%s reported non-atomic", db.Name(o))
+		}
+		v, ok := db.AtomicValue(o)
+		if !ok || v.Text == "" {
+			t.Fatalf("%s missing value", db.Name(o))
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	db := New()
+	db.Link("a", "b", "l")
+	// Corrupt internals directly: duplicate edge in the out list.
+	a := db.Lookup("a")
+	db.out[a] = append(db.out[a], db.out[a][0])
+	if err := db.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Validate should catch duplicate edge, got %v", err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	db := figure2DB(t)
+	s := db.Stats().String()
+	for _, want := range []string{"8 objects", "4 complex", "8 links", "bipartite=N"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats string %q missing %q", s, want)
+		}
+	}
+}

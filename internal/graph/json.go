@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// FromJSON loads a JSON document into the link/atomic model — today's most
+// common semistructured data maps directly onto the paper's 1998 model:
+//
+//   - a JSON object becomes a complex object with one edge per member,
+//     labeled with the member name;
+//   - a JSON array becomes repeated edges under the enclosing label (the
+//     model's set semantics: typed links ignore multiplicity, exactly as
+//     schema inference wants);
+//   - strings, numbers and booleans become atomic objects with the
+//     corresponding sort (numbers are int when integral, float otherwise);
+//   - null members are skipped (an absent optional attribute — the paper's
+//     irregularity shows up as missing typed links).
+//
+// The document root is named rootName ("root" if empty); nested objects are
+// named <parent>/<label>[<i>]. The function may be called repeatedly on the
+// same DB to load several documents side by side (use distinct root names).
+func (db *DB) FromJSON(r io.Reader, rootName string) (ObjectID, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var doc interface{}
+	if err := dec.Decode(&doc); err != nil {
+		return NoObject, fmt.Errorf("graph: json: %v", err)
+	}
+	if rootName == "" {
+		rootName = "root"
+	}
+	if db.Lookup(rootName) != NoObject {
+		return NoObject, fmt.Errorf("graph: json: object %q already exists", rootName)
+	}
+	ld := &jsonLoader{db: db}
+	id, err := ld.value(rootName, doc)
+	if err != nil {
+		return NoObject, err
+	}
+	if id == NoObject {
+		return NoObject, fmt.Errorf("graph: json: document root is null")
+	}
+	return id, nil
+}
+
+// FromJSON is the package-level convenience over a fresh database.
+func FromJSON(r io.Reader, rootName string) (*DB, ObjectID, error) {
+	db := New()
+	id, err := db.FromJSON(r, rootName)
+	if err != nil {
+		return nil, NoObject, err
+	}
+	return db, id, nil
+}
+
+type jsonLoader struct {
+	db    *DB
+	nAtom int
+}
+
+// value materializes a JSON value under the given object name and returns
+// its ObjectID (NoObject for null).
+func (l *jsonLoader) value(name string, v interface{}) (ObjectID, error) {
+	switch x := v.(type) {
+	case nil:
+		return NoObject, nil
+	case map[string]interface{}:
+		id := l.db.Intern(name)
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := l.member(id, name, k, x[k]); err != nil {
+				return NoObject, err
+			}
+		}
+		return id, nil
+	case []interface{}:
+		// A bare array: treat as an object with repeated "element" members.
+		id := l.db.Intern(name)
+		if err := l.attach(id, name+"/element", "element", x); err != nil {
+			return NoObject, err
+		}
+		return id, nil
+	default:
+		return l.atom(name, x)
+	}
+}
+
+// member attaches one JSON member under the label. Arrays (including
+// nested arrays) flatten into repeated edges; element names carry the index
+// path, e.g. parent/label[2][0].
+func (l *jsonLoader) member(parent ObjectID, parentName, label string, v interface{}) error {
+	return l.attach(parent, parentName+"/"+label, label, v)
+}
+
+func (l *jsonLoader) attach(parent ObjectID, name, label string, v interface{}) error {
+	if v == nil {
+		return nil
+	}
+	if arr, ok := v.([]interface{}); ok {
+		for i, elem := range arr {
+			if err := l.attach(parent, name+"["+strconv.Itoa(i)+"]", label, elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	child, err := l.value(name, v)
+	if err != nil {
+		return err
+	}
+	if child == NoObject {
+		return nil
+	}
+	return l.db.AddLink(parent, child, label)
+}
+
+func (l *jsonLoader) atom(name string, v interface{}) (ObjectID, error) {
+	l.nAtom++
+	id := l.db.Intern(name)
+	var val Value
+	switch x := v.(type) {
+	case string:
+		val = Value{Sort: SortString, Text: x}
+	case bool:
+		val = Value{Sort: SortBool, Text: strconv.FormatBool(x)}
+	case json.Number:
+		if _, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			val = Value{Sort: SortInt, Text: x.String()}
+		} else {
+			val = Value{Sort: SortFloat, Text: x.String()}
+		}
+	default:
+		return NoObject, fmt.Errorf("graph: json: unsupported value %T", v)
+	}
+	if err := l.db.SetAtomic(id, val); err != nil {
+		return NoObject, err
+	}
+	return id, nil
+}

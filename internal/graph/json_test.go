@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromJSONBasic(t *testing.T) {
+	src := `{
+		"name": "Ada",
+		"age": 36,
+		"score": 9.5,
+		"active": true,
+		"nickname": null
+	}`
+	db, root, err := FromJSON(strings.NewReader(src), "ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name(root) != "ada" {
+		t.Fatalf("root name = %q", db.Name(root))
+	}
+	wantSorts := map[string]Sort{"name": SortString, "age": SortInt, "score": SortFloat, "active": SortBool}
+	found := map[string]bool{}
+	for _, e := range db.Out(root) {
+		v, ok := db.AtomicValue(e.To)
+		if !ok {
+			t.Fatalf("member %s not atomic", e.Label)
+		}
+		if v.Sort != wantSorts[e.Label] {
+			t.Errorf("member %s sort = %v, want %v", e.Label, v.Sort, wantSorts[e.Label])
+		}
+		found[e.Label] = true
+	}
+	if found["nickname"] {
+		t.Error("null member should be skipped")
+	}
+	if len(found) != 4 {
+		t.Errorf("members = %v, want 4", found)
+	}
+}
+
+func TestFromJSONNestedAndArrays(t *testing.T) {
+	src := `{
+		"title": "Lore",
+		"members": [
+			{"name": "Widom", "papers": ["a", "b"]},
+			{"name": "McHugh"}
+		],
+		"matrix": [[1, 2], [3]]
+	}`
+	db, root, err := FromJSON(strings.NewReader(src), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var memberEdges, matrixEdges int
+	for _, e := range db.Out(root) {
+		switch e.Label {
+		case "members":
+			memberEdges++
+			if db.IsAtomic(e.To) {
+				t.Error("member element should be complex")
+			}
+		case "matrix":
+			matrixEdges++
+			if !db.IsAtomic(e.To) {
+				t.Error("flattened matrix elements should be atomic")
+			}
+		}
+	}
+	if memberEdges != 2 {
+		t.Errorf("members edges = %d, want 2 (array flattens to repeated edges)", memberEdges)
+	}
+	if matrixEdges != 3 {
+		t.Errorf("matrix edges = %d, want 3 (nested arrays flatten)", matrixEdges)
+	}
+	// Widom has two papers edges.
+	widom := db.Lookup("proj/members[0]")
+	if widom == NoObject {
+		t.Fatal("nested object name missing")
+	}
+	papers := 0
+	for _, e := range db.Out(widom) {
+		if e.Label == "papers" {
+			papers++
+		}
+	}
+	if papers != 2 {
+		t.Errorf("papers edges = %d, want 2", papers)
+	}
+}
+
+func TestFromJSONMultipleDocuments(t *testing.T) {
+	db := New()
+	if _, err := db.FromJSON(strings.NewReader(`{"a": 1}`), "doc1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FromJSON(strings.NewReader(`{"a": 2}`), "doc2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.FromJSON(strings.NewReader(`{"a": 3}`), "doc1"); err == nil {
+		t.Fatal("duplicate root name accepted")
+	}
+	if db.NumObjects() != 4 {
+		t.Fatalf("objects = %d, want 4", db.NumObjects())
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, _, err := FromJSON(strings.NewReader(`{"a":`), "x"); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, _, err := FromJSON(strings.NewReader(`null`), "x"); err == nil {
+		t.Error("null root accepted")
+	}
+}
+
+func TestFromJSONRootArray(t *testing.T) {
+	db, root, err := FromJSON(strings.NewReader(`[{"x": 1}, {"x": 2}]`), "arr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range db.Out(root) {
+		if e.Label != "element" {
+			t.Fatalf("unexpected label %q", e.Label)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("element edges = %d, want 2", n)
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+func TestSortString(t *testing.T) {
+	cases := map[Sort]string{
+		SortString: "string",
+		SortInt:    "int",
+		SortFloat:  "float",
+		SortBool:   "bool",
+		Sort(9):    "Sort(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Sort(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestObjectsIteration(t *testing.T) {
+	db := New()
+	db.Link("a", "b", "l")
+	db.Atom("c", "v")
+	var names []string
+	db.Objects(func(o ObjectID) { names = append(names, db.Name(o)) })
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Objects visited %v", names)
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	db := New()
+	db.Link("x", "b", "2")
+	db.Link("x", "a", "1")
+	db.Freeze()
+	out := db.Out(db.Lookup("x"))
+	if out[0].Label != "1" {
+		t.Fatal("Freeze did not sort")
+	}
+	db.Freeze() // no-op on a clean db
+	// A mutation re-dirties; Freeze sorts again.
+	db.Link("x", "c", "0")
+	db.Freeze()
+	if db.Out(db.Lookup("x"))[0].Label != "0" {
+		t.Fatal("Freeze after mutation did not re-sort")
+	}
+}
+
+func TestNameOutOfRange(t *testing.T) {
+	db := New()
+	if got := db.Name(ObjectID(99)); got != "obj#99" {
+		t.Fatalf("Name(99) = %q", got)
+	}
+	if got := db.Name(NoObject); got != "obj#-1" {
+		t.Fatalf("Name(NoObject) = %q", got)
+	}
+}
+
+func TestLinkAndAtomPanic(t *testing.T) {
+	db := New()
+	db.Atom("v", "x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Link from atomic should panic")
+			}
+		}()
+		db.Link("v", "y", "l")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Atom with conflicting value should panic")
+			}
+		}()
+		db.Atom("v", "different")
+	}()
+}

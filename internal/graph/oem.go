@@ -1,0 +1,425 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"unicode"
+)
+
+// This file implements a small OEM-style document syntax so semistructured
+// data can be written as nested objects with shared references, in the style
+// of the Tsimmis/Lore object-exchange model the paper builds on.
+//
+// Grammar:
+//
+//	Document := Binding* Object?
+//	Binding  := '&' ident Object        // define a named complex object
+//	Object   := '{' Members? '}'        // anonymous complex object
+//	          | '&' ident '{' ... '}'   // named complex object (inline definition)
+//	          | '*' ident               // reference to a named object
+//	          | string | number | ident // atomic value
+//	Members  := Member (',' Member)* ','?
+//	Member   := label ':' Object
+//
+// Each member `l: v` of a complex object o becomes link(o, v, l). Atomic
+// literals become fresh atomic objects with an inferred sort. Named objects
+// may be referenced before or after their definition; graphs with cycles are
+// expressible. Line comments start with '#' or '//'.
+
+// ParseOEM parses an OEM document and returns the resulting database.
+// Anonymous complex objects are named "_oemN" in definition order; atomic
+// literals are named "_atomN".
+func ParseOEM(r io.Reader) (*DB, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseOEMString(string(data))
+}
+
+// ParseOEMString is ParseOEM over a string.
+func ParseOEMString(src string) (*DB, error) {
+	p := &oemParser{lex: newOEMLexer(src), db: New(), pending: make(map[string][]pendingRef)}
+	if err := p.parseDocument(); err != nil {
+		return nil, err
+	}
+	if err := p.db.Validate(); err != nil {
+		return nil, err
+	}
+	return p.db, nil
+}
+
+type oemTokenKind int
+
+const (
+	tokEOF oemTokenKind = iota
+	tokLBrace
+	tokRBrace
+	tokColon
+	tokComma
+	tokAmp
+	tokStar
+	tokString // quoted string
+	tokWord   // bare identifier / number / label
+)
+
+type oemToken struct {
+	kind oemTokenKind
+	text string
+	line int
+}
+
+func (t oemToken) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	case tokAmp:
+		return "'&'"
+	case tokStar:
+		return "'*'"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type oemLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newOEMLexer(src string) *oemLexer { return &oemLexer{src: src, line: 1} }
+
+func (l *oemLexer) next() (oemToken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			goto scan
+		}
+	}
+	return oemToken{kind: tokEOF, line: l.line}, nil
+
+scan:
+	start := l.line
+	switch c := l.src[l.pos]; c {
+	case '{':
+		l.pos++
+		return oemToken{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return oemToken{tokRBrace, "}", start}, nil
+	case ':':
+		l.pos++
+		return oemToken{tokColon, ":", start}, nil
+	case ',':
+		l.pos++
+		return oemToken{tokComma, ",", start}, nil
+	case '&':
+		l.pos++
+		return oemToken{tokAmp, "&", start}, nil
+	case '*':
+		l.pos++
+		return oemToken{tokStar, "*", start}, nil
+	case '"':
+		return l.scanString()
+	default:
+		if isWordByte(c) {
+			return l.scanWord()
+		}
+		return oemToken{}, fmt.Errorf("oem: line %d: unexpected character %q", start, c)
+	}
+}
+
+func (l *oemLexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *oemLexer) scanString() (oemToken, error) {
+	start := l.line
+	begin := l.pos
+	j := l.pos + 1
+	for j < len(l.src) {
+		switch l.src[j] {
+		case '\\':
+			j += 2
+			continue
+		case '"':
+			unq, err := strconv.Unquote(l.src[begin : j+1])
+			if err != nil {
+				return oemToken{}, fmt.Errorf("oem: line %d: bad quoted string %s: %v", start, l.src[begin:j+1], err)
+			}
+			l.pos = j + 1
+			return oemToken{tokString, unq, start}, nil
+		case '\n':
+			return oemToken{}, fmt.Errorf("oem: line %d: newline in string", start)
+		}
+		j++
+	}
+	return oemToken{}, fmt.Errorf("oem: line %d: unterminated string", start)
+}
+
+func (l *oemLexer) scanWord() (oemToken, error) {
+	start := l.line
+	begin := l.pos
+	for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+		l.pos++
+	}
+	return oemToken{tokWord, l.src[begin:l.pos], start}, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type pendingRef struct {
+	from  ObjectID
+	label string
+	line  int
+}
+
+// maxOEMDepth bounds object nesting so hostile documents cannot exhaust
+// the stack through parser recursion.
+const maxOEMDepth = 10000
+
+type oemParser struct {
+	lex     *oemLexer
+	db      *DB
+	tok     oemToken
+	peeked  bool
+	nAnon   int
+	nAtom   int
+	depth   int
+	defined map[string]ObjectID
+	pending map[string][]pendingRef
+}
+
+func (p *oemParser) next() (oemToken, error) {
+	if p.peeked {
+		p.peeked = false
+		return p.tok, nil
+	}
+	return p.lex.next()
+}
+
+func (p *oemParser) peek() (oemToken, error) {
+	if !p.peeked {
+		t, err := p.lex.next()
+		if err != nil {
+			return oemToken{}, err
+		}
+		p.tok = t
+		p.peeked = true
+	}
+	return p.tok, nil
+}
+
+// expectName accepts a bare word or a quoted string as an object name.
+func (p *oemParser) expectName(what string) (oemToken, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if t.kind != tokWord && t.kind != tokString {
+		return t, fmt.Errorf("oem: line %d: expected %s, got %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+func (p *oemParser) expect(k oemTokenKind, what string) (oemToken, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if t.kind != k {
+		return t, fmt.Errorf("oem: line %d: expected %s, got %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+func (p *oemParser) parseDocument() error {
+	p.defined = make(map[string]ObjectID)
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if _, err := p.parseObject(); err != nil {
+			return err
+		}
+	}
+	for name, refs := range p.pending {
+		if len(refs) > 0 {
+			return fmt.Errorf("oem: line %d: reference to undefined object &%s", refs[0].line, name)
+		}
+	}
+	return nil
+}
+
+// parseObject parses an Object production and returns the graph node it
+// denotes.
+func (p *oemParser) parseObject() (ObjectID, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxOEMDepth {
+		return NoObject, fmt.Errorf("oem: objects nested deeper than %d", maxOEMDepth)
+	}
+	t, err := p.next()
+	if err != nil {
+		return NoObject, err
+	}
+	switch t.kind {
+	case tokLBrace:
+		id := p.db.Intern(fmt.Sprintf("_oem%d", p.nAnon))
+		p.nAnon++
+		return id, p.parseMembers(id)
+	case tokAmp:
+		name, err := p.expectName("object name after '&'")
+		if err != nil {
+			return NoObject, err
+		}
+		if _, dup := p.defined[name.text]; dup {
+			return NoObject, fmt.Errorf("oem: line %d: object &%s defined twice", name.line, name.text)
+		}
+		id := p.db.Intern(name.text)
+		p.defined[name.text] = id
+		for _, ref := range p.pending[name.text] {
+			if ref.from == NoObject {
+				continue // bare reference: only existence was pending
+			}
+			if err := p.db.AddLink(ref.from, id, ref.label); err != nil {
+				return NoObject, fmt.Errorf("oem: line %d: %v", ref.line, err)
+			}
+		}
+		delete(p.pending, name.text)
+		if _, err := p.expect(tokLBrace, "'{' after object name"); err != nil {
+			return NoObject, err
+		}
+		return id, p.parseMembers(id)
+	case tokStar:
+		name, err := p.expectName("object name after '*'")
+		if err != nil {
+			return NoObject, err
+		}
+		if id, ok := p.defined[name.text]; ok {
+			return id, nil
+		}
+		// Forward reference: intern now, record for the definition check.
+		id := p.db.Intern(name.text)
+		p.pending[name.text] = append(p.pending[name.text],
+			pendingRef{from: NoObject, line: name.line})
+		return id, nil
+	case tokString, tokWord:
+		id := p.db.Intern(fmt.Sprintf("_atom%d", p.nAtom))
+		p.nAtom++
+		sort := SortString
+		if t.kind == tokWord {
+			sort = InferSort(t.text)
+		}
+		if err := p.db.SetAtomic(id, Value{Sort: sort, Text: t.text}); err != nil {
+			return NoObject, err
+		}
+		return id, nil
+	default:
+		return NoObject, fmt.Errorf("oem: line %d: expected object, got %s", t.line, t)
+	}
+}
+
+func (p *oemParser) parseMembers(owner ObjectID) error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == tokRBrace {
+		_, err = p.next()
+		return err
+	}
+	for {
+		lbl, err := p.next()
+		if err != nil {
+			return err
+		}
+		if lbl.kind != tokWord && lbl.kind != tokString {
+			return fmt.Errorf("oem: line %d: expected member label, got %s", lbl.line, lbl)
+		}
+		if _, err := p.expect(tokColon, "':' after label"); err != nil {
+			return err
+		}
+		// A reference to a not-yet-defined object needs the edge added once
+		// the target exists. Handle references specially so forward refs work.
+		nt, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if nt.kind == tokStar {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			name, err := p.expectName("object name after '*'")
+			if err != nil {
+				return err
+			}
+			if id, ok := p.defined[name.text]; ok {
+				if err := p.db.AddLink(owner, id, lbl.text); err != nil {
+					return fmt.Errorf("oem: line %d: %v", name.line, err)
+				}
+			} else {
+				p.pending[name.text] = append(p.pending[name.text],
+					pendingRef{from: owner, label: lbl.text, line: name.line})
+			}
+		} else {
+			child, err := p.parseObject()
+			if err != nil {
+				return err
+			}
+			if err := p.db.AddLink(owner, child, lbl.text); err != nil {
+				return fmt.Errorf("oem: line %d: %v", lbl.line, err)
+			}
+		}
+		sep, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch sep.kind {
+		case tokComma:
+			after, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if after.kind == tokRBrace { // trailing comma
+				_, err = p.next()
+				return err
+			}
+		case tokRBrace:
+			return nil
+		default:
+			return fmt.Errorf("oem: line %d: expected ',' or '}', got %s", sep.line, sep)
+		}
+	}
+}

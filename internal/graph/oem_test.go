@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOEMBasic(t *testing.T) {
+	db, err := ParseOEMString(`
+		&group {
+			person: &gates { name: "Gates", manages: *msft },
+			company: &msft { name: "Microsoft", managed-by: *gates },
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, m := db.Lookup("gates"), db.Lookup("msft")
+	if g == NoObject || m == NoObject {
+		t.Fatal("named objects not created")
+	}
+	if !db.HasEdge(g, m, "manages") {
+		t.Fatal("forward reference edge missing")
+	}
+	if !db.HasEdge(m, g, "managed-by") {
+		t.Fatal("back reference edge missing")
+	}
+	// "Gates" became an atomic object linked under name.
+	found := false
+	for _, e := range db.Out(g) {
+		if e.Label == "name" && db.IsAtomic(e.To) {
+			v, _ := db.AtomicValue(e.To)
+			if v.Text == "Gates" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("atomic name value missing")
+	}
+}
+
+func TestParseOEMAnonymousAndSorts(t *testing.T) {
+	db, err := ParseOEMString(`{ count: 42, ratio: 3.5, ok: true, label: hello }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := db.Lookup("_oem0")
+	if root == NoObject {
+		t.Fatal("anonymous root not named _oem0")
+	}
+	wantSorts := map[string]Sort{"count": SortInt, "ratio": SortFloat, "ok": SortBool, "label": SortString}
+	for _, e := range db.Out(root) {
+		v, ok := db.AtomicValue(e.To)
+		if !ok {
+			t.Fatalf("member %s not atomic", e.Label)
+		}
+		if v.Sort != wantSorts[e.Label] {
+			t.Errorf("member %s: sort %v, want %v", e.Label, v.Sort, wantSorts[e.Label])
+		}
+	}
+}
+
+func TestParseOEMCycle(t *testing.T) {
+	db, err := ParseOEMString(`
+		&a { next: *b }
+		&b { next: *a }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.Lookup("a"), db.Lookup("b")
+	if !db.HasEdge(a, b, "next") || !db.HasEdge(b, a, "next") {
+		t.Fatal("cyclic references not linked")
+	}
+}
+
+func TestParseOEMSharedSubobject(t *testing.T) {
+	db, err := ParseOEMString(`
+		&proj { name: "Lore" }
+		&p1 { works-on: *proj }
+		&p2 { works-on: *proj }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := db.Lookup("proj")
+	if got := len(db.In(proj)); got != 2 {
+		t.Fatalf("shared object has %d incoming edges, want 2", got)
+	}
+}
+
+func TestParseOEMComments(t *testing.T) {
+	db, err := ParseOEMString(`
+		# full line comment
+		&x { // trailing comment
+			a: 1, # another
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Lookup("x") == NoObject {
+		t.Fatal("object after comments not parsed")
+	}
+}
+
+func TestParseOEMErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"undefined ref", `&a { b: *nowhere }`, "undefined"},
+		{"double definition", `&a {} &a {}`, "twice"},
+		{"unterminated", `&a { b: 1`, "expected"},
+		{"missing colon", `&a { b 1 }`, "':'"},
+		{"bad escape", `&a { b: "x\q" }`, "quoted string"},
+		{"unterminated string", `&a { b: "x }`, "string"},
+		{"stray char", `&a { b: 1 } ^`, "unexpected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseOEMString(c.src)
+			if err == nil {
+				t.Fatalf("ParseOEMString(%q) succeeded, want error", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseOEMNestedObjects(t *testing.T) {
+	db, err := ParseOEMString(`
+		&person {
+			name: "Ann",
+			birthday: { month: 5, day: 12, year: 1970 },
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := db.Lookup("person")
+	var bday ObjectID = NoObject
+	for _, e := range db.Out(p) {
+		if e.Label == "birthday" {
+			bday = e.To
+		}
+	}
+	if bday == NoObject || db.IsAtomic(bday) {
+		t.Fatal("nested object missing or atomic")
+	}
+	if got := len(db.Out(bday)); got != 3 {
+		t.Fatalf("birthday has %d members, want 3", got)
+	}
+}
+
+func TestParseOEMTrailingComma(t *testing.T) {
+	if _, err := ParseOEMString(`&a { x: 1, y: 2, }`); err != nil {
+		t.Fatalf("trailing comma should parse: %v", err)
+	}
+}
+
+func TestParseOEMDepthLimit(t *testing.T) {
+	// A pathological document nested beyond the cap must error, not crash.
+	deep := strings.Repeat("{ a: ", 20001) + "1" + strings.Repeat(" }", 20001)
+	if _, err := ParseOEMString(deep); err == nil || !strings.Contains(err.Error(), "nested deeper") {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	// Reasonable nesting still parses.
+	ok := strings.Repeat("{ a: ", 100) + "1" + strings.Repeat(" }", 100)
+	if _, err := ParseOEMString(ok); err != nil {
+		t.Fatalf("moderate nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteOEM serializes the database as an OEM document: one named binding
+// per complex object, with atomic members inlined as literals and complex
+// members as *references. Output is deterministic (objects in ID order,
+// members in edge order).
+//
+// The format cannot name atomic objects, so an atomic object shared by
+// several edges is inlined at each occurrence; re-parsing therefore
+// preserves the complex structure and every (label, value) attribute, but
+// not atomic-object identity. Use the text format (Write) for lossless
+// round trips.
+func (db *DB) WriteOEM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, o := range db.ComplexObjects() {
+		if _, err := fmt.Fprintf(bw, "&%s {", oemName(db.Name(o))); err != nil {
+			return err
+		}
+		edges := db.Out(o)
+		if len(edges) == 0 {
+			if _, err := fmt.Fprintln(bw, "}"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		for _, e := range edges {
+			var target string
+			if v, ok := db.AtomicValue(e.To); ok {
+				target = oemValue(v)
+			} else {
+				target = "*" + oemName(db.Name(e.To))
+			}
+			if _, err := fmt.Fprintf(bw, "\t%s: %s,\n", oemName(e.Label), target); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "}"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// oemName renders an identifier, quoting when it is not a bare OEM word.
+func oemName(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// oemValue renders an atomic value so that re-parsing infers the same sort:
+// int/float/bool values that parse back go bare, everything else is quoted.
+func oemValue(v Value) string {
+	switch v.Sort {
+	case SortInt:
+		if _, err := strconv.ParseInt(v.Text, 10, 64); err == nil {
+			return v.Text
+		}
+	case SortFloat:
+		if f, err := strconv.ParseFloat(v.Text, 64); err == nil {
+			// Bare floats must not look like ints, or the sort flips.
+			if strings.ContainsAny(v.Text, ".eE") {
+				return v.Text
+			}
+			return strconv.FormatFloat(f, 'g', -1, 64) + ".0"
+		}
+	case SortBool:
+		if v.Text == "true" || v.Text == "false" {
+			return v.Text
+		}
+	}
+	return strconv.Quote(v.Text)
+}

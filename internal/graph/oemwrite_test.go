@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// oemRoundtrip writes db as OEM and parses it back.
+func oemRoundtrip(t *testing.T, db *DB) *DB {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.WriteOEM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOEMString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parsing OEM output: %v\n%s", err, buf.String())
+	}
+	return back
+}
+
+// attrsOf summarizes an object's atomic members as sorted "label=sort:value"
+// strings and complex members as "label->*name".
+func attrsOf(db *DB, o ObjectID) []string {
+	var out []string
+	for _, e := range db.Out(o) {
+		if v, ok := db.AtomicValue(e.To); ok {
+			out = append(out, e.Label+"="+v.Sort.String()+":"+v.Text)
+		} else {
+			out = append(out, e.Label+"->*"+db.Name(e.To))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestWriteOEMRoundtripStructure(t *testing.T) {
+	db := New()
+	db.Link("group", "alice", "member")
+	db.Link("group", "bob", "member")
+	db.Link("alice", "bob", "friend")
+	db.Link("bob", "alice", "friend") // cycle
+	db.LinkAtom("alice", "name", "alice.n", "Alice")
+	mustInt := func(name, text string) {
+		id := db.Intern(name)
+		if err := db.SetAtomic(id, Value{Sort: SortInt, Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInt("alice.age", "36")
+	db.Link("alice", "alice.age", "age")
+	db.LinkAtom("bob", "name", "bob.n", "Bob")
+
+	back := oemRoundtrip(t, db)
+	// Complex objects and their members (with sorts) survive.
+	for _, name := range []string{"group", "alice", "bob"} {
+		o, b := db.Lookup(name), back.Lookup(name)
+		if b == NoObject {
+			t.Fatalf("object %s lost", name)
+		}
+		got, want := attrsOf(back, b), attrsOf(db, o)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("%s: attrs %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestWriteOEMQuotedNames(t *testing.T) {
+	db := New()
+	db.Link("an object", "other thing", "weird label!")
+	db.LinkAtom("other thing", "k v", "vv", "multi word")
+	back := oemRoundtrip(t, db)
+	a, b := back.Lookup("an object"), back.Lookup("other thing")
+	if a == NoObject || b == NoObject {
+		t.Fatal("quoted names lost")
+	}
+	if !back.HasEdge(a, b, "weird label!") {
+		t.Fatal("quoted label lost")
+	}
+}
+
+func TestWriteOEMSortsSurvive(t *testing.T) {
+	db := New()
+	add := func(name string, sort Sort, text string) {
+		id := db.Intern("o." + name)
+		if err := db.SetAtomic(id, Value{Sort: sort, Text: text}); err != nil {
+			t.Fatal(err)
+		}
+		db.Link("o", "o."+name, name)
+	}
+	add("i", SortInt, "42")
+	add("f", SortFloat, "2.5")
+	add("b", SortBool, "true")
+	add("s", SortString, "123") // string that looks like a number: must stay string
+	back := oemRoundtrip(t, db)
+	o := back.Lookup("o")
+	want := map[string]Sort{"i": SortInt, "f": SortFloat, "b": SortBool, "s": SortString}
+	for _, e := range back.Out(o) {
+		v, _ := back.AtomicValue(e.To)
+		if v.Sort != want[e.Label] {
+			t.Errorf("member %s: sort %v, want %v", e.Label, v.Sort, want[e.Label])
+		}
+	}
+}
+
+func TestWriteOEMEmptyObject(t *testing.T) {
+	db := New()
+	db.Intern("lonely")
+	back := oemRoundtrip(t, db)
+	if back.Lookup("lonely") == NoObject {
+		t.Fatal("isolated object lost")
+	}
+}

@@ -1,0 +1,273 @@
+// Package httpapi exposes schema extraction as a small JSON-over-HTTP
+// service (stdlib net/http only). cmd/schemex-server wires it to a listener;
+// the handler is also exercised directly by httptest-based tests.
+//
+// Endpoints (all request bodies are JSON envelopes):
+//
+//	POST /v1/extract  {data, format, options}        -> schema + defect report
+//	POST /v1/sweep    {data, format, options}        -> sensitivity curve
+//	POST /v1/check    {data, format, schema}         -> conformance report
+//	POST /v1/query    {data, format, path, guided}   -> matching objects
+//	GET  /v1/healthz                                 -> 200 ok
+//
+// "format" is "text" (the link/atomic line format, default), "oem", or
+// "json". Errors come back as {"error": "..."} with a 4xx status.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"schemex"
+)
+
+// MaxBody caps request bodies (data sets are inlined in the envelope).
+const MaxBody = 32 << 20
+
+// Options mirrors schemex.Options for the wire.
+type Options struct {
+	K           int      `json:"k,omitempty"`
+	Delta       string   `json:"delta,omitempty"`
+	AllowEmpty  bool     `json:"allowEmpty,omitempty"`
+	MultiRole   bool     `json:"multiRole,omitempty"`
+	UseSorts    bool     `json:"useSorts,omitempty"`
+	SeedSchema  string   `json:"seedSchema,omitempty"`
+	ValueLabels []string `json:"valueLabels,omitempty"`
+	MaxDistance int      `json:"maxDistance,omitempty"`
+}
+
+func (o Options) toLib() schemex.Options {
+	return schemex.Options{
+		K:           o.K,
+		Delta:       o.Delta,
+		AllowEmpty:  o.AllowEmpty,
+		MultiRole:   o.MultiRole,
+		UseSorts:    o.UseSorts,
+		SeedSchema:  o.SeedSchema,
+		ValueLabels: o.ValueLabels,
+		MaxDistance: o.MaxDistance,
+	}
+}
+
+type extractRequest struct {
+	Data    string  `json:"data"`
+	Format  string  `json:"format,omitempty"`
+	Options Options `json:"options,omitempty"`
+}
+
+// TypeJSON is one extracted type on the wire.
+type TypeJSON struct {
+	Name       string `json:"name"`
+	Definition string `json:"definition"`
+	Weight     int    `json:"weight"`
+	Size       int    `json:"size"`
+}
+
+type extractResponse struct {
+	Schema       string     `json:"schema"`
+	PerfectTypes int        `json:"perfectTypes"`
+	NumTypes     int        `json:"numTypes"`
+	AutoK        int        `json:"autoK,omitempty"`
+	Defect       int        `json:"defect"`
+	Excess       int        `json:"excess"`
+	Deficit      int        `json:"deficit"`
+	Unclassified int        `json:"unclassified"`
+	Types        []TypeJSON `json:"types"`
+}
+
+type sweepResponse struct {
+	Suggested int                  `json:"suggested"`
+	Points    []schemex.SweepPoint `json:"points"`
+}
+
+type checkRequest struct {
+	Data   string `json:"data"`
+	Format string `json:"format,omitempty"`
+	Schema string `json:"schema"`
+}
+
+type checkResponse struct {
+	Conforms     bool           `json:"conforms"`
+	Excess       int            `json:"excess"`
+	Unclassified int            `json:"unclassified"`
+	Types        map[string]int `json:"types"`
+}
+
+type queryRequest struct {
+	Data   string  `json:"data"`
+	Format string  `json:"format,omitempty"`
+	Path   string  `json:"path"`
+	Guided bool    `json:"guided,omitempty"`
+	Opts   Options `json:"options,omitempty"`
+}
+
+type queryResponse struct {
+	Matches []string `json:"matches"`
+	Count   int      `json:"count"`
+}
+
+// Handler returns the API handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/extract", handleExtract)
+	mux.HandleFunc("/v1/sweep", handleSweep)
+	mux.HandleFunc("/v1/check", handleCheck)
+	mux.HandleFunc("/v1/query", handleQuery)
+	return mux
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func loadData(data, format string) (*schemex.Graph, error) {
+	if strings.TrimSpace(data) == "" {
+		return nil, fmt.Errorf("empty data")
+	}
+	switch format {
+	case "", "text":
+		return schemex.ReadGraph(strings.NewReader(data))
+	case "oem":
+		return schemex.ParseOEMString(data)
+	case "json":
+		return schemex.ParseJSON(strings.NewReader(data), "root")
+	default:
+		return nil, fmt.Errorf("unknown format %q (text, oem, json)", format)
+	}
+}
+
+func handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := loadData(req.Data, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := schemex.Extract(g, req.Options.toLib())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := extractResponse{
+		Schema:       res.Schema(),
+		PerfectTypes: res.PerfectTypes(),
+		NumTypes:     res.NumTypes(),
+		AutoK:        res.AutoK(),
+		Defect:       res.Defect(),
+		Excess:       res.Excess(),
+		Deficit:      res.Deficit(),
+		Unclassified: res.Unclassified(),
+	}
+	for _, ti := range res.Types() {
+		resp.Types = append(resp.Types, TypeJSON{
+			Name: ti.Name, Definition: ti.Definition, Weight: ti.Weight, Size: ti.Size,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := loadData(req.Data, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := schemex.SweepAnalysis(g, req.Options.toLib())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, sweepResponse{Suggested: sw.Suggested, Points: sw.Points})
+}
+
+func handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := loadData(req.Data, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := schemex.Check(g, req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, checkResponse{
+		Conforms:     report.Conforms(),
+		Excess:       report.Excess,
+		Unclassified: report.Unclassified,
+		Types:        report.Types,
+	})
+}
+
+func handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := loadData(req.Data, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var matches []string
+	if req.Guided {
+		res, err := schemex.Extract(g, req.Opts.toLib())
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		matches, err = res.FindPath(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		matches, err = g.FindPath(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, queryResponse{Matches: matches, Count: len(matches)})
+}

@@ -1,0 +1,191 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const sampleText = `link gates microsoft is-manager-of
+link microsoft gates is-managed-by
+link jobs apple is-manager-of
+link apple jobs is-managed-by
+link gates gn name
+link jobs jn name
+link microsoft mn name
+link apple an name
+atomic gn string Gates
+atomic jn string Jobs
+atomic mn string Microsoft
+atomic an string Apple
+`
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func mustJSON(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	body := mustJSON(t, map[string]interface{}{
+		"data":    sampleText,
+		"options": map[string]interface{}{"k": 2},
+	})
+	status, out := post(t, srv, "/v1/extract", body)
+	if status != 200 {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if out["numTypes"].(float64) != 2 || out["perfectTypes"].(float64) != 2 {
+		t.Fatalf("response: %v", out)
+	}
+	if out["defect"].(float64) != 0 {
+		t.Fatalf("defect = %v", out["defect"])
+	}
+	schema := out["schema"].(string)
+	if !strings.Contains(schema, "->name[0]") {
+		t.Fatalf("schema: %q", schema)
+	}
+	types := out["types"].([]interface{})
+	if len(types) != 2 {
+		t.Fatalf("types: %v", types)
+	}
+}
+
+func TestExtractJSONFormat(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	body := mustJSON(t, map[string]interface{}{
+		"data":    `{"name": "Ada", "age": 36}`,
+		"format":  "json",
+		"options": map[string]interface{}{"k": 1, "useSorts": true},
+	})
+	status, out := post(t, srv, "/v1/extract", body)
+	if status != 200 {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if !strings.Contains(out["schema"].(string), "[0:int]") {
+		t.Fatalf("schema: %v", out["schema"])
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	status, out := post(t, srv, "/v1/sweep", mustJSON(t, map[string]interface{}{"data": sampleText}))
+	if status != 200 {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if out["points"] == nil || out["suggested"].(float64) < 1 {
+		t.Fatalf("response: %v", out)
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	schema := `
+type person = ->is-manager-of[firm] & ->name[0] & <-is-managed-by[firm]
+type firm = ->is-managed-by[person] & ->name[0] & <-is-manager-of[person]
+`
+	status, out := post(t, srv, "/v1/check", mustJSON(t, map[string]interface{}{
+		"data": sampleText, "schema": schema,
+	}))
+	if status != 200 {
+		t.Fatalf("status %d: %v", status, out)
+	}
+	if out["conforms"] != true {
+		t.Fatalf("response: %v", out)
+	}
+	types := out["types"].(map[string]interface{})
+	if types["person"].(float64) != 2 || types["firm"].(float64) != 2 {
+		t.Fatalf("types: %v", types)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	for _, guided := range []bool{false, true} {
+		status, out := post(t, srv, "/v1/query", mustJSON(t, map[string]interface{}{
+			"data": sampleText, "path": "is-manager-of.name", "guided": guided,
+		}))
+		if status != 200 {
+			t.Fatalf("guided=%v status %d: %v", guided, status, out)
+		}
+		if out["count"].(float64) != 2 {
+			t.Fatalf("guided=%v response: %v", guided, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// GET on a POST endpoint.
+	resp, err := http.Get(srv.URL + "/v1/extract")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET extract status %d", resp.StatusCode)
+	}
+
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/v1/extract", `{"data": "", "format": "text"}`, 400},
+		{"/v1/extract", `not json`, 400},
+		{"/v1/extract", `{"data": "x", "unknownField": 1}`, 400},
+		{"/v1/extract", mustJSON(t, map[string]interface{}{"data": sampleText, "format": "frob"}), 400},
+		{"/v1/extract", mustJSON(t, map[string]interface{}{
+			"data": sampleText, "options": map[string]interface{}{"delta": "nope"}}), 422},
+		{"/v1/check", mustJSON(t, map[string]interface{}{"data": sampleText, "schema": "type x = ->a[nowhere]"}), 400},
+		{"/v1/query", mustJSON(t, map[string]interface{}{"data": sampleText, "path": "a..b"}), 400},
+	}
+	for _, c := range cases {
+		status, out := post(t, srv, c.path, c.body)
+		if status != c.status {
+			t.Errorf("POST %s %q: status %d, want %d (%v)", c.path, c.body, status, c.status, out)
+		}
+		if out["error"] == nil {
+			t.Errorf("POST %s: missing error field", c.path)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package perfect
+
+import (
+	"sort"
+
+	"schemex/internal/graph"
+	"schemex/internal/typing"
+)
+
+// This file implements the multiple-roles post-pass of §4.2: a "complex"
+// type whose definition is the conjunction (union of typed links) of several
+// simpler types can be eliminated, with its home objects assigned to each of
+// the covering simpler types. Example 4.3 (soccer and movie stars) is the
+// canonical case: type₂ = type₁ ∪ type₃, so deleting type₂ leaves o₂ with
+// the two home types type₁ and type₃.
+
+// Cover describes how one type decomposes into simpler types.
+type Cover struct {
+	Type      int   // the covered (conjunction) type
+	CoveredBy []int // simpler types whose links union to Type's links
+}
+
+// FindCovers returns, for every type of p that is exactly covered by a set
+// of strictly simpler types (fewer typed links each), one minimal such cover
+// found greedily. The scan is O(n²) in the number of types, matching
+// Remark 4.4.
+func FindCovers(p *typing.Program) []Cover {
+	var covers []Cover
+	for ti, t := range p.Types {
+		if len(t.Links) == 0 {
+			continue
+		}
+		// Candidate parts: strictly simpler types whose links are a subset
+		// of t's.
+		var parts []int
+		for si, s := range p.Types {
+			if si == ti || len(s.Links) == 0 || len(s.Links) >= len(t.Links) {
+				continue
+			}
+			if subsetLinks(s.Links, t) {
+				parts = append(parts, si)
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		// Greedy set cover of t's links by the candidate parts.
+		need := typing.NewLinkSet(t.Links)
+		var chosen []int
+		for len(need) > 0 {
+			best, bestGain := -1, 0
+			for _, si := range parts {
+				gain := 0
+				for _, l := range p.Types[si].Links {
+					if need[l] {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = si, gain
+				}
+			}
+			if best < 0 {
+				break // uncoverable remainder
+			}
+			chosen = append(chosen, best)
+			for _, l := range p.Types[best].Links {
+				delete(need, l)
+			}
+		}
+		if len(need) == 0 && len(chosen) >= 2 {
+			sort.Ints(chosen)
+			covers = append(covers, Cover{Type: ti, CoveredBy: chosen})
+		}
+	}
+	return covers
+}
+
+func subsetLinks(links []typing.TypedLink, t *typing.Type) bool {
+	for _, l := range links {
+		if !t.HasLink(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// RolesResult is the outcome of applying the multiple-roles decomposition:
+// an overlapping collection of types.
+type RolesResult struct {
+	// Program is the reduced program with covered conjunction types removed.
+	Program *typing.Program
+	// Homes maps each complex object to its home types in Program (one, or
+	// several for former conjunction-type objects).
+	Homes map[graph.ObjectID][]int
+	// Removed lists the covers that were applied (indices refer to the
+	// Stage 1 program).
+	Removed []Cover
+}
+
+// ApplyRoles removes covered conjunction types from a Stage 1 result,
+// reassigning their home objects to every covering simple type. Links in
+// surviving types that targeted a removed type are retargeted to the most
+// specific covering type (the one with the most links); this only enlarges
+// witness sets, so the program stays sound as an approximation. Removal
+// cascades are not chased: covers are computed once against the Stage 1
+// program, and a type used as a cover part is never removed.
+func ApplyRoles(r *Result) *RolesResult {
+	covers := FindCovers(r.Program)
+	inCover := make(map[int]bool)
+	for _, c := range covers {
+		for _, si := range c.CoveredBy {
+			inCover[si] = true
+		}
+	}
+	coverOf := make(map[int]Cover)
+	for _, c := range covers {
+		if !inCover[c.Type] {
+			coverOf[c.Type] = c
+		}
+	}
+	if len(coverOf) == 0 {
+		homes := make(map[graph.ObjectID][]int, len(r.Home))
+		for o, h := range r.Home {
+			homes[o] = []int{h}
+		}
+		return &RolesResult{Program: r.Program.Clone(), Homes: homes}
+	}
+
+	// New index mapping with covered types removed.
+	newIdx := make([]int, len(r.Program.Types))
+	np := typing.NewProgram()
+	for ti, t := range r.Program.Types {
+		if _, removed := coverOf[ti]; removed {
+			newIdx[ti] = -1
+			continue
+		}
+		newIdx[ti] = np.Add(t.Clone())
+	}
+	// retarget maps a removed type to its most specific covering part.
+	retarget := func(old int) int {
+		c := coverOf[old]
+		best := c.CoveredBy[0]
+		for _, si := range c.CoveredBy[1:] {
+			if len(r.Program.Types[si].Links) > len(r.Program.Types[best].Links) {
+				best = si
+			}
+		}
+		return newIdx[best]
+	}
+	for _, t := range np.Types {
+		for li, l := range t.Links {
+			if l.Target == typing.AtomicTarget {
+				continue
+			}
+			if newIdx[l.Target] >= 0 {
+				t.Links[li].Target = newIdx[l.Target]
+			} else {
+				t.Links[li].Target = retarget(l.Target)
+			}
+		}
+		t.Canonicalize()
+	}
+
+	homes := make(map[graph.ObjectID][]int, len(r.Home))
+	for o, h := range r.Home {
+		if c, removed := coverOf[h]; removed {
+			hs := make([]int, 0, len(c.CoveredBy))
+			for _, si := range c.CoveredBy {
+				hs = append(hs, newIdx[si])
+			}
+			homes[o] = hs
+		} else {
+			homes[o] = []int{newIdx[h]}
+		}
+	}
+	// Recompute weights: home-object counts per surviving type.
+	for _, t := range np.Types {
+		t.Weight = 0
+	}
+	for _, hs := range homes {
+		for _, h := range hs {
+			np.Types[h].Weight++
+		}
+	}
+	applied := make([]Cover, 0, len(coverOf))
+	for _, c := range coverOf {
+		applied = append(applied, c)
+	}
+	sort.Slice(applied, func(i, j int) bool { return applied[i].Type < applied[j].Type })
+	return &RolesResult{Program: np, Homes: homes, Removed: applied}
+}

@@ -1,0 +1,334 @@
+// Package perfect implements Stage 1 of the paper's method (§4): the
+// minimal perfect typing. One candidate type is created per complex object
+// from its local picture (program Q_D), the greatest fixpoint of Q_D groups
+// objects whose types have equal extents, and the quotient program P_D is
+// the coarsest typing with zero defect. A post-pass (§4.2) decomposes
+// conjunction types into covering simpler types, giving objects multiple
+// roles.
+package perfect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemex/internal/bisim"
+	"schemex/internal/graph"
+	"schemex/internal/typing"
+)
+
+// Result is the output of Stage 1.
+type Result struct {
+	// Program is the minimal perfect typing program P_D. Type weights are
+	// the home-class sizes.
+	Program *typing.Program
+	// Home maps every complex object to the index of its home type in
+	// Program.
+	Home map[graph.ObjectID]int
+	// Classes lists, for each type, the objects whose home it is (the
+	// equivalence classes of ≗), in ID order.
+	Classes [][]graph.ObjectID
+	// Extent is the greatest fixpoint of Program on the database. It may
+	// assign objects to types beyond their home type: the rules contain no
+	// negation, so an object with more typed links than a type requires is
+	// also in that type (§4.2).
+	Extent *typing.Extent
+
+	db *graph.DB
+}
+
+// DB returns the database the result was computed from.
+func (r *Result) DB() *graph.DB { return r.db }
+
+// Options configure Stage 1.
+type Options struct {
+	// NameFor, if non-nil, names the class containing the given objects
+	// (called once per class with the class members). Default names are
+	// derived from the dominant incoming label of the class, falling back
+	// to classN.
+	NameFor func(db *graph.DB, members []graph.ObjectID, classIdx int) string
+	// UseNaiveGFP selects the reference greatest-fixpoint evaluator instead
+	// of the support-counting one (for benchmarks and cross-checking).
+	UseNaiveGFP bool
+	// UseSorts distinguishes atomic targets by value sort (Remark 2.1):
+	// ->age[0:int] instead of ->age[0]. Objects whose attribute values have
+	// different sorts then land in different classes.
+	UseSorts bool
+	// ValueLabels lists labels whose atomic values participate in typing
+	// (the paper's future-work value predicates): objects with sex "Male"
+	// and sex "Female" then land in different classes.
+	ValueLabels []string
+	// UseBisimulation derives the Stage 1 partition by bisimulation
+	// partition refinement (internal/bisim) instead of the GFP extent
+	// quotient. Bisimulation always refines the paper's equivalence (it can
+	// only split more, never merge more) and is typically much faster; on
+	// all of this repository's datasets the two coincide. Not compatible
+	// with UseSorts/ValueLabels (the refinement works on raw labels).
+	UseBisimulation bool
+}
+
+func (o Options) pictureOpts() typing.PictureOpts {
+	po := typing.PictureOpts{UseSorts: o.UseSorts}
+	if len(o.ValueLabels) > 0 {
+		po.ValueLabels = make(map[string]bool, len(o.ValueLabels))
+		for _, l := range o.ValueLabels {
+			po.ValueLabels[l] = true
+		}
+	}
+	return po
+}
+
+// BuildQD constructs the per-object program Q_D of §4.1: one type per
+// complex object, whose rule mirrors the object's local picture exactly.
+// The i'th type corresponds to the i'th complex object; the returned slice
+// maps complex-object position to ObjectID.
+func BuildQD(db *graph.DB) (*typing.Program, []graph.ObjectID) {
+	return BuildQDSorted(db, false)
+}
+
+// BuildQDSorted is BuildQD with optional atomic sort constraints (Remark
+// 2.1): with useSorts, an edge to an atomic of sort s yields ->ℓ[0:s]
+// instead of ->ℓ[0].
+func BuildQDSorted(db *graph.DB, useSorts bool) (*typing.Program, []graph.ObjectID) {
+	return BuildQDOpts(db, typing.PictureOpts{UseSorts: useSorts})
+}
+
+// BuildQDOpts is BuildQD with full picture options: sort constraints and
+// value predicates on selected labels. Each rule uses the most specific
+// form the options enable.
+func BuildQDOpts(db *graph.DB, opts typing.PictureOpts) (*typing.Program, []graph.ObjectID) {
+	objs := db.ComplexObjects()
+	pos := make(map[graph.ObjectID]int, len(objs))
+	for i, o := range objs {
+		pos[o] = i
+	}
+	p := typing.NewProgram()
+	for _, o := range objs {
+		t := &typing.Type{Name: db.Name(o), Weight: 1}
+		for _, e := range db.Out(o) {
+			if db.IsAtomic(e.To) {
+				l := typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: typing.AtomicTarget}
+				if v, ok := db.AtomicValue(e.To); ok {
+					if opts.UseSorts {
+						l.Sort = typing.SortConstraint(v.Sort) + 1
+					}
+					if opts.ValueLabels[e.Label] {
+						l.Value, l.HasValue = v.Text, true
+					}
+				}
+				t.Links = append(t.Links, l)
+			} else {
+				t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: pos[e.To]})
+			}
+		}
+		for _, e := range db.In(o) {
+			t.Links = append(t.Links, typing.TypedLink{Dir: typing.In, Label: e.Label, Target: pos[e.From]})
+		}
+		p.Add(t)
+	}
+	return p, objs
+}
+
+// Minimal computes the minimal perfect typing of db (the full Stage 1
+// algorithm of §4.1).
+func Minimal(db *graph.DB, opts Options) (*Result, error) {
+	qd, objs := BuildQDOpts(db, opts.pictureOpts())
+
+	// Bipartite fast path (§5.2's special case): with every link targeting
+	// an atomic object the program is non-recursive, the greatest fixpoint
+	// needs no iteration, and two objects share a class exactly when their
+	// label sets (with any sort/value refinements) coincide. Group by
+	// canonical rule instead of running the fixpoint machinery.
+	var classOf []int
+	var classes [][]int
+	grouped := false
+	if opts.UseBisimulation {
+		if opts.UseSorts || len(opts.ValueLabels) > 0 {
+			return nil, fmt.Errorf("perfect: bisimulation Stage 1 does not support sort or value refinements")
+		}
+		part := bisim.Compute(db)
+		pos := make(map[graph.ObjectID]int, len(objs))
+		for i, o := range objs {
+			pos[o] = i
+		}
+		classOf = make([]int, len(objs))
+		classes = make([][]int, part.NumBlocks())
+		for b, block := range part.Blocks {
+			for _, o := range block {
+				classes[b] = append(classes[b], pos[o])
+				classOf[pos[o]] = b
+			}
+		}
+		grouped = true
+	}
+	if !grouped && !opts.UseNaiveGFP { // the naive flag doubles as "reference path" for tests
+		classOf, classes, grouped = bipartiteClasses(qd)
+	}
+	if !grouped {
+		var extent *typing.Extent
+		if opts.UseNaiveGFP {
+			extent = typing.EvalGFPNaive(qd, db)
+		} else {
+			extent = typing.EvalGFP(qd, db)
+		}
+
+		// Group types with equal extents. Types are in bijection with
+		// complex objects, so hashing the membership bitsets groups them in
+		// near-linear time; hash collisions are resolved by exact
+		// comparison.
+		classOf = make([]int, len(objs)) // type position -> class index
+		byHash := make(map[uint64][]int) // hash -> class indexes
+		for ti := range qd.Types {
+			h := extent.Member[ti].Hash()
+			found := -1
+			for _, ci := range byHash[h] {
+				rep := classes[ci][0]
+				if extent.Member[ti].Equal(extent.Member[rep]) {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				found = len(classes)
+				classes = append(classes, nil)
+				byHash[h] = append(byHash[h], found)
+			}
+			classes[found] = append(classes[found], ti)
+			classOf[ti] = found
+		}
+	}
+
+	// Build P_D: for each class pick a representative type and rewrite its
+	// link targets through the class map. Mapped links may collide; the
+	// canonical form dedupes them.
+	pd := typing.NewProgram()
+	result := &Result{
+		Home:    make(map[graph.ObjectID]int, len(objs)),
+		Classes: make([][]graph.ObjectID, len(classes)),
+		db:      db,
+	}
+	for ci, members := range classes {
+		rep := qd.Types[members[0]]
+		t := &typing.Type{Weight: len(members)}
+		for _, l := range rep.Links {
+			nl := l
+			if l.Target != typing.AtomicTarget {
+				nl.Target = classOf[l.Target]
+			}
+			t.Links = append(t.Links, nl)
+		}
+		pd.Add(t)
+		mem := make([]graph.ObjectID, len(members))
+		for k, ti := range members {
+			mem[k] = objs[ti]
+			result.Home[objs[ti]] = ci
+		}
+		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+		result.Classes[ci] = mem
+	}
+	nameFor := opts.NameFor
+	if nameFor == nil {
+		nameFor = DefaultClassName
+	}
+	used := map[string]bool{"0": true} // "0" is reserved for the atomic type
+	for ci := range classes {
+		name := nameFor(db, result.Classes[ci], ci)
+		if name == "" || name == "0" {
+			name = fmt.Sprintf("class%d", ci)
+		}
+		base := name
+		for n := 2; used[name]; n++ {
+			name = fmt.Sprintf("%s%d", base, n)
+		}
+		used[name] = true
+		pd.Types[ci].Name = name
+	}
+	if err := pd.Validate(); err != nil {
+		return nil, fmt.Errorf("perfect: internal error building P_D: %v", err)
+	}
+	result.Program = pd
+	if opts.UseNaiveGFP {
+		result.Extent = typing.EvalGFPNaive(pd, db)
+	} else {
+		result.Extent = typing.EvalGFP(pd, db)
+	}
+	return result, nil
+}
+
+// bipartiteClasses groups Q_D types by their canonical link sets when every
+// link targets an atomic object. It reports grouped=false for general
+// graphs (the GFP route is then required).
+func bipartiteClasses(qd *typing.Program) (classOf []int, classes [][]int, grouped bool) {
+	for _, t := range qd.Types {
+		for _, l := range t.Links {
+			if l.Target != typing.AtomicTarget {
+				return nil, nil, false
+			}
+		}
+	}
+	classOf = make([]int, len(qd.Types))
+	byKey := make(map[string]int)
+	for ti, t := range qd.Types {
+		var sb strings.Builder
+		for _, l := range t.Links {
+			sb.WriteString(l.Label)
+			sb.WriteByte(0)
+			sb.WriteByte(byte(l.Sort))
+			if l.HasValue {
+				sb.WriteByte(1)
+				sb.WriteString(l.Value)
+			}
+			sb.WriteByte(2)
+		}
+		key := sb.String()
+		ci, ok := byKey[key]
+		if !ok {
+			ci = len(classes)
+			byKey[key] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], ti)
+		classOf[ti] = ci
+	}
+	return classOf, classes, true
+}
+
+// DefaultClassName names a class after the dominant label on incoming edges
+// of its members (the label under which the objects most often appear),
+// falling back to classN.
+func DefaultClassName(db *graph.DB, members []graph.ObjectID, classIdx int) string {
+	counts := make(map[string]int)
+	for _, o := range members {
+		for _, e := range db.In(o) {
+			counts[e.Label]++
+		}
+	}
+	best, bestN := "", 0
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	if best == "" {
+		return fmt.Sprintf("class%d", classIdx)
+	}
+	return best
+}
+
+// VerifyRemark41 checks Remark 4.1 on a computed Q_D extent: typeᵢ and
+// typeⱼ have equal extents iff oⱼ ∈ M(typeᵢ) and oᵢ ∈ M(typeⱼ). It returns
+// an error naming the first violating pair (used by tests; the property is
+// a theorem, so a violation indicates an evaluator bug).
+func VerifyRemark41(extent *typing.Extent, objs []graph.ObjectID) error {
+	n := len(objs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mutual := extent.Member[i].Test(int(objs[j])) && extent.Member[j].Test(int(objs[i]))
+			equal := extent.Member[i].Equal(extent.Member[j])
+			if mutual != equal {
+				return fmt.Errorf("perfect: Remark 4.1 violated for types %d, %d (mutual=%v equal=%v)", i, j, mutual, equal)
+			}
+		}
+	}
+	return nil
+}

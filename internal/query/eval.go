@@ -1,0 +1,122 @@
+package query
+
+import (
+	"sort"
+
+	"schemex/internal/graph"
+)
+
+// Match reports whether object o has at least one outgoing path matching p.
+// The path may end at a complex or atomic object.
+func Match(db *graph.DB, o graph.ObjectID, p Path) bool {
+	type state struct {
+		o   graph.ObjectID
+		pos int
+	}
+	seen := make(map[state]bool)
+	var dfs func(o graph.ObjectID, pos int) bool
+	dfs = func(o graph.ObjectID, pos int) bool {
+		if pos == len(p) {
+			return true
+		}
+		st := state{o, pos}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		step := p[pos]
+		if step.Closure {
+			// Zero-length match.
+			if dfs(o, pos+1) {
+				return true
+			}
+			for _, e := range db.Out(o) {
+				if dfs(e.To, pos) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range db.Out(o) {
+			if step.Label != "" && e.Label != step.Label {
+				continue
+			}
+			if dfs(e.To, pos+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(o, 0)
+}
+
+// Find returns every complex object with an outgoing path matching p, in ID
+// order — the naive evaluator: each object is tested against the data.
+func Find(db *graph.DB, p Path) []graph.ObjectID {
+	var out []graph.ObjectID
+	for _, o := range db.ComplexObjects() {
+		if Match(db, o, p) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Targets returns the set of objects reachable from the start set along p
+// (frontier semantics; useful for select-style queries). Results are in ID
+// order.
+func Targets(db *graph.DB, start []graph.ObjectID, p Path) []graph.ObjectID {
+	frontier := make(map[graph.ObjectID]bool, len(start))
+	for _, o := range start {
+		frontier[o] = true
+	}
+	for _, step := range p {
+		next := make(map[graph.ObjectID]bool)
+		if step.Closure {
+			// Closure: reachability over all labels, including zero steps.
+			var stack []graph.ObjectID
+			for o := range frontier {
+				next[o] = true
+				stack = append(stack, o)
+			}
+			for len(stack) > 0 {
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, e := range db.Out(o) {
+					if !next[e.To] {
+						next[e.To] = true
+						stack = append(stack, e.To)
+					}
+				}
+			}
+		} else {
+			for o := range frontier {
+				for _, e := range db.Out(o) {
+					if step.Label == "" || e.Label == step.Label {
+						next[e.To] = true
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]graph.ObjectID, 0, len(frontier))
+	for o := range frontier {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Values returns the values of the atomic objects reachable along p from
+// the start set, sorted.
+func Values(db *graph.DB, start []graph.ObjectID, p Path) []string {
+	var out []string
+	for _, o := range Targets(db, start, p) {
+		if v, ok := db.AtomicValue(o); ok {
+			out = append(out, v.Text)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,27 @@
+package query
+
+import "testing"
+
+// FuzzParsePath checks the path parser never panics and accepted paths
+// round-trip through the printer.
+func FuzzParsePath(f *testing.F) {
+	for _, s := range []string{
+		"a.b.c", "a.*.c", "#.x", `"dotted.label".x`, "#", "*",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePath(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := ParsePath(rendered)
+		if err != nil {
+			t.Fatalf("canonical path does not re-parse: %v (%q)", err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("print/parse not stable: %q vs %q", rendered, p2.String())
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package query
+
+import (
+	"sort"
+
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+	"schemex/internal/typing"
+)
+
+// Guide answers path queries with the help of an extracted typing: the
+// query is first solved over the schema (which types can realize the path
+// at all), and only objects assigned to those types are fetched and
+// verified against the data. This is the paper's §1 motivation made
+// concrete — the typing plays the role of an index/DataGuide for query
+// processing.
+//
+// Guarantees: guided results are always a subset of the naive evaluator's
+// (every candidate is verified on the data). They are equal whenever every
+// link fact is justified by the typing — in particular for the minimal
+// perfect typing, whose excess is zero. Under an approximate typing,
+// matches that rely on excess edges (edges the schema does not describe)
+// can be missed; that information loss is exactly what the paper's defect
+// measures.
+type Guide struct {
+	db     *graph.DB
+	prog   *typing.Program
+	member []*bitset.Set
+	// outLinks[t] are the outgoing typed links of type t.
+	outLinks [][]typing.TypedLink
+}
+
+// NewGuide builds a guide from a typing program and a membership (an
+// Extent's Member or an Assignment's Membership over the same program).
+func NewGuide(db *graph.DB, prog *typing.Program, member []*bitset.Set) *Guide {
+	g := &Guide{db: db, prog: prog, member: member}
+	g.outLinks = make([][]typing.TypedLink, len(prog.Types))
+	for ti, t := range prog.Types {
+		for _, l := range t.Links {
+			if l.Dir == typing.Out {
+				g.outLinks[ti] = append(g.outLinks[ti], l)
+			}
+		}
+	}
+	return g
+}
+
+// realizability computes, for every type and path position, whether the
+// schema admits a matching suffix starting at an object of that type.
+// atomic[pos] covers paths continuing from an atomic object (only closure
+// steps can be satisfied there, by matching the empty sequence).
+func (g *Guide) realizability(p Path) (types [][]bool, atomic []bool) {
+	n := len(g.prog.Types)
+	types = make([][]bool, len(p)+1)
+	atomic = make([]bool, len(p)+1)
+	for pos := range types {
+		types[pos] = make([]bool, n)
+	}
+	// Base: the empty suffix is realizable everywhere.
+	for t := 0; t < n; t++ {
+		types[len(p)][t] = true
+	}
+	atomic[len(p)] = true
+
+	for pos := len(p) - 1; pos >= 0; pos-- {
+		step := p[pos]
+		if step.Closure {
+			// atomic: closure can match the empty sequence.
+			atomic[pos] = atomic[pos+1]
+			// Seed with the zero-length interpretation, then propagate the
+			// "take one edge, stay at this position" closure to a fixpoint.
+			for t := 0; t < n; t++ {
+				types[pos][t] = types[pos+1][t]
+			}
+			for changed := true; changed; {
+				changed = false
+				for t := 0; t < n; t++ {
+					if types[pos][t] {
+						continue
+					}
+					for _, l := range g.outLinks[t] {
+						ok := false
+						if l.Target == typing.AtomicTarget {
+							ok = atomic[pos]
+						} else {
+							ok = types[pos][l.Target]
+						}
+						if ok {
+							types[pos][t] = true
+							changed = true
+							break
+						}
+					}
+				}
+			}
+			continue
+		}
+		// A labeled (or '*') step never matches from an atomic object:
+		// atomic objects have no outgoing edges.
+		atomic[pos] = false
+		for t := 0; t < n; t++ {
+			for _, l := range g.outLinks[t] {
+				if step.Label != "" && l.Label != step.Label {
+					continue
+				}
+				ok := false
+				if l.Target == typing.AtomicTarget {
+					ok = atomic[pos+1]
+				} else {
+					ok = types[pos+1][l.Target]
+				}
+				if ok {
+					types[pos][t] = true
+					break
+				}
+			}
+		}
+	}
+	return types, atomic
+}
+
+// CandidateTypes returns the types whose definitions can realize the path.
+func (g *Guide) CandidateTypes(p Path) []int {
+	types, _ := g.realizability(p)
+	var out []int
+	for t, ok := range types[0] {
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Find returns the complex objects with a matching outgoing path, searching
+// only objects whose assigned types can realize the path and verifying each
+// candidate against the data.
+func (g *Guide) Find(p Path) []graph.ObjectID {
+	candidates := bitset.New(g.db.NumObjects())
+	types, _ := g.realizability(p)
+	for t, ok := range types[0] {
+		if !ok {
+			continue
+		}
+		g.member[t].ForEach(func(o int) { candidates.Set(o) })
+	}
+	var out []graph.ObjectID
+	candidates.ForEach(func(oi int) {
+		o := graph.ObjectID(oi)
+		if Match(g.db, o, p) {
+			out = append(out, o)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindTrusted is Find without the per-object verification step. It is exact
+// when member is a greatest-fixpoint extent of the program: every member of
+// a type then witnesses every typed link of its definition (recursively),
+// so schema realizability alone proves the data match. For arbitrary
+// assignments — e.g. a Stage 3 recast, whose objects may satisfy their
+// types only approximately — use Find, which verifies candidates.
+func (g *Guide) FindTrusted(p Path) []graph.ObjectID {
+	candidates := bitset.New(g.db.NumObjects())
+	types, _ := g.realizability(p)
+	for t, ok := range types[0] {
+		if !ok {
+			continue
+		}
+		g.member[t].ForEach(func(o int) { candidates.Set(o) })
+	}
+	out := make([]graph.ObjectID, 0, candidates.Count())
+	candidates.ForEach(func(oi int) { out = append(out, graph.ObjectID(oi)) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CandidateCount reports how many objects the guided search would inspect —
+// the work saved versus scanning every complex object.
+func (g *Guide) CandidateCount(p Path) int {
+	candidates := bitset.New(g.db.NumObjects())
+	types, _ := g.realizability(p)
+	for t, ok := range types[0] {
+		if !ok {
+			continue
+		}
+		g.member[t].ForEach(func(o int) { candidates.Set(o) })
+	}
+	return candidates.Count()
+}

@@ -1,0 +1,136 @@
+// Package query implements a small Lorel-style path-query engine over the
+// semistructured graph, in two flavours: a naive evaluator that walks the
+// data, and a schema-guided evaluator that first solves the query over the
+// extracted typing program and only then touches the data. The package is
+// the executable form of the paper's motivation (§1): "performance is
+// greatly improved by taking advantage of the existing structure, e.g., via
+// indexes" — the typing acts as the index.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Step is one component of a path expression.
+type Step struct {
+	// Label is the edge label to follow. Empty means any single edge (the
+	// '*' wildcard) when Closure is false.
+	Label string
+	// Closure marks the '#' wildcard: any path of length >= 0.
+	Closure bool
+}
+
+func (s Step) String() string {
+	if s.Closure {
+		return "#"
+	}
+	if s.Label == "" {
+		return "*"
+	}
+	if s.Label == "#" || s.Label == "*" || strings.ContainsAny(s.Label, `."`) ||
+		strings.IndexFunc(s.Label, func(r rune) bool { return unicode.IsSpace(r) || unicode.IsControl(r) }) >= 0 {
+		return fmt.Sprintf("%q", s.Label)
+	}
+	return s.Label
+}
+
+// Path is a sequence of steps, matched along outgoing edges.
+type Path []Step
+
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParsePath parses a dotted path expression:
+//
+//	member.publication.conference
+//	member.*.year
+//	#.postscript
+//
+// Components are edge labels; '*' matches any single edge; '#' matches any
+// (possibly empty) sequence of edges. Labels containing dots or spaces can
+// be double-quoted.
+func ParsePath(src string) (Path, error) {
+	var path Path
+	i := 0
+	n := len(src)
+	for i < n {
+		for i < n && (src[i] == ' ' || src[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		var comp string
+		if src[i] == '"' {
+			j := i + 1
+			for j < n {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("query: unterminated quote in path %q", src)
+			}
+			unq, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("query: bad quoted component in path %q: %v", src, err)
+			}
+			comp = unq
+			i = j + 1
+			path = append(path, Step{Label: comp})
+		} else {
+			j := i
+			for j < n && src[j] != '.' {
+				j++
+			}
+			comp = strings.TrimSpace(src[i:j])
+			i = j
+			switch comp {
+			case "":
+				return nil, fmt.Errorf("query: empty path component in %q", src)
+			case "*":
+				path = append(path, Step{})
+			case "#":
+				path = append(path, Step{Closure: true})
+			default:
+				path = append(path, Step{Label: comp})
+			}
+		}
+		// Skip the separating dot.
+		for i < n && (src[i] == ' ' || src[i] == '\t') {
+			i++
+		}
+		if i < n {
+			if src[i] != '.' {
+				return nil, fmt.Errorf("query: expected '.' at %q", src[i:])
+			}
+			i++
+		}
+	}
+	if len(path) == 0 {
+		return nil, fmt.Errorf("query: empty path")
+	}
+	return path, nil
+}
+
+// MustParsePath is ParsePath but panics on error.
+func MustParsePath(src string) Path {
+	p, err := ParsePath(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,157 @@
+// Package recast implements Stage 3 of the paper's method (§6): recasting
+// the original data within the reduced set of types. Objects are assigned to
+// every type whose predicate they satisfy completely; objects that fit no
+// type exactly are assigned to the closest type under the simple Manhattan
+// distance d, or left unclassified past a cutoff. The package also types new
+// objects that arrive after extraction.
+package recast
+
+import (
+	"math"
+
+	"schemex/internal/cluster"
+	"schemex/internal/defect"
+	"schemex/internal/graph"
+	"schemex/internal/typing"
+)
+
+// Options configure recasting.
+type Options struct {
+	// KeepHome also assigns each object the cluster its Stage 1 home type
+	// was merged into, even when the object does not satisfy that cluster's
+	// definition (the "links suggested by their home type" alternative of
+	// §6). The missing links surface as deficit.
+	KeepHome bool
+	// NoClosest disables the closest-type fallback: objects satisfying no
+	// type exactly stay unclassified unless KeepHome covers them.
+	NoClosest bool
+	// MaxDistance, when >= 0, leaves an object unclassified if its closest
+	// type is farther than this (the empty-type cutoff of Example 5.3).
+	// Negative means no cutoff. Note that 0 is a real cutoff; use -1 for
+	// "no cutoff".
+	MaxDistance int
+	// UseSorts makes local pictures carry atomic sort constraints, so
+	// programs extracted with sorts (Remark 2.1) can be matched.
+	UseSorts bool
+	// ValueLabels lists labels whose atomic values appear in local
+	// pictures, matching value-predicate definitions.
+	ValueLabels []string
+}
+
+func (o Options) pictureOpts() typing.PictureOpts {
+	po := typing.PictureOpts{UseSorts: o.UseSorts}
+	if len(o.ValueLabels) > 0 {
+		po.ValueLabels = make(map[string]bool, len(o.ValueLabels))
+		for _, l := range o.ValueLabels {
+			po.ValueLabels[l] = true
+		}
+	}
+	return po
+}
+
+// DefaultOptions returns the configuration used by the paper's experiments:
+// home types are kept, the closest-type fallback is on, and there is no
+// distance cutoff.
+func DefaultOptions() Options { return Options{KeepHome: true, MaxDistance: -1} }
+
+// Result is a recast typing: the assignment and its defect.
+type Result struct {
+	Assignment *typing.Assignment
+	Defect     defect.Report
+	// Unclassified counts complex objects assigned no type.
+	Unclassified int
+}
+
+// Recast assigns every complex object of db to types of prog.
+//
+// homes maps each complex object to its home types in prog (for an object
+// whose Stage 1 class was merged into cluster c, that is {c}; objects
+// retired to the empty type have no entry or an empty slice). Local pictures
+// are computed with neighbour classes taken from homes, following the
+// paper's sliding-scale procedure: Stage 1 fixed each object's class, and
+// Stage 2 merged classes, so the home mapping is the available evidence
+// about neighbours.
+func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) *Result {
+	a := typing.NewAssignment(prog, db)
+	classesOf := func(x graph.ObjectID) []int { return homes[x] }
+
+	po := opts.pictureOpts()
+	for _, o := range db.ComplexObjects() {
+		local := typing.LocalLinksOpts(db, o, classesOf, po)
+		localSet := typing.NewLinkSet(local)
+		fit := false
+		for ti, t := range prog.Types {
+			if len(t.Links) == 0 {
+				continue // the empty definition carries no evidence
+			}
+			if containsAll(localSet, t.Links) {
+				a.Assign(o, ti)
+				fit = true
+			}
+		}
+		if opts.KeepHome {
+			for _, h := range homes[o] {
+				a.Assign(o, h)
+				fit = true
+			}
+		}
+		if fit || opts.NoClosest {
+			continue
+		}
+		// Closest type under the simple distance d (§6).
+		best, bestD := -1, math.MaxInt32
+		for ti, t := range prog.Types {
+			d := cluster.ManhattanSlices(local, t.Links)
+			if d < bestD {
+				best, bestD = ti, d
+			}
+		}
+		if best >= 0 && (opts.MaxDistance < 0 || bestD <= opts.MaxDistance) {
+			a.Assign(o, best)
+		}
+	}
+
+	res := &Result{Assignment: a}
+	res.Defect = defect.Measure(a)
+	res.Unclassified = len(a.Unclassified())
+	return res
+}
+
+func containsAll(set typing.LinkSet, links []typing.TypedLink) bool {
+	for _, l := range links {
+		if !set[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// TypeNewObject classifies an object that was not used to derive the typing
+// (§6): it is assigned every type it satisfies completely under the current
+// membership, and the closest type by d when none fits. The membership of
+// the object's neighbours is taken from assign.
+func TypeNewObject(assign *typing.Assignment, o graph.ObjectID, maxDistance int) []int {
+	prog, db := assign.Program, assign.DB
+	local := typing.LocalLinks(db, o, func(x graph.ObjectID) []int { return assign.Of(x) })
+	localSet := typing.NewLinkSet(local)
+	var out []int
+	for ti, t := range prog.Types {
+		if len(t.Links) > 0 && containsAll(localSet, t.Links) {
+			out = append(out, ti)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	best, bestD := -1, math.MaxInt32
+	for ti, t := range prog.Types {
+		d := cluster.ManhattanSlices(local, t.Links)
+		if d < bestD {
+			best, bestD = ti, d
+		}
+	}
+	if best >= 0 && (maxDistance < 0 || bestD <= maxDistance) {
+		return []int{best}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schemex/internal/graph"
+)
+
+// Cartographic models the second motivating scenario of the paper's
+// introduction: "cartographic data servers … typically have thousands of
+// records with hundreds of properties, most of which are null for any given
+// object." Records belong to a handful of latent feature kinds (road,
+// river, city, …), each kind drawing its attributes from a wide property
+// vocabulary: a few core properties are nearly always present, a long tail
+// is mostly null. The result is extremely sparse bipartite data on which
+// the perfect typing explodes combinatorially while the approximate typing
+// recovers the latent kinds.
+type CartographicOptions struct {
+	// Records per feature kind (default 250).
+	RecordsPerKind int
+	// Kinds is the number of latent feature kinds (default 8).
+	Kinds int
+	// TailProperties is the size of each kind's long-tail vocabulary
+	// (default 30; each tail property is present with probability TailProb).
+	TailProperties int
+	// TailProb is the presence probability of a tail property (default
+	// 0.08).
+	TailProb float64
+	// Seed for deterministic generation.
+	Seed int64
+}
+
+func (o CartographicOptions) withDefaults() CartographicOptions {
+	if o.RecordsPerKind == 0 {
+		o.RecordsPerKind = 250
+	}
+	if o.Kinds == 0 {
+		o.Kinds = 8
+	}
+	if o.TailProperties == 0 {
+		o.TailProperties = 30
+	}
+	if o.TailProb == 0 {
+		o.TailProb = 0.08
+	}
+	return o
+}
+
+var cartographicKinds = []string{
+	"road", "river", "city", "lake", "railway", "peak", "forest", "border",
+	"bridge", "tunnel", "island", "harbor",
+}
+
+// Cartographic generates the dataset and the latent kind of every record.
+func Cartographic(opts CartographicOptions) (*graph.DB, map[graph.ObjectID]int, error) {
+	opts = opts.withDefaults()
+	if opts.Kinds > len(cartographicKinds) {
+		return nil, nil, fmt.Errorf("synth: at most %d cartographic kinds", len(cartographicKinds))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	db := graph.New()
+	kinds := make(map[graph.ObjectID]int)
+
+	nAtom := 0
+	attach := func(o graph.ObjectID, label string) error {
+		nAtom++
+		a := db.Intern(fmt.Sprintf("v%d", nAtom))
+		if err := db.SetAtomic(a, graph.Value{Sort: graph.SortString, Text: label}); err != nil {
+			return err
+		}
+		return db.AddLink(o, a, label)
+	}
+
+	for k := 0; k < opts.Kinds; k++ {
+		kind := cartographicKinds[k]
+		core := []string{"id", kind + "-class", "geometry"}
+		for i := 0; i < opts.RecordsPerKind; i++ {
+			o := db.Intern(fmt.Sprintf("%s#%d", kind, i))
+			kinds[o] = k
+			for _, label := range core {
+				if err := attach(o, label); err != nil {
+					return nil, nil, err
+				}
+			}
+			// Frequent-but-optional attributes.
+			if rng.Float64() < 0.7 {
+				if err := attach(o, kind+"-name"); err != nil {
+					return nil, nil, err
+				}
+			}
+			// The long tail: mostly null.
+			for t := 0; t < opts.TailProperties; t++ {
+				if rng.Float64() < opts.TailProb {
+					if err := attach(o, fmt.Sprintf("%s-prop%02d", kind, t)); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	return db, kinds, nil
+}

@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"testing"
+
+	"schemex/internal/core"
+)
+
+func TestCartographicShape(t *testing.T) {
+	db, kinds, err := Cartographic(CartographicOptions{RecordsPerKind: 60, Kinds: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.IsBipartite() {
+		t.Fatal("cartographic records must be bipartite")
+	}
+	complexCount := db.NumObjects() - db.NumAtomic()
+	if complexCount != 300 {
+		t.Fatalf("records = %d, want 300", complexCount)
+	}
+	if len(kinds) != 300 {
+		t.Fatalf("kinds covers %d records", len(kinds))
+	}
+	// Sparsity: far fewer links per record than the property vocabulary.
+	perRecord := float64(db.NumLinks()) / 300
+	if perRecord > 10 {
+		t.Fatalf("links per record = %.1f; the long tail should be mostly null", perRecord)
+	}
+}
+
+// TestCartographicExtraction is the intro scenario end to end: the perfect
+// typing explodes (the long tail makes records nearly unique) while the
+// approximate typing at k = kinds recovers the latent feature kinds with
+// pure clusters.
+func TestCartographicExtraction(t *testing.T) {
+	const nKinds = 5
+	db, kinds, err := Cartographic(CartographicOptions{RecordsPerKind: 60, Kinds: nKinds, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Extract(db, core.Options{K: nKinds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := db.NumObjects() - db.NumAtomic()
+	if res.PerfectTypes < records/3 {
+		t.Fatalf("perfect typing has only %d types for %d sparse records (expected explosion)",
+			res.PerfectTypes, records)
+	}
+	if res.Program.Len() != nKinds {
+		t.Fatalf("approximate typing has %d types, want %d", res.Program.Len(), nKinds)
+	}
+	// Cluster purity: no final type is home to records of two latent kinds.
+	perCluster := make(map[int]map[int]bool)
+	for o, hs := range res.Homes {
+		k, ok := kinds[o]
+		if !ok {
+			continue
+		}
+		for _, h := range hs {
+			if perCluster[h] == nil {
+				perCluster[h] = make(map[int]bool)
+			}
+			perCluster[h][k] = true
+		}
+	}
+	for h, ks := range perCluster {
+		if len(ks) != 1 {
+			t.Errorf("cluster %d mixes latent kinds %v", h, ks)
+		}
+	}
+}
+
+func TestCartographicErrors(t *testing.T) {
+	if _, _, err := Cartographic(CartographicOptions{Kinds: 100}); err == nil {
+		t.Fatal("too many kinds accepted")
+	}
+}

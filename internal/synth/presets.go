@@ -1,0 +1,190 @@
+package synth
+
+import "schemex/internal/graph"
+
+// Preset is one of the eight synthetic datasets of Table 1. The paper gives
+// the datasets' summary statistics but not their full specifications, so the
+// specs below are calibrated to land near the published object/link counts;
+// what the experiment must reproduce is the published shape (perturbation
+// blows up the number of perfect types while barely moving the optimal
+// typing, and bipartite data yields far fewer perfect types than
+// non-bipartite data).
+type Preset struct {
+	DBNo    int
+	Spec    *Spec
+	Perturb bool
+	DeleteN int
+	AddN    int
+	Seed    int64 // perturbation seed
+	// Paper values from Table 1, for side-by-side reporting.
+	Paper PaperRow
+}
+
+// PaperRow records the published Table 1 row.
+type PaperRow struct {
+	Objects      int
+	Links        int
+	PerfectTypes int
+	OptimalTypes int
+	Defect       int
+}
+
+// Bipartite reports whether the preset's intended types are bipartite.
+func (p Preset) Bipartite() bool { return p.Spec.Bipartite() }
+
+// Overlap reports whether the preset's intended types share typed links.
+func (p Preset) Overlap() bool { return p.Spec.Overlapping() }
+
+// Intended returns the number of intended types.
+func (p Preset) Intended() int { return p.Spec.Intended() }
+
+// Build generates the dataset (with perturbation where the preset calls for
+// it). Deterministic.
+func (p Preset) Build() (*graph.DB, error) {
+	db, err := p.Spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	if p.Perturb {
+		db = Perturb(db, p.DeleteN, p.AddN, p.Seed)
+	}
+	return db, nil
+}
+
+// bipartiteNoOverlap is the 10-type specification behind DB1/DB2: each type
+// has its own disjoint label set, all links point to atomic values.
+func bipartiteNoOverlap() *Spec {
+	mk := func(name string, labels []string, probs []float64) TypeSpec {
+		t := TypeSpec{Name: name, Count: 100}
+		for i, l := range labels {
+			t.Links = append(t.Links, ProbLink{Label: l, Prob: probs[i]})
+		}
+		return t
+	}
+	names := []string{"emp", "dept", "proj", "item", "order", "cust", "supp", "inv", "ship", "acct"}
+	var types []TypeSpec
+	for i, n := range names {
+		labels := []string{n + "-a", n + "-b", n + "-c", n + "-d"}
+		probs := []float64{1.0, 1.0, 0.9, 0.0}
+		// A few types carry a rare fourth attribute, creating irregularity.
+		if i%3 == 0 {
+			probs[3] = 0.1
+		}
+		types = append(types, mk(n, labels, probs))
+	}
+	return &Spec{Name: "bipartite-noov", Types: types, AtomicPool: 13, Seed: 101}
+}
+
+// bipartiteOverlap is the 6-type specification behind DB3/DB4: all types
+// share the "name" and "id" attributes; neighbours in the type list share
+// one further attribute.
+func bipartiteOverlap() *Spec {
+	names := []string{"person", "student", "staff", "course", "room", "book"}
+	shared := []string{"name", "id"}
+	var types []TypeSpec
+	for i, n := range names {
+		t := TypeSpec{Name: n, Count: 100}
+		for _, s := range shared {
+			t.Links = append(t.Links, ProbLink{Label: s, Prob: 1.0})
+		}
+		// Overlapping attribute with the next type in the list.
+		t.Links = append(t.Links, ProbLink{Label: "grp" + string(rune('a'+i%3)), Prob: 0.95})
+		// Own attribute.
+		t.Links = append(t.Links, ProbLink{Label: n + "-own", Prob: 0.9})
+		// Rare own attribute.
+		t.Links = append(t.Links, ProbLink{Label: n + "-opt", Prob: 0.2})
+		types = append(types, t)
+	}
+	return &Spec{Name: "bipartite-ov", Types: types, AtomicPool: 18, Seed: 103}
+}
+
+// graphNoOverlap is the 5-type specification behind DB5/DB6: links between
+// complex objects, disjoint (label, target) pairs per type.
+func graphNoOverlap() *Spec {
+	return &Spec{
+		Name: "graph-noov",
+		Types: []TypeSpec{
+			{Name: "group", Count: 30, Links: []ProbLink{
+				{Label: "gname", Prob: 1.0},
+				{Label: "leader", Target: "person", Prob: 0.9},
+			}},
+			{Name: "person", Count: 110, Links: []ProbLink{
+				{Label: "pname", Prob: 1.0},
+				{Label: "in-group", Target: "group", Prob: 0.9},
+				{Label: "authored", Target: "paper", Prob: 0.7},
+			}},
+			{Name: "paper", Count: 110, Links: []ProbLink{
+				{Label: "title", Prob: 1.0},
+				{Label: "venue", Target: "conf", Prob: 0.85},
+			}},
+			{Name: "conf", Count: 40, Links: []ProbLink{
+				{Label: "cname", Prob: 1.0},
+				{Label: "series", Prob: 0.6},
+			}},
+			{Name: "grant", Count: 60, Links: []ProbLink{
+				{Label: "amount", Prob: 1.0},
+				{Label: "funds", Target: "group", Prob: 0.8},
+			}},
+		},
+		AtomicPool: 10,
+		Seed:       105,
+	}
+}
+
+// graphOverlap is the 5-type specification behind DB7/DB8: types share
+// typed links (every type has ->name[0]; advisors and authors both point at
+// person).
+func graphOverlap() *Spec {
+	return &Spec{
+		Name: "graph-ov",
+		Types: []TypeSpec{
+			{Name: "person", Count: 110, Links: []ProbLink{
+				{Label: "name", Prob: 1.0},
+				{Label: "works-on", Target: "project", Prob: 0.8},
+				{Label: "wrote", Target: "doc", Prob: 0.5},
+			}},
+			{Name: "student", Count: 70, Links: []ProbLink{
+				{Label: "name", Prob: 1.0},
+				{Label: "works-on", Target: "project", Prob: 0.7},
+				{Label: "advisor", Target: "person", Prob: 0.9},
+			}},
+			{Name: "project", Count: 60, Links: []ProbLink{
+				{Label: "name", Prob: 1.0},
+				{Label: "budget", Prob: 0.7},
+			}},
+			{Name: "doc", Count: 80, Links: []ProbLink{
+				{Label: "name", Prob: 1.0},
+				{Label: "about", Target: "project", Prob: 0.6},
+			}},
+			{Name: "lab", Count: 30, Links: []ProbLink{
+				{Label: "name", Prob: 1.0},
+				{Label: "hosts", Target: "project", Prob: 0.9},
+				{Label: "head", Target: "person", Prob: 0.8},
+			}},
+		},
+		AtomicPool: 25,
+		Seed:       107,
+	}
+}
+
+// Presets returns the eight Table 1 datasets in order.
+func Presets() []Preset {
+	return []Preset{
+		{DBNo: 1, Spec: bipartiteNoOverlap(),
+			Paper: PaperRow{1500, 2909, 30, 10, 225}},
+		{DBNo: 2, Spec: bipartiteNoOverlap(), Perturb: true, DeleteN: 25, AddN: 74, Seed: 202,
+			Paper: PaperRow{1500, 2958, 52, 10, 307}},
+		{DBNo: 3, Spec: bipartiteOverlap(),
+			Paper: PaperRow{950, 2409, 19, 6, 239}},
+		{DBNo: 4, Spec: bipartiteOverlap(), Perturb: true, DeleteN: 20, AddN: 53, Seed: 204,
+			Paper: PaperRow{950, 2442, 35, 6, 283}},
+		{DBNo: 5, Spec: graphNoOverlap(),
+			Paper: PaperRow{400, 726, 317, 5, 181}},
+		{DBNo: 6, Spec: graphNoOverlap(), Perturb: true, DeleteN: 10, AddN: 33, Seed: 206,
+			Paper: PaperRow{400, 749, 341, 5, 310}},
+		{DBNo: 7, Spec: graphOverlap(),
+			Paper: PaperRow{400, 775, 375, 5, 291}},
+		{DBNo: 8, Spec: graphOverlap(), Perturb: true, DeleteN: 10, AddN: 30, Seed: 208,
+			Paper: PaperRow{400, 795, 381, 5, 333}},
+	}
+}

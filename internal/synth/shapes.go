@@ -1,0 +1,250 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schemex/internal/graph"
+)
+
+// This file implements a shape-quotient generator: data is produced from an
+// explicit small quotient graph (the "shapes"), so the minimal perfect
+// typing of the generated database is, by construction, (at most) one type
+// per shape. The trick is that typed links are sets — multiplicity never
+// splits a class, only the presence or absence of a (label, neighbour-class)
+// kind does — so the generator guarantees coverage: every object carries at
+// least one instance of each link kind its shape declares, in both
+// directions, and any extra random links only repeat existing kinds.
+//
+// The DBG reconstruction (internal/dbg) and several tests build on this.
+
+// Shape describes one class of objects in the quotient.
+type Shape struct {
+	// Name is the unique shape identifier.
+	Name string
+	// Role is the semantic role (several shapes usually share one role);
+	// used as ground truth when scoring clustering.
+	Role string
+	// Count is the number of objects to instantiate. It must be 0 for
+	// shapes used as owned children (their population is derived from their
+	// parents).
+	Count int
+	// Atoms lists atomic attribute labels; each instance gets one fresh
+	// atomic child per label.
+	Atoms []string
+	// Links lists shared links to other shapes (coverage in both
+	// directions is guaranteed).
+	Links []ShapeLink
+	// Children lists owned sub-objects (each instance owns its own child
+	// per ChildSpec, e.g. a person's birthday).
+	Children []ChildSpec
+}
+
+// ShapeLink is a shared link kind between two shapes.
+type ShapeLink struct {
+	Label string
+	// Target is the target shape name.
+	Target string
+	// Reciprocal, when nonempty, adds a reverse edge with this label for
+	// every emitted link (e.g. project-member as the reciprocal of project).
+	Reciprocal string
+	// Extra adds this many random additional links of the same kind beyond
+	// the coverage minimum.
+	Extra int
+}
+
+// ChildSpec is an owned sub-object: each parent instance gets Repeat fresh
+// instances of the child shape, linked under Label.
+type ChildSpec struct {
+	Label string
+	Shape string
+	// Repeat is the number of children per parent (default 1).
+	Repeat int
+}
+
+// ShapeSpec is a full shape-quotient specification.
+type ShapeSpec struct {
+	Name   string
+	Shapes []Shape
+	Seed   int64
+}
+
+// shapeIndex returns the shape with the given name.
+func (s *ShapeSpec) shapeIndex() (map[string]*Shape, error) {
+	idx := make(map[string]*Shape, len(s.Shapes))
+	for i := range s.Shapes {
+		sh := &s.Shapes[i]
+		if sh.Name == "" {
+			return nil, fmt.Errorf("synth: shape %d has no name", i)
+		}
+		if _, dup := idx[sh.Name]; dup {
+			return nil, fmt.Errorf("synth: duplicate shape name %q", sh.Name)
+		}
+		idx[sh.Name] = sh
+	}
+	return idx, nil
+}
+
+// Validate checks referential integrity of the spec.
+func (s *ShapeSpec) Validate() error {
+	idx, err := s.shapeIndex()
+	if err != nil {
+		return err
+	}
+	child := make(map[string]bool)
+	for _, sh := range s.Shapes {
+		for _, c := range sh.Children {
+			cs, ok := idx[c.Shape]
+			if !ok {
+				return fmt.Errorf("synth: shape %q owns unknown child shape %q", sh.Name, c.Shape)
+			}
+			if cs.Count != 0 {
+				return fmt.Errorf("synth: child shape %q must have Count 0 (population is derived)", c.Shape)
+			}
+			if len(cs.Children) > 0 {
+				return fmt.Errorf("synth: child shape %q may not own children of its own", c.Shape)
+			}
+			child[c.Shape] = true
+		}
+		for _, l := range sh.Links {
+			if _, ok := idx[l.Target]; !ok {
+				return fmt.Errorf("synth: shape %q links to unknown shape %q", sh.Name, l.Target)
+			}
+		}
+	}
+	for _, sh := range s.Shapes {
+		if sh.Count == 0 && !child[sh.Name] {
+			return fmt.Errorf("synth: shape %q has Count 0 but is not owned by any parent", sh.Name)
+		}
+		if sh.Count > 0 && child[sh.Name] {
+			return fmt.Errorf("synth: shape %q is owned as a child but has Count %d", sh.Name, sh.Count)
+		}
+	}
+	return nil
+}
+
+// GenerateShapes instantiates the spec. It returns the database and the
+// ground-truth role of every complex object.
+func (s *ShapeSpec) GenerateShapes() (*graph.DB, map[graph.ObjectID]string, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	idx, _ := s.shapeIndex()
+	rng := rand.New(rand.NewSource(s.Seed))
+	db := graph.New()
+	roles := make(map[graph.ObjectID]string)
+	instances := make(map[string][]graph.ObjectID)
+	nAtoms := 0
+
+	newObj := func(sh *Shape, i int) graph.ObjectID {
+		id := db.Intern(fmt.Sprintf("%s#%d", sh.Name, i))
+		role := sh.Role
+		if role == "" {
+			role = sh.Name
+		}
+		roles[id] = role
+		instances[sh.Name] = append(instances[sh.Name], id)
+		return id
+	}
+	addAtoms := func(o graph.ObjectID, labels []string) error {
+		for _, label := range labels {
+			nAtoms++
+			a := db.Intern(fmt.Sprintf("v:%s:%d", label, nAtoms))
+			if err := db.SetAtomic(a, graph.Value{Sort: graph.SortString, Text: fmt.Sprintf("%s-%d", label, nAtoms)}); err != nil {
+				return err
+			}
+			if err := db.AddLink(o, a, label); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Instantiate top-level shapes, then owned children per parent.
+	for i := range s.Shapes {
+		sh := &s.Shapes[i]
+		for k := 0; k < sh.Count; k++ {
+			o := newObj(sh, k)
+			if err := addAtoms(o, sh.Atoms); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for i := range s.Shapes {
+		sh := &s.Shapes[i]
+		if len(sh.Children) == 0 {
+			continue
+		}
+		for _, parent := range instances[sh.Name] {
+			for _, c := range sh.Children {
+				cs := idx[c.Shape]
+				repeat := c.Repeat
+				if repeat <= 0 {
+					repeat = 1
+				}
+				for r := 0; r < repeat; r++ {
+					child := newObj(cs, len(instances[cs.Name]))
+					if err := addAtoms(child, cs.Atoms); err != nil {
+						return nil, nil, err
+					}
+					if err := db.AddLink(parent, child, c.Label); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Shared links with two-sided coverage: the i'th emission pairs source
+	// i mod |S| with target i mod |T|, so every source carries the outgoing
+	// kind and every target the incoming kind.
+	emit := func(from, to graph.ObjectID, l ShapeLink) error {
+		if from == to {
+			return nil
+		}
+		if err := db.AddLink(from, to, l.Label); err != nil {
+			return err
+		}
+		if l.Reciprocal != "" {
+			if err := db.AddLink(to, from, l.Reciprocal); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range s.Shapes {
+		sh := &s.Shapes[i]
+		srcs := instances[sh.Name]
+		if len(srcs) == 0 {
+			continue
+		}
+		for _, l := range sh.Links {
+			tgts := instances[l.Target]
+			if len(tgts) == 0 {
+				return nil, nil, fmt.Errorf("synth: shape %q links to shape %q which has no instances", sh.Name, l.Target)
+			}
+			m := len(srcs)
+			if len(tgts) > m {
+				m = len(tgts)
+			}
+			// Random rotation keeps the pairing from being identical across
+			// link kinds while preserving coverage.
+			off := rng.Intn(len(tgts))
+			for k := 0; k < m; k++ {
+				if err := emit(srcs[k%len(srcs)], tgts[(k+off)%len(tgts)], l); err != nil {
+					return nil, nil, err
+				}
+			}
+			for e := 0; e < l.Extra; e++ {
+				if err := emit(srcs[rng.Intn(len(srcs))], tgts[rng.Intn(len(tgts))], l); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return db, roles, nil
+}
+
+// Coverage check caveat: when a link's source and target shapes coincide and
+// the shape has a single instance, the self-link is skipped and the kind is
+// simply absent; specs should not rely on self-linking singletons.

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"testing"
+
+	"schemex/internal/graph"
+)
+
+func shapeSpecFixture() *ShapeSpec {
+	return &ShapeSpec{
+		Name: "fixture",
+		Seed: 5,
+		Shapes: []Shape{
+			{Name: "emp", Role: "employee", Count: 5, Atoms: []string{"name", "salary"},
+				Links: []ShapeLink{{Label: "works-in", Target: "dept", Reciprocal: "has-member", Extra: 3}}},
+			{Name: "boss", Role: "employee", Count: 2, Atoms: []string{"name", "salary", "bonus"},
+				Links:    []ShapeLink{{Label: "runs", Target: "dept"}},
+				Children: []ChildSpec{{Label: "review", Shape: "rev", Repeat: 2}}},
+			{Name: "dept", Role: "department", Count: 3, Atoms: []string{"dname"}},
+			{Name: "rev", Role: "review", Atoms: []string{"year", "score"}},
+		},
+	}
+}
+
+func TestShapeSpecValidate(t *testing.T) {
+	if err := shapeSpecFixture().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := shapeSpecFixture()
+	bad.Shapes[0].Links[0].Target = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown link target accepted")
+	}
+	bad2 := shapeSpecFixture()
+	bad2.Shapes[3].Count = 7
+	if err := bad2.Validate(); err == nil {
+		t.Error("owned child with nonzero Count accepted")
+	}
+	bad3 := shapeSpecFixture()
+	bad3.Shapes[3].Children = []ChildSpec{{Label: "sub", Shape: "dept"}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("child owning children accepted")
+	}
+	bad4 := shapeSpecFixture()
+	bad4.Shapes = append(bad4.Shapes, Shape{Name: "orphan"})
+	if err := bad4.Validate(); err == nil {
+		t.Error("count-0 non-child shape accepted")
+	}
+	bad5 := shapeSpecFixture()
+	bad5.Shapes = append(bad5.Shapes, Shape{Name: "emp", Count: 1})
+	if err := bad5.Validate(); err == nil {
+		t.Error("duplicate shape name accepted")
+	}
+}
+
+func TestGenerateShapesPopulations(t *testing.T) {
+	db, roles, err := shapeSpecFixture().GenerateShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, role := range roles {
+		count[role]++
+	}
+	if count["employee"] != 7 || count["department"] != 3 {
+		t.Fatalf("role counts = %v", count)
+	}
+	// Each boss owns 2 reviews.
+	if count["review"] != 4 {
+		t.Fatalf("reviews = %d, want 4", count["review"])
+	}
+}
+
+// TestCoverageBothSides is the generator's key guarantee: every source
+// object of a shape carries each declared outgoing kind, and every target
+// object carries the corresponding incoming kind.
+func TestCoverageBothSides(t *testing.T) {
+	db, _, err := shapeSpecFixture().GenerateShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasOut := func(o graph.ObjectID, label string) bool {
+		for _, e := range db.Out(o) {
+			if e.Label == label {
+				return true
+			}
+		}
+		return false
+	}
+	hasIn := func(o graph.ObjectID, label string) bool {
+		for _, e := range db.In(o) {
+			if e.Label == label {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 5; i++ {
+		o := db.Lookup("emp#" + string(rune('0'+i)))
+		if !hasOut(o, "works-in") {
+			t.Errorf("emp#%d missing works-in", i)
+		}
+		if !hasIn(o, "has-member") {
+			t.Errorf("emp#%d missing reciprocal has-member", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		d := db.Lookup("dept#" + string(rune('0'+i)))
+		if !hasIn(d, "works-in") {
+			t.Errorf("dept#%d missing incoming works-in (coverage)", i)
+		}
+		if !hasOut(d, "has-member") {
+			t.Errorf("dept#%d missing outgoing has-member (reciprocal coverage)", i)
+		}
+		if !hasIn(d, "runs") {
+			t.Errorf("dept#%d missing incoming runs", i)
+		}
+	}
+}
+
+func TestGenerateShapesDeterministic(t *testing.T) {
+	a, _, err := shapeSpecFixture().GenerateShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := shapeSpecFixture().GenerateShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() || a.NumObjects() != b.NumObjects() {
+		t.Fatal("shape generation not deterministic")
+	}
+}

@@ -1,0 +1,84 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec files let users drive the §7.1 generator from the command line
+// (schemex gen -spec file.json). The JSON encoding mirrors the Spec struct:
+//
+//	{
+//	  "name": "mydata",
+//	  "seed": 42,
+//	  "atomicPool": 10,
+//	  "types": [
+//	    {"name": "person", "count": 100, "links": [
+//	      {"label": "name", "prob": 1.0},
+//	      {"label": "friend", "target": "person", "prob": 0.4}
+//	    ]}
+//	  ]
+//	}
+
+type specJSON struct {
+	Name       string         `json:"name"`
+	Seed       int64          `json:"seed"`
+	AtomicPool int            `json:"atomicPool"`
+	Types      []typeSpecJSON `json:"types"`
+}
+
+type typeSpecJSON struct {
+	Name  string         `json:"name"`
+	Count int            `json:"count"`
+	Links []probLinkJSON `json:"links"`
+}
+
+type probLinkJSON struct {
+	Label  string  `json:"label"`
+	Target string  `json:"target,omitempty"`
+	Prob   float64 `json:"prob"`
+}
+
+// ReadSpec parses a JSON spec file.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sj specJSON
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("synth: spec: %v", err)
+	}
+	s := &Spec{Name: sj.Name, Seed: sj.Seed, AtomicPool: sj.AtomicPool}
+	for _, tj := range sj.Types {
+		t := TypeSpec{Name: tj.Name, Count: tj.Count}
+		if t.Name == "" {
+			return nil, fmt.Errorf("synth: spec: type with no name")
+		}
+		for _, lj := range tj.Links {
+			if lj.Label == "" {
+				return nil, fmt.Errorf("synth: spec: type %q has a link with no label", tj.Name)
+			}
+			t.Links = append(t.Links, ProbLink{Label: lj.Label, Target: lj.Target, Prob: lj.Prob})
+		}
+		s.Types = append(s.Types, t)
+	}
+	if len(s.Types) == 0 {
+		return nil, fmt.Errorf("synth: spec: no types")
+	}
+	return s, nil
+}
+
+// WriteSpec serializes a spec as JSON (indented, deterministic).
+func WriteSpec(w io.Writer, s *Spec) error {
+	sj := specJSON{Name: s.Name, Seed: s.Seed, AtomicPool: s.AtomicPool}
+	for _, t := range s.Types {
+		tj := typeSpecJSON{Name: t.Name, Count: t.Count}
+		for _, l := range t.Links {
+			tj.Links = append(tj.Links, probLinkJSON{Label: l.Label, Target: l.Target, Prob: l.Prob})
+		}
+		sj.Types = append(sj.Types, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}

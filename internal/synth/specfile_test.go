@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundtrip(t *testing.T) {
+	s := simpleSpec()
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Seed != s.Seed || back.AtomicPool != s.AtomicPool {
+		t.Fatalf("header changed: %+v vs %+v", back, s)
+	}
+	if len(back.Types) != len(s.Types) {
+		t.Fatalf("types = %d, want %d", len(back.Types), len(s.Types))
+	}
+	for i, ty := range back.Types {
+		if ty.Name != s.Types[i].Name || ty.Count != s.Types[i].Count || len(ty.Links) != len(s.Types[i].Links) {
+			t.Fatalf("type %d changed: %+v vs %+v", i, ty, s.Types[i])
+		}
+	}
+	// Generation from the round-tripped spec is identical.
+	a, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumObjects() != b.NumObjects() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("round-tripped spec generates different data")
+	}
+}
+
+func TestReadSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"types": [], "frobnitz": 1}`},
+		{"no types", `{"name": "x", "types": []}`},
+		{"unnamed type", `{"types": [{"count": 1}]}`},
+		{"unlabeled link", `{"types": [{"name": "t", "count": 1, "links": [{"prob": 0.5}]}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadSpec(strings.NewReader(c.src)); err == nil {
+				t.Fatalf("ReadSpec(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestReadSpecValidatedAtGenerate(t *testing.T) {
+	// Structural errors the reader cannot see (bad probability, dangling
+	// target) surface at Generate.
+	s, err := ReadSpec(strings.NewReader(
+		`{"types": [{"name": "t", "count": 1, "links": [{"label": "a", "target": "nope", "prob": 0.5}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate(); err == nil {
+		t.Fatal("dangling target accepted at generation")
+	}
+}

@@ -1,0 +1,243 @@
+package synth
+
+import (
+	"testing"
+
+	"schemex/internal/graph"
+)
+
+func simpleSpec() *Spec {
+	// The two-type specification of Example 7.1: type one has an 'a' link
+	// to atomic with probability 0.9 and a 'b' link with 0.5; type two has
+	// a 'c' link to type one with probability 0.8 and 'b' with 0.9.
+	return &Spec{
+		Name: "ex71",
+		Types: []TypeSpec{
+			{Name: "one", Count: 200, Links: []ProbLink{
+				{Label: "a", Prob: 0.9},
+				{Label: "b", Prob: 0.5},
+			}},
+			{Name: "two", Count: 100, Links: []ProbLink{
+				{Label: "c", Target: "one", Prob: 0.8},
+				{Label: "b", Prob: 0.9},
+			}},
+		},
+		AtomicPool: 10,
+		Seed:       1,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := simpleSpec()
+	db1, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := simpleSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1.NumObjects() != db2.NumObjects() || db1.NumLinks() != db2.NumLinks() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateCountsAndProbabilities(t *testing.T) {
+	s := simpleSpec()
+	db, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	complexCount := db.NumObjects() - db.NumAtomic()
+	if complexCount != 300 {
+		t.Fatalf("complex objects = %d, want 300", complexCount)
+	}
+	// Expected links: 200·(0.9+0.5) + 100·(0.8+0.9) = 280 + 170 = 450;
+	// allow generous slack for the Bernoulli draws and dedup.
+	links := db.NumLinks()
+	if links < 380 || links > 520 {
+		t.Fatalf("links = %d, want ≈450", links)
+	}
+	// Counting one realized 'a' link rate.
+	aCount := 0
+	db.Links(func(e graph.Edge) {
+		if e.Label == "a" {
+			aCount++
+		}
+	})
+	if aCount < 150 || aCount > 200 {
+		t.Fatalf("a-links = %d, want ≈180", aCount)
+	}
+}
+
+func TestSpecPredicates(t *testing.T) {
+	s := simpleSpec()
+	if s.Bipartite() {
+		t.Error("spec with a type target should not be bipartite")
+	}
+	if !s.Overlapping() {
+		t.Error("both types share ->b[atomic]: should be overlapping")
+	}
+	bip := &Spec{Types: []TypeSpec{
+		{Name: "x", Count: 1, Links: []ProbLink{{Label: "a", Prob: 1}}},
+		{Name: "y", Count: 1, Links: []ProbLink{{Label: "b", Prob: 1}}},
+	}}
+	if !bip.Bipartite() || bip.Overlapping() {
+		t.Error("disjoint atomic-only spec misclassified")
+	}
+	if got := s.Labels(); len(got) != 3 {
+		t.Errorf("labels = %v, want [a b c]", got)
+	}
+	if s.Intended() != 2 {
+		t.Error("intended types wrong")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := &Spec{Types: []TypeSpec{{Name: "x", Count: 1, Links: []ProbLink{{Label: "a", Target: "nope", Prob: 1}}}}}
+	if _, err := bad.Generate(); err == nil {
+		t.Error("unknown target type should fail")
+	}
+	bad2 := &Spec{Types: []TypeSpec{{Name: "x", Count: 1, Links: []ProbLink{{Label: "a", Prob: 1.5}}}}}
+	if _, err := bad2.Generate(); err == nil {
+		t.Error("probability outside [0,1] should fail")
+	}
+}
+
+func TestIntendedAssignment(t *testing.T) {
+	s := simpleSpec()
+	db, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia := s.IntendedAssignment(db)
+	if len(ia) != 300 {
+		t.Fatalf("intended assignment covers %d objects, want 300", len(ia))
+	}
+	if ia[db.Lookup("one_0")] != 0 || ia[db.Lookup("two_3")] != 1 {
+		t.Fatal("intended types mis-assigned")
+	}
+}
+
+func TestPerturbCounts(t *testing.T) {
+	s := simpleSpec()
+	db, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.NumLinks()
+	out := Perturb(db, 10, 25, 99)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.NumLinks(); got != before-10+25 {
+		t.Fatalf("links after perturb = %d, want %d", got, before-10+25)
+	}
+	if db.NumLinks() != before {
+		t.Fatal("Perturb mutated its input")
+	}
+	if out.NumObjects() != db.NumObjects() {
+		t.Fatal("Perturb changed the object population")
+	}
+}
+
+func TestPerturbPreservesBipartite(t *testing.T) {
+	bip := &Spec{
+		Types: []TypeSpec{
+			{Name: "x", Count: 50, Links: []ProbLink{{Label: "a", Prob: 1}, {Label: "b", Prob: 0.5}}},
+			{Name: "y", Count: 50, Links: []ProbLink{{Label: "c", Prob: 1}}},
+		},
+		AtomicPool: 5,
+		Seed:       3,
+	}
+	db, err := bip.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.IsBipartite() {
+		t.Fatal("setup: spec should generate bipartite data")
+	}
+	out := Perturb(db, 5, 20, 7)
+	if !out.IsBipartite() {
+		t.Fatal("perturbation must preserve bipartiteness (Table 1 keeps the flag)")
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	s := simpleSpec()
+	db, _ := s.Generate()
+	a := Perturb(db, 5, 5, 42)
+	b := Perturb(db, 5, 5, 42)
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("perturbation not deterministic")
+	}
+	differs := false
+	a.Links(func(e graph.Edge) {
+		bf, bt := b.Lookup(a.Name(e.From)), b.Lookup(a.Name(e.To))
+		if !b.HasEdge(bf, bt, e.Label) {
+			differs = true
+		}
+	})
+	if differs {
+		t.Fatal("same seed produced different perturbations")
+	}
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, p := range Presets() {
+		db, err := p.Build()
+		if err != nil {
+			t.Fatalf("DB%d: %v", p.DBNo, err)
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("DB%d: %v", p.DBNo, err)
+		}
+		// Object and link counts must be within 15% of the paper's.
+		within := func(got, want int) bool {
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff*100 <= want*15
+		}
+		if !within(db.NumObjects(), p.Paper.Objects) {
+			t.Errorf("DB%d: objects %d too far from paper %d", p.DBNo, db.NumObjects(), p.Paper.Objects)
+		}
+		if !within(db.NumLinks(), p.Paper.Links) {
+			t.Errorf("DB%d: links %d too far from paper %d", p.DBNo, db.NumLinks(), p.Paper.Links)
+		}
+		if p.Bipartite() != db.IsBipartite() {
+			t.Errorf("DB%d: bipartite flag %v but data %v", p.DBNo, p.Bipartite(), db.IsBipartite())
+		}
+	}
+}
+
+func TestPresetFlagsMatchTable1(t *testing.T) {
+	want := []struct {
+		bip, ovl, per bool
+		intended      int
+	}{
+		{true, false, false, 10},
+		{true, false, true, 10},
+		{true, true, false, 6},
+		{true, true, true, 6},
+		{false, false, false, 5},
+		{false, false, true, 5},
+		{false, true, false, 5},
+		{false, true, true, 5},
+	}
+	ps := Presets()
+	if len(ps) != 8 {
+		t.Fatalf("presets = %d, want 8", len(ps))
+	}
+	for i, p := range ps {
+		w := want[i]
+		if p.Bipartite() != w.bip || p.Overlap() != w.ovl || p.Perturb != w.per || p.Intended() != w.intended {
+			t.Errorf("DB%d flags = (%v,%v,%v,%d), want (%v,%v,%v,%d)", p.DBNo,
+				p.Bipartite(), p.Overlap(), p.Perturb, p.Intended(), w.bip, w.ovl, w.per, w.intended)
+		}
+	}
+}

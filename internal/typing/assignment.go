@@ -1,0 +1,86 @@
+package typing
+
+import (
+	"sort"
+
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+)
+
+// Assignment maps complex objects to the types they are assigned (a typing
+// assignment τ in the sense of §2's deficit definition). Unlike an Extent it
+// need not be a fixpoint: Stage 2 produces assignments whose objects may
+// lack some of the typed links their types require.
+type Assignment struct {
+	Program *Program
+	DB      *graph.DB
+	Types   map[graph.ObjectID][]int
+}
+
+// NewAssignment returns an empty assignment over p and db.
+func NewAssignment(p *Program, db *graph.DB) *Assignment {
+	return &Assignment{Program: p, DB: db, Types: make(map[graph.ObjectID][]int)}
+}
+
+// Assign adds type t to object o (idempotent).
+func (a *Assignment) Assign(o graph.ObjectID, t int) {
+	for _, x := range a.Types[o] {
+		if x == t {
+			return
+		}
+	}
+	a.Types[o] = append(a.Types[o], t)
+	sort.Ints(a.Types[o])
+}
+
+// Has reports whether o is assigned type t.
+func (a *Assignment) Has(o graph.ObjectID, t int) bool {
+	for _, x := range a.Types[o] {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Of returns the types assigned to o.
+func (a *Assignment) Of(o graph.ObjectID) []int { return a.Types[o] }
+
+// Unclassified returns the complex objects with no assigned type, in ID
+// order.
+func (a *Assignment) Unclassified() []graph.ObjectID {
+	var out []graph.ObjectID
+	for _, o := range a.DB.ComplexObjects() {
+		if len(a.Types[o]) == 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Membership materializes the assignment as per-type bitsets (the same shape
+// as an Extent's Member field).
+func (a *Assignment) Membership() []*bitset.Set {
+	n := a.DB.NumObjects()
+	member := make([]*bitset.Set, len(a.Program.Types))
+	for i := range member {
+		member[i] = bitset.New(n)
+	}
+	for o, ts := range a.Types {
+		for _, t := range ts {
+			member[t].Set(int(o))
+		}
+	}
+	return member
+}
+
+// FromExtent converts a fixpoint extent into an assignment.
+func FromExtent(e *Extent) *Assignment {
+	a := NewAssignment(e.Program, e.DB)
+	for ti := range e.Program.Types {
+		e.Member[ti].ForEach(func(oi int) {
+			a.Assign(graph.ObjectID(oi), ti)
+		})
+	}
+	return a
+}

@@ -1,0 +1,123 @@
+package typing
+
+import (
+	"fmt"
+
+	"schemex/internal/datalog"
+	"schemex/internal/graph"
+)
+
+// This file bridges the typing language to the generic datalog engine:
+// a typing program compiles to monadic datalog rules over link/3 and
+// atomic/2, and a graph database encodes to the corresponding EDB. The
+// specialized evaluator in eval.go is cross-checked against SolveGFP on the
+// compiled form.
+
+// predName returns the datalog predicate name for type index i.
+func predName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// CompileDatalog translates p into an equivalent monadic datalog program.
+// Each type becomes one rule in the restricted form of §2; fresh variables
+// Y0, Y1, ... and Z0, Z1, ... are used per typed link, as the definition
+// requires.
+func CompileDatalog(p *Program) *datalog.Program {
+	dp := &datalog.Program{}
+	for ti, t := range p.Types {
+		rule := datalog.Rule{
+			Head: datalog.Atom{Pred: predName(ti), Args: []datalog.Term{datalog.V("X")}},
+		}
+		for li, l := range t.Links {
+			y := datalog.V(fmt.Sprintf("Y%d", li))
+			switch {
+			case l.Dir == In:
+				rule.Body = append(rule.Body,
+					datalog.Atom{Pred: "link", Args: []datalog.Term{y, datalog.V("X"), datalog.C(l.Label)}},
+					datalog.Atom{Pred: predName(l.Target), Args: []datalog.Term{y}},
+				)
+			case l.Target == AtomicTarget:
+				var valueTerm datalog.Term
+				if l.HasValue {
+					valueTerm = datalog.C(l.Value)
+				} else {
+					valueTerm = datalog.V(fmt.Sprintf("Z%d", li))
+				}
+				rule.Body = append(rule.Body,
+					datalog.Atom{Pred: "link", Args: []datalog.Term{datalog.V("X"), y, datalog.C(l.Label)}},
+					datalog.Atom{Pred: "atomic", Args: []datalog.Term{y, valueTerm}},
+				)
+				if l.Sort != AnySort {
+					rule.Body = append(rule.Body, datalog.Atom{
+						Pred: "atomicsort",
+						Args: []datalog.Term{y, datalog.C(l.Sort.String())},
+					})
+				}
+			default:
+				rule.Body = append(rule.Body,
+					datalog.Atom{Pred: "link", Args: []datalog.Term{datalog.V("X"), y, datalog.C(l.Label)}},
+					datalog.Atom{Pred: predName(l.Target), Args: []datalog.Term{y}},
+				)
+			}
+		}
+		if len(rule.Body) == 0 {
+			// A type with no typed links holds of every complex object; the
+			// paper's rule form has p ≥ 1, but Stage 2 can produce the empty
+			// type. Encode membership via domain/1.
+			rule.Body = append(rule.Body,
+				datalog.Atom{Pred: "complex", Args: []datalog.Term{datalog.V("X")}})
+		}
+		dp.Rules = append(dp.Rules, rule)
+	}
+	return dp
+}
+
+// EncodeEDB translates a graph database into the datalog EDB over link/3,
+// atomic/2 and complex/1, using object names as constants.
+func EncodeEDB(db *graph.DB) *datalog.Database {
+	edb := datalog.NewDatabase()
+	edb.Ensure("link", 3)
+	edb.Ensure("atomic", 2)
+	edb.Ensure("atomicsort", 2)
+	edb.Ensure("complex", 1)
+	db.Links(func(e graph.Edge) {
+		edb.Add("link", db.Name(e.From), db.Name(e.To), e.Label)
+	})
+	for _, o := range db.AtomicObjects() {
+		v, _ := db.AtomicValue(o)
+		edb.Add("atomic", db.Name(o), v.Text)
+		edb.Add("atomicsort", db.Name(o), (SortConstraint(v.Sort) + 1).String())
+	}
+	for _, o := range db.ComplexObjects() {
+		edb.Add("complex", db.Name(o))
+	}
+	return edb
+}
+
+// EvalGFPDatalog evaluates p on db by compiling to datalog and running the
+// generic downward GFP solver. It returns an Extent equal to EvalGFP's (used
+// for cross-checking; the specialized evaluator is much faster).
+func EvalGFPDatalog(p *Program, db *graph.DB) (*Extent, error) {
+	dp := CompileDatalog(p)
+	edb := EncodeEDB(db)
+	universe := make([]string, 0, db.NumObjects())
+	for _, o := range db.ComplexObjects() {
+		universe = append(universe, db.Name(o))
+	}
+	m, err := datalog.SolveGFP(dp, edb, universe)
+	if err != nil {
+		return nil, err
+	}
+	e := &Extent{Program: p, DB: db}
+	for ti := range p.Types {
+		set := newObjSet(db)
+		rel := m.Relation(predName(ti))
+		if rel != nil {
+			for _, t := range rel.Tuples() {
+				if id := db.Lookup(t[0]); id != graph.NoObject && !db.IsAtomic(id) {
+					set.Set(int(id))
+				}
+			}
+		}
+		e.Member = append(e.Member, set)
+	}
+	return e, nil
+}

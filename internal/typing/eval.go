@@ -1,0 +1,500 @@
+package typing
+
+import (
+	"sort"
+
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+)
+
+// Extent is the greatest fixpoint of a typing program for a database: the
+// set of objects in each type. Atomic objects belong to the implicit type₀
+// and never to a program type.
+type Extent struct {
+	Program *Program
+	DB      *graph.DB
+	// Member[i] holds the objects in Program.Types[i], as a bitset over
+	// ObjectIDs.
+	Member []*bitset.Set
+}
+
+// Has reports whether object o is in type t.
+func (e *Extent) Has(t int, o graph.ObjectID) bool {
+	return e.Member[t].Test(int(o))
+}
+
+// Count returns |M(typeₜ)|.
+func (e *Extent) Count(t int) int { return e.Member[t].Count() }
+
+// Objects returns the objects in type t, in ID order.
+func (e *Extent) Objects(t int) []graph.ObjectID {
+	var out []graph.ObjectID
+	e.Member[t].ForEach(func(i int) { out = append(out, graph.ObjectID(i)) })
+	return out
+}
+
+// TypesOf returns the types containing object o, in index order.
+func (e *Extent) TypesOf(o graph.ObjectID) []int {
+	var out []int
+	for t := range e.Member {
+		if e.Member[t].Test(int(o)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two extents assign the same membership (they must be
+// over the same program length and database size).
+func (e *Extent) Equal(f *Extent) bool {
+	if len(e.Member) != len(f.Member) {
+		return false
+	}
+	for i := range e.Member {
+		if !e.Member[i].Equal(f.Member[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// satisfies reports whether object o currently satisfies every typed link of
+// type t under the membership in member.
+func satisfies(db *graph.DB, t *Type, o graph.ObjectID, member []*bitset.Set) bool {
+	for _, l := range t.Links {
+		if !witnessed(db, l, o, member) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortMatches reports whether an atomic value of sort s satisfies the
+// constraint sc.
+func SortMatches(sc SortConstraint, s graph.Sort) bool {
+	return sc == AnySort || sc == SortConstraint(s)+1
+}
+
+// atomicWitness reports whether the atomic object to witnesses an
+// AtomicTarget link, honoring its sort and value constraints.
+func atomicWitness(db *graph.DB, to graph.ObjectID, l TypedLink) bool {
+	v, ok := db.AtomicValue(to)
+	if !ok || !SortMatches(l.Sort, v.Sort) {
+		return false
+	}
+	return !l.HasValue || v.Text == l.Value
+}
+
+// witnessed reports whether typed link l of object o has a witness under the
+// given membership.
+func witnessed(db *graph.DB, l TypedLink, o graph.ObjectID, member []*bitset.Set) bool {
+	if l.Dir == Out {
+		for _, e := range db.Out(o) {
+			if e.Label != l.Label {
+				continue
+			}
+			if l.Target == AtomicTarget {
+				if atomicWitness(db, e.To, l) {
+					return true
+				}
+			} else if member[l.Target].Test(int(e.To)) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range db.In(o) {
+		if e.Label == l.Label && member[l.Target].Test(int(e.From)) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalGFPNaive computes the greatest fixpoint by the straightforward method
+// of §4: start with every complex object in every type (M_all) and apply the
+// program until no change occurs. It is the reference implementation; EvalGFP
+// computes the same result faster.
+func EvalGFPNaive(p *Program, db *graph.DB) *Extent {
+	n := db.NumObjects()
+	member := make([]*bitset.Set, len(p.Types))
+	for i := range member {
+		member[i] = bitset.New(n)
+	}
+	for _, o := range db.ComplexObjects() {
+		for i := range member {
+			member[i].Set(int(o))
+		}
+	}
+	for {
+		changed := false
+		next := make([]*bitset.Set, len(member))
+		for i, t := range p.Types {
+			next[i] = bitset.New(n)
+			member[i].ForEach(func(oi int) {
+				if satisfies(db, t, graph.ObjectID(oi), member) {
+					next[i].Set(oi)
+				} else {
+					changed = true
+				}
+			})
+		}
+		member = next
+		if !changed {
+			break
+		}
+	}
+	return &Extent{Program: p, DB: db, Member: member}
+}
+
+// EvalGFP computes the greatest fixpoint with support counting: each
+// (object, type, link) triple tracks its number of witnesses, and removals
+// propagate along edges, giving work proportional to edges × types touched
+// rather than full re-evaluation rounds. This is one of the "many possible
+// improvements" §4 alludes to for monadic programs.
+func EvalGFP(p *Program, db *graph.DB) *Extent {
+	n := db.NumObjects()
+	nT := len(p.Types)
+	member := make([]*bitset.Set, nT)
+	for i := range member {
+		member[i] = bitset.New(n)
+	}
+
+	// Dense positions for complex objects: the count tables are indexed by
+	// position, not raw ObjectID, so atomic objects cost nothing.
+	complexObjs := db.ComplexObjects()
+	nC := len(complexObjs)
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, o := range complexObjs {
+		pos[o] = int32(i)
+	}
+
+	// Per-object, per-label degree histograms with labels interned to dense
+	// IDs. Initially every complex object is in every type, so the initial
+	// witness count of a typed link depends only on (direction, label,
+	// atomic-vs-complex), not on the target type.
+	labelID := make(map[string]int)
+	for _, l := range db.Labels() {
+		labelID[l] = len(labelID)
+	}
+	nL := len(labelID)
+	outComplex := make([]int32, nC*nL)
+	outAtomic := make([]int32, nC*nL)
+	inComplex := make([]int32, nC*nL)
+	// Per-sort atomic histograms are only materialized when the program
+	// uses sort constraints (the Remark 2.1 extension).
+	hasSorts := false
+	for _, t := range p.Types {
+		for _, l := range t.Links {
+			if l.Sort != AnySort {
+				hasSorts = true
+			}
+		}
+	}
+	const nSorts = 4
+	var outAtomicSort []int32
+	if hasSorts {
+		outAtomicSort = make([]int32, nC*nL*nSorts)
+	}
+	for i, o := range complexObjs {
+		base := i * nL
+		for _, e := range db.Out(o) {
+			li := labelID[e.Label]
+			if db.IsAtomic(e.To) {
+				outAtomic[base+li]++
+				if hasSorts {
+					v, _ := db.AtomicValue(e.To)
+					outAtomicSort[(base+li)*nSorts+int(v.Sort)]++
+				}
+			} else {
+				outComplex[base+li]++
+			}
+		}
+		for _, e := range db.In(o) {
+			inComplex[base+labelID[e.Label]]++
+		}
+	}
+
+	// counts[t] is indexed by linkIdx*nC + position(obj).
+	counts := make([][]int32, nT)
+	type removal struct {
+		t int
+		o graph.ObjectID
+	}
+	var queue []removal
+	remove := func(t int, o graph.ObjectID) {
+		if member[t].Test(int(o)) {
+			member[t].Clear(int(o))
+			queue = append(queue, removal{t, o})
+		}
+	}
+
+	for ti, t := range p.Types {
+		counts[ti] = make([]int32, len(t.Links)*nC)
+	}
+	for _, o := range complexObjs {
+		for ti := range p.Types {
+			member[ti].Set(int(o))
+		}
+	}
+	for ti, t := range p.Types {
+		for li, l := range t.Links {
+			row := counts[ti][li*nC : (li+1)*nC]
+			lid, known := labelID[l.Label]
+			if !known {
+				// Label absent from the data: nothing can witness it.
+				for _, o := range complexObjs {
+					remove(ti, o)
+				}
+				continue
+			}
+			if l.Dir == Out && l.Target == AtomicTarget && l.HasValue {
+				// Value-constrained links are rare; count by scanning each
+				// object's edges directly.
+				for i, o := range complexObjs {
+					var c int32
+					for _, e := range db.Out(o) {
+						if e.Label == l.Label && db.IsAtomic(e.To) && atomicWitness(db, e.To, l) {
+							c++
+						}
+					}
+					row[i] = c
+					if c == 0 {
+						remove(ti, o)
+					}
+				}
+				continue
+			}
+			if l.Dir == Out && l.Target == AtomicTarget && l.Sort != AnySort {
+				si := int(l.Sort) - 1
+				for i, o := range complexObjs {
+					c := outAtomicSort[(i*nL+lid)*nSorts+si]
+					row[i] = c
+					if c == 0 {
+						remove(ti, o)
+					}
+				}
+				continue
+			}
+			var hist []int32
+			switch {
+			case l.Dir == Out && l.Target == AtomicTarget:
+				hist = outAtomic
+			case l.Dir == Out:
+				hist = outComplex
+			default:
+				hist = inComplex
+			}
+			for i, o := range complexObjs {
+				c := hist[i*nL+lid]
+				row[i] = c
+				if c == 0 {
+					remove(ti, o)
+				}
+			}
+		}
+	}
+
+	// refs[j] lists the (type, link) positions whose target is type j, split
+	// by direction, so a removal from type j can decrement exactly the
+	// affected counts.
+	type ref struct {
+		t, li int
+		label string
+		dir   Dir
+	}
+	refs := make([][]ref, nT)
+	for ti, t := range p.Types {
+		for li, l := range t.Links {
+			if l.Target == AtomicTarget {
+				continue // atomic membership never changes
+			}
+			refs[l.Target] = append(refs[l.Target], ref{ti, li, l.Label, l.Dir})
+		}
+	}
+
+	for len(queue) > 0 {
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x := rm.o
+		for _, rf := range refs[rm.t] {
+			if rf.dir == Out {
+				// Some object o with an ℓ-edge to x may lose a witness for
+				// →ℓ[rm.t].
+				for _, e := range db.In(x) {
+					if e.Label != rf.label {
+						continue
+					}
+					o := e.From
+					if !member[rf.t].Test(int(o)) {
+						continue
+					}
+					c := &counts[rf.t][rf.li*nC+int(pos[o])]
+					*c--
+					if *c == 0 {
+						remove(rf.t, o)
+					}
+				}
+			} else {
+				// Some object o with an ℓ-edge from x may lose a witness for
+				// ←ℓ[rm.t].
+				for _, e := range db.Out(x) {
+					if e.Label != rf.label {
+						continue
+					}
+					o := e.To
+					if db.IsAtomic(o) || !member[rf.t].Test(int(o)) {
+						continue
+					}
+					c := &counts[rf.t][rf.li*nC+int(pos[o])]
+					*c--
+					if *c == 0 {
+						remove(rf.t, o)
+					}
+				}
+			}
+		}
+	}
+	return &Extent{Program: p, DB: db, Member: member}
+}
+
+// IsFixpoint reports whether the extent is a fixpoint of its program: every
+// member satisfies its type and no non-member complex object is forced in.
+// (The GFP is the unique largest fixpoint; this is used by tests.)
+func (e *Extent) IsFixpoint() bool {
+	for ti, t := range e.Program.Types {
+		for _, o := range e.DB.ComplexObjects() {
+			in := e.Member[ti].Test(int(o))
+			if in != satisfies(e.DB, t, o, e.Member) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HomeCandidates returns, for each complex object, the types whose
+// definition it satisfies exactly — i.e. the object's local picture equals
+// the type definition when link targets are resolved against this extent.
+// (Used by recasting diagnostics.)
+func (e *Extent) HomeCandidates(o graph.ObjectID) []int {
+	local := LocalLinks(e.DB, o, func(x graph.ObjectID) []int { return e.TypesOf(x) })
+	var out []int
+	for ti, t := range e.Program.Types {
+		if !e.Member[ti].Test(int(o)) {
+			continue
+		}
+		if linksEqual(local, t.Links) {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// LocalLinks computes the local picture of object o as a canonical set of
+// typed links, given a classesOf function mapping each neighbour to the
+// types it belongs to. An edge to a neighbour with several types produces
+// one typed link per type.
+func LocalLinks(db *graph.DB, o graph.ObjectID, classesOf func(graph.ObjectID) []int) []TypedLink {
+	return LocalLinksSorted(db, o, classesOf, false)
+}
+
+// PictureOpts configure how local pictures and Q_D rules describe atomic
+// attributes (the Remark 2.1 and value-predicate extensions).
+type PictureOpts struct {
+	// UseSorts annotates atomic targets with the value's sort.
+	UseSorts bool
+	// ValueLabels lists labels whose atomic values become part of the
+	// picture, e.g. {"sex": true} turns an edge sex -> "Male" into
+	// ->sex[0="Male"].
+	ValueLabels map[string]bool
+}
+
+// LocalLinksSorted is LocalLinks with optional sort constraints (Remark
+// 2.1).
+func LocalLinksSorted(db *graph.DB, o graph.ObjectID, classesOf func(graph.ObjectID) []int, useSorts bool) []TypedLink {
+	return LocalLinksOpts(db, o, classesOf, PictureOpts{UseSorts: useSorts})
+}
+
+// LocalLinksOpts computes the local picture with the given options. An edge
+// to an atomic object contributes the plain ->ℓ[0] form plus the
+// sort-constrained and value-constrained forms its options enable, so
+// definitions at any precision can be matched by subset tests.
+func LocalLinksOpts(db *graph.DB, o graph.ObjectID, classesOf func(graph.ObjectID) []int, opts PictureOpts) []TypedLink {
+	var links []TypedLink
+	for _, e := range db.Out(o) {
+		if db.IsAtomic(e.To) {
+			links = append(links, TypedLink{Dir: Out, Label: e.Label, Target: AtomicTarget})
+			v, ok := db.AtomicValue(e.To)
+			if !ok {
+				continue
+			}
+			if opts.UseSorts {
+				links = append(links, TypedLink{
+					Dir: Out, Label: e.Label, Target: AtomicTarget,
+					Sort: SortConstraint(v.Sort) + 1,
+				})
+			}
+			if opts.ValueLabels[e.Label] {
+				l := TypedLink{
+					Dir: Out, Label: e.Label, Target: AtomicTarget,
+					Value: v.Text, HasValue: true,
+				}
+				if opts.UseSorts {
+					l.Sort = SortConstraint(v.Sort) + 1
+				}
+				links = append(links, l)
+			}
+			continue
+		}
+		for _, c := range classesOf(e.To) {
+			links = append(links, TypedLink{Dir: Out, Label: e.Label, Target: c})
+		}
+	}
+	for _, e := range db.In(o) {
+		for _, c := range classesOf(e.From) {
+			links = append(links, TypedLink{Dir: In, Label: e.Label, Target: c})
+		}
+	}
+	tmp := Type{Links: links}
+	tmp.Canonicalize()
+	return tmp.Links
+}
+
+func linksEqual(a, b []TypedLink) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LinkSet is a set of typed links keyed for map use; it underlies the
+// clustering hypercube.
+type LinkSet map[TypedLink]bool
+
+// NewLinkSet builds a LinkSet from a slice.
+func NewLinkSet(links []TypedLink) LinkSet {
+	s := make(LinkSet, len(links))
+	for _, l := range links {
+		s[l] = true
+	}
+	return s
+}
+
+// Slice returns the canonical sorted slice form.
+func (s LinkSet) Slice() []TypedLink {
+	out := make([]TypedLink, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

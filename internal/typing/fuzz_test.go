@@ -1,0 +1,37 @@
+package typing
+
+import "testing"
+
+// FuzzParse checks the arrow-notation parser never panics, and that every
+// accepted program validates and survives a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"type a = ->x[0]",
+		"type a = <-x[b] & ->y[0]\ntype b = ->z[a]",
+		"type a = ->x[0:int] & ->s[0=\"Male\"]",
+		"a = ->x[0], ->y[0]",
+		"type \"weird name\" = ->\"weird label\"[0]",
+		"# comment\ntype a = ->x[0] // trailing",
+		"type t = ->x[0:string=\"v\"]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program invalid: %v (input %q)", verr, src)
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("print/parse not stable:\n%s\nvs\n%s", rendered, p2.String())
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package typing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Normalize returns a copy of the program with types sorted by name and all
+// link targets remapped accordingly. Two programs that differ only in type
+// order normalize to identical renderings, which makes Equal a simple
+// string comparison. Names must be unique (Validate enforces this).
+func (p *Program) Normalize() *Program {
+	idx := make([]int, len(p.Types))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p.Types[idx[a]].Name < p.Types[idx[b]].Name })
+	remap := make([]int, len(p.Types))
+	for newPos, oldPos := range idx {
+		remap[oldPos] = newPos
+	}
+	out := NewProgram()
+	for _, oldPos := range idx {
+		t := p.Types[oldPos].Clone()
+		for li, l := range t.Links {
+			if l.Target != AtomicTarget {
+				t.Links[li].Target = remap[l.Target]
+			}
+		}
+		out.Add(t)
+	}
+	return out
+}
+
+// Equal reports whether two programs define the same named types with the
+// same rules (order-insensitive; weights are ignored).
+func (p *Program) Equal(q *Program) bool {
+	if p.Len() != q.Len() {
+		return false
+	}
+	return p.Normalize().String() == q.Normalize().String()
+}
+
+// Stats summarizes a program for reporting.
+type ProgramStats struct {
+	Types         int
+	TypedLinks    int // total conjuncts (the paper's size measure)
+	DistinctLinks int // hypercube dimensions L
+	Incoming      int
+	Outgoing      int
+	AtomicTargets int
+	TotalWeight   int
+	MaxLinks      int // largest rule body
+}
+
+// Stats computes summary statistics of the program.
+func (p *Program) Stats() ProgramStats {
+	var s ProgramStats
+	s.Types = p.Len()
+	s.DistinctLinks = p.DistinctLinks()
+	for _, t := range p.Types {
+		s.TypedLinks += len(t.Links)
+		s.TotalWeight += t.Weight
+		if len(t.Links) > s.MaxLinks {
+			s.MaxLinks = len(t.Links)
+		}
+		for _, l := range t.Links {
+			if l.Dir == In {
+				s.Incoming++
+			} else {
+				s.Outgoing++
+			}
+			if l.Target == AtomicTarget {
+				s.AtomicTargets++
+			}
+		}
+	}
+	return s
+}
+
+func (s ProgramStats) String() string {
+	return fmt.Sprintf("%d types, %d typed links (%d distinct; %d in, %d out, %d atomic), weight %d, largest rule %d",
+		s.Types, s.TypedLinks, s.DistinctLinks, s.Incoming, s.Outgoing, s.AtomicTargets, s.TotalWeight, s.MaxLinks)
+}

@@ -1,0 +1,234 @@
+package typing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a typing program in the textual arrow notation produced by
+// Program.String:
+//
+//	type person = <-employs[firm] & ->name[0]
+//	type firm   = ->name[0] & ->employs[person]
+//
+// One type per line ("type" keyword optional); links separated by '&' or
+// ','; the target "0" denotes the atomic type; other targets are type names,
+// which may be referenced before their definition. Labels and names may be
+// double-quoted. Line comments start with '#' or '//'.
+func Parse(src string) (*Program, error) {
+	p := NewProgram()
+	type pendingLink struct {
+		typeIdx int
+		linkIdx int
+		target  string
+		line    int
+	}
+	var pending []pendingLink
+	nameToIdx := make(map[string]int)
+
+	lines := strings.Split(src, "\n")
+	for lineNo0, raw := range lines {
+		lineNo := lineNo0 + 1
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 && !strings.Contains(line[:i], "\"") {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lx := &ntLexer{src: line, line: lineNo}
+		name, err := lx.word("type name")
+		if err != nil {
+			return nil, err
+		}
+		if name == "type" && lx.peekIsWord() {
+			name, err = lx.word("type name")
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, ok := nameToIdx[name]; ok {
+			return nil, fmt.Errorf("typing: line %d: type %q defined twice", lineNo, name)
+		}
+		if name == "0" {
+			return nil, fmt.Errorf("typing: line %d: type name %q is reserved for the atomic type", lineNo, name)
+		}
+		t := &Type{Name: name}
+		idx := len(p.Types)
+		nameToIdx[name] = idx
+		if !lx.eat('=') {
+			return nil, fmt.Errorf("typing: line %d: expected '=' after type name", lineNo)
+		}
+		for !lx.atEnd() {
+			dir, err := lx.arrow()
+			if err != nil {
+				return nil, err
+			}
+			label, err := lx.word("link label")
+			if err != nil {
+				return nil, err
+			}
+			if !lx.eat('[') {
+				return nil, fmt.Errorf("typing: line %d: expected '[' after label %q", lineNo, label)
+			}
+			target, err := lx.word("target type")
+			if err != nil {
+				return nil, err
+			}
+			link := TypedLink{Dir: dir, Label: label}
+			if target == "0" && lx.eat(':') {
+				sortName, err := lx.word("sort name")
+				if err != nil {
+					return nil, err
+				}
+				sc, ok := ParseSortConstraint(sortName)
+				if !ok {
+					return nil, fmt.Errorf("typing: line %d: unknown sort %q", lineNo, sortName)
+				}
+				link.Sort = sc
+			}
+			if target == "0" && lx.eat('=') {
+				value, err := lx.word("value")
+				if err != nil {
+					return nil, err
+				}
+				link.Value = value
+				link.HasValue = true
+			}
+			if !lx.eat(']') {
+				return nil, fmt.Errorf("typing: line %d: expected ']' after target %q", lineNo, target)
+			}
+			if target == "0" {
+				link.Target = AtomicTarget
+			} else if ti, ok := nameToIdx[target]; ok {
+				link.Target = ti
+			} else {
+				link.Target = -2 // patched below
+				pending = append(pending, pendingLink{idx, len(t.Links), target, lineNo})
+			}
+			t.Links = append(t.Links, link)
+			if !lx.eat('&') && !lx.eat(',') && !lx.atEnd() {
+				return nil, fmt.Errorf("typing: line %d: expected '&', ',' or end of line", lineNo)
+			}
+		}
+		p.Types = append(p.Types, t)
+	}
+	for _, pl := range pending {
+		ti, ok := nameToIdx[pl.target]
+		if !ok {
+			return nil, fmt.Errorf("typing: line %d: link targets undefined type %q", pl.line, pl.target)
+		}
+		p.Types[pl.typeIdx].Links[pl.linkIdx].Target = ti
+	}
+	for _, t := range p.Types {
+		t.Canonicalize()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ntLexer is a tiny single-line lexer for the arrow notation.
+type ntLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *ntLexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+}
+
+func (l *ntLexer) atEnd() bool {
+	l.skipSpace()
+	return l.pos >= len(l.src)
+}
+
+func (l *ntLexer) eat(c byte) bool {
+	l.skipSpace()
+	if l.pos < len(l.src) && l.src[l.pos] == c {
+		l.pos++
+		return true
+	}
+	return false
+}
+
+func (l *ntLexer) peekIsWord() bool {
+	l.skipSpace()
+	return l.pos < len(l.src) && (isWordChar(l.src[l.pos]) || l.src[l.pos] == '"')
+}
+
+func (l *ntLexer) arrow() (Dir, error) {
+	l.skipSpace()
+	if strings.HasPrefix(l.src[l.pos:], "<-") {
+		l.pos += 2
+		return In, nil
+	}
+	if strings.HasPrefix(l.src[l.pos:], "->") {
+		l.pos += 2
+		return Out, nil
+	}
+	return 0, fmt.Errorf("typing: line %d: expected '<-' or '->' at %q", l.line, l.src[l.pos:])
+}
+
+func (l *ntLexer) word(what string) (string, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return "", fmt.Errorf("typing: line %d: expected %s, got end of line", l.line, what)
+	}
+	if l.src[l.pos] == '"' {
+		j := l.pos + 1
+		for j < len(l.src) {
+			if l.src[j] == '\\' {
+				j += 2
+				continue
+			}
+			if l.src[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(l.src) {
+			return "", fmt.Errorf("typing: line %d: unterminated string", l.line)
+		}
+		unq, err := strconv.Unquote(l.src[l.pos : j+1])
+		if err != nil {
+			return "", fmt.Errorf("typing: line %d: bad quoted string %s: %v", l.line, l.src[l.pos:j+1], err)
+		}
+		l.pos = j + 1
+		return unq, nil
+	}
+	j := l.pos
+	for j < len(l.src) && isWordChar(l.src[j]) {
+		j++
+	}
+	if j == l.pos {
+		return "", fmt.Errorf("typing: line %d: expected %s at %q", l.line, what, l.src[l.pos:])
+	}
+	w := l.src[l.pos:j]
+	l.pos = j
+	return w, nil
+}
+
+func isWordChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == '.':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,325 @@
+// Package typing implements the paper's type description language: monadic
+// datalog programs whose rule bodies are conjunctions of typed links, the
+// arrow notation of §2, compilation to the generic datalog engine, and
+// greatest-fixpoint evaluation over a semistructured database.
+package typing
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dir is the direction of a typed link relative to the object being typed.
+type Dir uint8
+
+// Typed-link directions.
+const (
+	// In is form 1 of §2: link(Y, X, ℓ) & c'(Y) — an incoming ℓ-edge from an
+	// object of the target type. Written ←ℓ[c'].
+	In Dir = iota
+	// Out covers forms 2 and 3: link(X, Y, ℓ) with Y in the target type
+	// (→ℓ[c']) or Y atomic (→ℓ[0], Target == AtomicTarget).
+	Out
+)
+
+// AtomicTarget is the Target of a typed link that points to an atomic
+// object (the paper's type₀).
+const AtomicTarget = -1
+
+// SortConstraint optionally restricts an atomic-target link to values of a
+// single sort — the Remark 2.1 extension ("it is often easy to separate the
+// atomic values into different sorts, e.g., integer, string…"). The zero
+// value places no restriction, so plain programs are unaffected.
+type SortConstraint uint8
+
+// Sort constraints. They mirror graph.Sort, shifted so the zero value means
+// "any atomic value".
+const (
+	AnySort SortConstraint = iota
+	SortString
+	SortInt
+	SortFloat
+	SortBool
+)
+
+func (s SortConstraint) String() string {
+	switch s {
+	case AnySort:
+		return "any"
+	case SortString:
+		return "string"
+	case SortInt:
+		return "int"
+	case SortFloat:
+		return "float"
+	case SortBool:
+		return "bool"
+	default:
+		return "sort?"
+	}
+}
+
+// ParseSortConstraint parses a sort name as used in the arrow notation.
+func ParseSortConstraint(s string) (SortConstraint, bool) {
+	switch s {
+	case "any":
+		return AnySort, true
+	case "string":
+		return SortString, true
+	case "int":
+		return SortInt, true
+	case "float":
+		return SortFloat, true
+	case "bool":
+		return SortBool, true
+	}
+	return AnySort, false
+}
+
+// TypedLink is one conjunct of a type definition.
+type TypedLink struct {
+	Dir    Dir
+	Label  string
+	Target int // index of the target type in the program, or AtomicTarget
+	// Sort restricts an AtomicTarget link to one value sort; AnySort (the
+	// zero value) for no restriction. Must be AnySort for complex targets.
+	Sort SortConstraint
+	// Value, when HasValue is set, restricts an AtomicTarget link to one
+	// specific atomic value — the paper's future-work extension ("classify
+	// differently objects with values 'Male' or 'Female' in a sex
+	// subobject"). Written ->sex[0="Male"].
+	Value    string
+	HasValue bool
+}
+
+// Compare orders typed links canonically: direction, then label, then
+// target, then sort. It returns -1, 0 or 1.
+func (l TypedLink) Compare(m TypedLink) int {
+	switch {
+	case l.Dir != m.Dir:
+		if l.Dir < m.Dir {
+			return -1
+		}
+		return 1
+	case l.Label != m.Label:
+		if l.Label < m.Label {
+			return -1
+		}
+		return 1
+	case l.Target != m.Target:
+		if l.Target < m.Target {
+			return -1
+		}
+		return 1
+	case l.Sort != m.Sort:
+		if l.Sort < m.Sort {
+			return -1
+		}
+		return 1
+	case l.HasValue != m.HasValue:
+		if !l.HasValue {
+			return -1
+		}
+		return 1
+	case l.Value != m.Value:
+		if l.Value < m.Value {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Type is one intensional predicate of a typing program: a named set of
+// typed links, canonically sorted, plus the number of objects that have the
+// type as a home type (its weight, used by Stage 2 clustering).
+type Type struct {
+	Name   string
+	Links  []TypedLink
+	Weight int
+}
+
+// Canonicalize sorts the links and removes duplicates, in place.
+func (t *Type) Canonicalize() {
+	sort.Slice(t.Links, func(i, j int) bool { return t.Links[i].Compare(t.Links[j]) < 0 })
+	out := t.Links[:0]
+	for i, l := range t.Links {
+		if i == 0 || l != t.Links[i-1] {
+			out = append(out, l)
+		}
+	}
+	t.Links = out
+}
+
+// HasLink reports whether the (canonicalized) type contains l.
+func (t *Type) HasLink(l TypedLink) bool {
+	i := sort.Search(len(t.Links), func(i int) bool { return t.Links[i].Compare(l) >= 0 })
+	return i < len(t.Links) && t.Links[i] == l
+}
+
+// Clone returns a deep copy of the type.
+func (t *Type) Clone() *Type {
+	return &Type{Name: t.Name, Links: append([]TypedLink(nil), t.Links...), Weight: t.Weight}
+}
+
+// Program is a typing program: a list of types. Type i of the program is the
+// paper's typeᵢ₊₁ (type₀ being the atomic type, which is implicit).
+type Program struct {
+	Types []*Type
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// Add appends a type and returns its index.
+func (p *Program) Add(t *Type) int {
+	t.Canonicalize()
+	p.Types = append(p.Types, t)
+	return len(p.Types) - 1
+}
+
+// Len returns the number of types.
+func (p *Program) Len() int { return len(p.Types) }
+
+// IndexOf returns the index of the type with the given name, or -1.
+func (p *Program) IndexOf(name string) int {
+	for i, t := range p.Types {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that every link target is AtomicTarget or a valid type
+// index, and that type names are unique and non-empty.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for i, t := range p.Types {
+		if t.Name == "" {
+			return fmt.Errorf("typing: type %d has no name", i)
+		}
+		if t.Name == "0" {
+			return fmt.Errorf("typing: type %d is named %q, which is reserved for the atomic type", i, t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("typing: duplicate type name %q", t.Name)
+		}
+		seen[t.Name] = true
+		for _, l := range t.Links {
+			if l.Target == AtomicTarget {
+				if l.Dir == In {
+					return fmt.Errorf("typing: type %q: incoming link %q from an atomic object is impossible (atomic objects have no outgoing edges)", t.Name, l.Label)
+				}
+				continue
+			}
+			if l.Target < 0 || l.Target >= len(p.Types) {
+				return fmt.Errorf("typing: type %q: link %q targets unknown type %d", t.Name, l.Label, l.Target)
+			}
+			if l.Sort != AnySort {
+				return fmt.Errorf("typing: type %q: link %q has a sort constraint but a complex target", t.Name, l.Label)
+			}
+			if l.HasValue {
+				return fmt.Errorf("typing: type %q: link %q has a value constraint but a complex target", t.Name, l.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Types: make([]*Type, len(p.Types))}
+	for i, t := range p.Types {
+		c.Types[i] = t.Clone()
+	}
+	return c
+}
+
+// DistinctLinks returns the number of distinct typed links appearing in the
+// program (the paper's L, the hypercube dimension of §5.2).
+func (p *Program) DistinctLinks() int {
+	set := make(map[TypedLink]bool)
+	for _, t := range p.Types {
+		for _, l := range t.Links {
+			set[l] = true
+		}
+	}
+	return len(set)
+}
+
+// Size returns the total number of typed links over all types, a natural
+// measure of the size of a typing (§1).
+func (p *Program) Size() int {
+	n := 0
+	for _, t := range p.Types {
+		n += len(t.Links)
+	}
+	return n
+}
+
+// LinkString renders a typed link in the arrow notation of §2 using the
+// program's type names: "<-label[name]", "->label[name]", or "->label[0]"
+// for atomic targets.
+func (p *Program) LinkString(l TypedLink) string {
+	var arrow string
+	if l.Dir == In {
+		arrow = "<-"
+	} else {
+		arrow = "->"
+	}
+	target := "0"
+	if l.Target != AtomicTarget {
+		if l.Target >= 0 && l.Target < len(p.Types) {
+			target = p.Types[l.Target].Name
+		} else {
+			target = strconv.Itoa(l.Target)
+		}
+	} else {
+		if l.Sort != AnySort {
+			target = "0:" + l.Sort.String()
+		}
+		if l.HasValue {
+			target += "=" + strconv.Quote(l.Value)
+		}
+	}
+	return fmt.Sprintf("%s%s[%s]", arrow, quoteLabel(l.Label), target)
+}
+
+// TypeString renders one type definition: "name = link & link & ...".
+func (p *Program) TypeString(i int) string {
+	t := p.Types[i]
+	if len(t.Links) == 0 {
+		return fmt.Sprintf("type %s =", quoteLabel(t.Name))
+	}
+	parts := make([]string, len(t.Links))
+	for k, l := range t.Links {
+		parts[k] = p.LinkString(l)
+	}
+	return fmt.Sprintf("type %s = %s", quoteLabel(t.Name), strings.Join(parts, " & "))
+}
+
+// String renders the whole program, one type per line, in the textual form
+// accepted by Parse.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for i := range p.Types {
+		sb.WriteString(p.TypeString(i))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func quoteLabel(s string) string {
+	if s == "" {
+		return strconv.Quote(s)
+	}
+	for i := 0; i < len(s); i++ {
+		if !isWordChar(s[i]) {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

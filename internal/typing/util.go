@@ -1,0 +1,8 @@
+package typing
+
+import (
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+)
+
+func newObjSet(db *graph.DB) *bitset.Set { return bitset.New(db.NumObjects()) }

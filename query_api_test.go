@@ -1,0 +1,76 @@
+package schemex
+
+import (
+	"testing"
+)
+
+func TestFindPathPublicAPI(t *testing.T) {
+	g := NewGraph()
+	g.Link("group", "alice", "member")
+	g.Link("group", "bob", "member")
+	g.LinkAtom("alice", "name", "Alice")
+	g.LinkAtom("alice", "phone", "555")
+	g.LinkAtom("bob", "name", "Bob")
+
+	naive, err := g.FindPath("member.phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) != 1 || naive[0] != "group" {
+		t.Fatalf("FindPath = %v, want [group]", naive)
+	}
+
+	res, err := Extract(g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := res.FindPath("member.phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guided) != 1 || guided[0] != "group" {
+		t.Fatalf("guided FindPath = %v, want [group]", guided)
+	}
+
+	// Wildcards and closure agree between the two evaluators.
+	for _, path := range []string{"member.*", "#.phone", "member.name"} {
+		a, err := g.FindPath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.FindPath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("path %s: naive %v vs guided %v", path, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("path %s: naive %v vs guided %v", path, a, b)
+			}
+		}
+	}
+
+	if _, err := g.FindPath("a..b"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestPathValuesPublicAPI(t *testing.T) {
+	g := NewGraph()
+	g.Link("root", "kid", "child")
+	g.LinkAtom("kid", "name", "Kid")
+	g.LinkAtom("kid", "age", "7")
+
+	vals, err := g.PathValues("root", "child.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != "7" || vals[1] != "Kid" {
+		t.Fatalf("PathValues = %v", vals)
+	}
+	if _, err := g.PathValues("nope", "child"); err == nil {
+		t.Fatal("unknown start object accepted")
+	}
+}
