@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz cover fmt vet clean
+.PHONY: all build test race test-race check bench bench-json experiments examples fuzz cover fmt vet clean
 
 all: build test
 
@@ -14,6 +14,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+test-race: race
+
+# The full pre-merge gate: build, vet, tests, and the race detector.
+check: build vet test test-race
+
+# Regenerate the checked-in hot-path benchmark report.
+bench-json:
+	$(GO) run ./cmd/experiments -bench-json > BENCH_extract.json
 
 bench:
 	$(GO) test -bench . -benchmem ./...

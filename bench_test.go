@@ -7,6 +7,7 @@ package schemex
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"schemex/internal/bisim"
@@ -26,9 +27,11 @@ import (
 // synthetic datasets of Table 1, reporting the measured perfect-type count
 // and defect next to the timing.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range synth.Presets() {
 		p := p
 		b.Run(fmt.Sprintf("DB%d", p.DBNo), func(b *testing.B) {
+			b.ReportAllocs()
 			db, err := p.Build()
 			if err != nil {
 				b.Fatal(err)
@@ -50,6 +53,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure1DBG extracts the 6-type optimal typing of the DBG
 // dataset (Figure 1).
 func BenchmarkFigure1DBG(b *testing.B) {
+	b.ReportAllocs()
 	db, roles := dbg.Generate(dbg.Options{})
 	var res *core.Result
 	var err error
@@ -68,6 +72,7 @@ func BenchmarkFigure1DBG(b *testing.B) {
 // clustering from the 53-type perfect typing down to one type, recasting
 // and measuring the defect at every size.
 func BenchmarkFigure6Sweep(b *testing.B) {
+	b.ReportAllocs()
 	db, roles := dbg.Generate(dbg.Options{})
 	var sw *core.SweepResult
 	var err error
@@ -93,14 +98,17 @@ func BenchmarkFigure6Sweep(b *testing.B) {
 // the Stage 1 program Q_D of the DBG dataset: the straightforward downward
 // iteration of §4 vs the support-counting propagation.
 func BenchmarkGFP(b *testing.B) {
+	b.ReportAllocs()
 	db, _ := dbg.Generate(dbg.Options{Scale: 2})
 	qd, _ := perfect.BuildQD(db)
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			typing.EvalGFPNaive(qd, db)
 		}
 	})
 	b.Run("support-count", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			typing.EvalGFP(qd, db)
 		}
@@ -114,15 +122,18 @@ func BenchmarkGFP(b *testing.B) {
 // workload above shows the flip side: on shape-regular data the naive
 // method converges in a few rounds and wins.
 func BenchmarkGFPChain(b *testing.B) {
+	b.ReportAllocs()
 	const n = 2000
 	db := graphChain(n)
 	prog := typing.MustParse(`type cell = ->next[cell] & ->val[0]`)
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			typing.EvalGFPNaive(prog, db)
 		}
 	})
 	b.Run("support-count", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			typing.EvalGFP(prog, db)
 		}
@@ -146,8 +157,10 @@ func graphChain(n int) *graph.DB {
 // BenchmarkStage1 compares the GFP-based minimal perfect typing against the
 // bisimulation partition refinement (§4's comparison point).
 func BenchmarkStage1(b *testing.B) {
+	b.ReportAllocs()
 	db, _ := dbg.Generate(dbg.Options{Scale: 2})
 	b.Run("gfp-classes", func(b *testing.B) {
+		b.ReportAllocs()
 		var n int
 		for i := 0; i < b.N; i++ {
 			res, err := perfect.Minimal(db, perfect.Options{})
@@ -159,6 +172,7 @@ func BenchmarkStage1(b *testing.B) {
 		b.ReportMetric(float64(n), "classes")
 	})
 	b.Run("bisimulation", func(b *testing.B) {
+		b.ReportAllocs()
 		var n int
 		for i := 0; i < b.N; i++ {
 			n = bisim.Compute(db).NumBlocks()
@@ -171,10 +185,12 @@ func BenchmarkStage1(b *testing.B) {
 // candidate distance functions of §5.2, reporting the end-to-end defect so
 // the functions' quality can be compared, not just their speed.
 func BenchmarkDeltaSweep(b *testing.B) {
+	b.ReportAllocs()
 	db, roles := dbg.Generate(dbg.Options{})
 	for _, d := range cluster.Deltas {
 		d := d
 		b.Run(d.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -194,6 +210,7 @@ func BenchmarkDeltaSweep(b *testing.B) {
 // heuristic of its citation [12]. Defect of the recast assignment is the
 // quality metric.
 func BenchmarkStage2(b *testing.B) {
+	b.ReportAllocs()
 	db, roles := dbg.Generate(dbg.Options{})
 	stage1, err := perfect.Minimal(db, perfect.Options{NameFor: roles.NameFor})
 	if err != nil {
@@ -209,6 +226,7 @@ func BenchmarkStage2(b *testing.B) {
 		return out
 	}
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		var d int
 		for i := 0; i < b.N; i++ {
 			g := cluster.NewGreedy(stage1.Program.Clone(), cluster.Config{})
@@ -220,6 +238,7 @@ func BenchmarkStage2(b *testing.B) {
 		b.ReportMetric(float64(d), "defect")
 	})
 	b.Run("local-search", func(b *testing.B) {
+		b.ReportAllocs()
 		var d int
 		for i := 0; i < b.N; i++ {
 			ls := cluster.LocalSearchKMedian(stage1.Program, 6, 0, 0)
@@ -235,6 +254,7 @@ func BenchmarkStage2(b *testing.B) {
 // against the specialized typing evaluator on the Figure 1 six-type program
 // over DBG — the cost of generality.
 func BenchmarkDatalogVsSpecialized(b *testing.B) {
+	b.ReportAllocs()
 	db, roles := dbg.Generate(dbg.Options{})
 	res, err := core.Extract(db, core.Options{K: 6, NameFor: roles.NameFor})
 	if err != nil {
@@ -242,11 +262,13 @@ func BenchmarkDatalogVsSpecialized(b *testing.B) {
 	}
 	prog := res.Program
 	b.Run("specialized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			typing.EvalGFP(prog, db)
 		}
 	})
 	b.Run("datalog-engine", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := typing.EvalGFPDatalog(prog, db); err != nil {
 				b.Fatal(err)
@@ -258,6 +280,7 @@ func BenchmarkDatalogVsSpecialized(b *testing.B) {
 // BenchmarkGreedyClustering isolates Stage 2 on the largest synthetic
 // dataset (DB7: 303 perfect types), the dominant cost of the pipeline.
 func BenchmarkGreedyClustering(b *testing.B) {
+	b.ReportAllocs()
 	p := synth.Presets()[6]
 	db, err := p.Build()
 	if err != nil {
@@ -280,6 +303,7 @@ func BenchmarkGreedyClustering(b *testing.B) {
 // paper's §1 motivation that structure speeds up query processing. The
 // guide is built once, like an index.
 func BenchmarkQuery(b *testing.B) {
+	b.ReportAllocs()
 	db, _ := dbg.Generate(dbg.Options{Scale: 8})
 	stage1, err := perfect.Minimal(db, perfect.Options{})
 	if err != nil {
@@ -295,6 +319,7 @@ func BenchmarkQuery(b *testing.B) {
 	for name, p := range paths {
 		p := p
 		b.Run("naive/"+name, func(b *testing.B) {
+			b.ReportAllocs()
 			var n int
 			for i := 0; i < b.N; i++ {
 				n = len(query.Find(db, p))
@@ -302,6 +327,7 @@ func BenchmarkQuery(b *testing.B) {
 			b.ReportMetric(float64(n), "matches")
 		})
 		b.Run("guided/"+name, func(b *testing.B) {
+			b.ReportAllocs()
 			var n int
 			for i := 0; i < b.N; i++ {
 				n = len(guide.Find(p))
@@ -310,6 +336,7 @@ func BenchmarkQuery(b *testing.B) {
 			b.ReportMetric(float64(guide.CandidateCount(p)), "candidates")
 		})
 		b.Run("trusted/"+name, func(b *testing.B) {
+			b.ReportAllocs()
 			var n int
 			for i := 0; i < b.N; i++ {
 				n = len(guide.FindTrusted(p))
@@ -323,9 +350,11 @@ func BenchmarkQuery(b *testing.B) {
 // (populations ×1, ×4, ×16; the shape quotient, and therefore the number of
 // perfect types, stays fixed at 53).
 func BenchmarkScale(b *testing.B) {
+	b.ReportAllocs()
 	for _, scale := range []int{1, 4, 16} {
 		scale := scale
 		b.Run(fmt.Sprintf("dbg-x%d", scale), func(b *testing.B) {
+			b.ReportAllocs()
 			db, roles := dbg.Generate(dbg.Options{Scale: scale})
 			b.ReportMetric(float64(db.NumObjects()), "objects")
 			b.ResetTimer()
@@ -344,8 +373,10 @@ func BenchmarkScale(b *testing.B) {
 // 6-type approximate typing — the paper's argument that exact summaries are
 // near data-sized on irregular data.
 func BenchmarkSummarySizes(b *testing.B) {
+	b.ReportAllocs()
 	db, _ := dbg.Generate(dbg.Options{})
 	b.Run("dataguide", func(b *testing.B) {
+		b.ReportAllocs()
 		var n int
 		for i := 0; i < b.N; i++ {
 			n = dataguide.Build(db, nil).NumNodes()
@@ -353,6 +384,7 @@ func BenchmarkSummarySizes(b *testing.B) {
 		b.ReportMetric(float64(n), "nodes")
 	})
 	b.Run("perfect-typing", func(b *testing.B) {
+		b.ReportAllocs()
 		var n int
 		for i := 0; i < b.N; i++ {
 			res, err := perfect.Minimal(db, perfect.Options{})
@@ -364,6 +396,7 @@ func BenchmarkSummarySizes(b *testing.B) {
 		b.ReportMetric(float64(n), "types")
 	})
 	b.Run("approximate-typing", func(b *testing.B) {
+		b.ReportAllocs()
 		var n int
 		for i := 0; i < b.N; i++ {
 			res, err := core.Extract(db, core.Options{K: 6})
@@ -379,6 +412,7 @@ func BenchmarkSummarySizes(b *testing.B) {
 // BenchmarkMultiRoleDecomposition isolates the §4.2 cover search (Remark
 // 4.4: O(n²) in the number of types).
 func BenchmarkMultiRoleDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	db, _ := dbg.Generate(dbg.Options{})
 	stage1, err := perfect.Minimal(db, perfect.Options{})
 	if err != nil {
@@ -387,5 +421,83 @@ func BenchmarkMultiRoleDecomposition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		perfect.FindCovers(stage1.Program)
+	}
+}
+
+// --- Parallelism ablations ----------------------------------------------
+//
+// Each stage's worker pool against the exact serial code path
+// (Parallelism: 1). Results are bit-identical by construction (see the
+// determinism tests in internal/core); these benchmarks measure only the
+// cost/benefit of the fan-out on the current machine.
+
+// stageWorkerCounts returns the ablation points: the serial baseline and
+// one worker per CPU (identical on a single-CPU machine, where the pool
+// should then cost ~nothing).
+func stageWorkerCounts() map[string]int {
+	return map[string]int{"serial": 1, "numcpu": runtime.GOMAXPROCS(0)}
+}
+
+// BenchmarkStage1Parallelism ablates the Stage 1 worker pool: Q_D candidate
+// construction and GFP support seeding, serial vs one worker per CPU.
+func BenchmarkStage1Parallelism(b *testing.B) {
+	db, _ := dbg.Generate(dbg.Options{Scale: 2})
+	db.Freeze()
+	for name, workers := range stageWorkerCounts() {
+		workers := workers
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := perfect.Minimal(db, perfect.Options{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStage2Parallelism ablates the Stage 2 worker pool on DB7 (303
+// perfect types): distance-matrix seeding, batched row repair, and touched
+// recomputation, serial vs one worker per CPU.
+func BenchmarkStage2Parallelism(b *testing.B) {
+	p := synth.Presets()[6]
+	db, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stage1, err := perfect.Minimal(db, perfect.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, workers := range stageWorkerCounts() {
+		workers := workers
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := cluster.NewGreedy(stage1.Program.Clone(), cluster.Config{Parallelism: workers})
+				g.RunTo(p.Intended())
+			}
+		})
+	}
+}
+
+// BenchmarkStage3Parallelism ablates the Stage 3 worker pool: per-object
+// classification over the bitset kernels, serial vs one worker per CPU.
+func BenchmarkStage3Parallelism(b *testing.B) {
+	db, roles := dbg.Generate(dbg.Options{Scale: 2})
+	res, err := core.Extract(db, core.Options{K: 6, NameFor: roles.NameFor})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, workers := range stageWorkerCounts() {
+		workers := workers
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			rc := recast.DefaultOptions()
+			rc.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				recast.Recast(db, res.Program, res.Homes, rc)
+			}
+		})
 	}
 }

@@ -24,14 +24,25 @@ func main() {
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
 	fig1 := flag.Bool("fig1", false, "regenerate Figure 1")
 	fig6 := flag.Bool("fig6", false, "regenerate Figure 6")
+	benchJSON := flag.Bool("bench-json", false, "measure the extraction hot paths and emit BENCH_extract.json")
 	all := flag.Bool("all", false, "regenerate everything")
 	flag.Parse()
 	if *all {
 		*table1, *fig1, *fig6 = true, true, true
 	}
-	if !*table1 && !*fig1 && !*fig6 {
+	if !*table1 && !*fig1 && !*fig6 && !*benchJSON {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *benchJSON {
+		rep, err := experiments.RunBench()
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteBenchJSON(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *table1 {
 		rows, err := experiments.Table1()

@@ -1,5 +1,6 @@
 // Package bitset provides a dense bit set used by the fixpoint evaluators
-// for object-membership matrices.
+// for object-membership matrices and by the clustering/recast stages for
+// typed-link hypercube points (popcount distance kernels).
 package bitset
 
 import "math/bits"
@@ -110,4 +111,61 @@ func (s *Set) IntersectionCount(t *Set) int {
 		c += bits.OnesCount64(w & t.words[i])
 	}
 	return c
+}
+
+// XorCount returns |s Δ t|, the size of the symmetric difference — the
+// Manhattan distance between the two sets as points on the binary hypercube
+// (§5.2). Sets must have equal capacity.
+func (s *Set) XorCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w ^ t.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |s \ t|. A zero result means s ⊆ t.
+func (s *Set) AndNotCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// Or sets s to s ∪ t, in place.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNot sets s to s \ t, in place.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// NewBlock returns count sets of capacity n backed by a single contiguous
+// words allocation: three allocations total regardless of count, and
+// adjacent sets share cache lines, which matters for the all-pairs distance
+// kernels.
+func NewBlock(count, n int) []*Set {
+	w := (n + 63) / 64
+	words := make([]uint64, count*w)
+	sets := make([]Set, count)
+	out := make([]*Set, count)
+	for i := range sets {
+		sets[i] = Set{words: words[i*w : (i+1)*w : (i+1)*w], n: n}
+		out[i] = &sets[i]
+	}
+	return out
 }

@@ -1,0 +1,222 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPair builds two random sets of capacity n plus reference maps.
+func randomPair(rng *rand.Rand, n, fill int) (a, b *Set, ra, rb map[int]bool) {
+	a, b = New(n), New(n)
+	ra, rb = make(map[int]bool), make(map[int]bool)
+	for i := 0; i < fill; i++ {
+		x := rng.Intn(n)
+		a.Set(x)
+		ra[x] = true
+		y := rng.Intn(n)
+		b.Set(y)
+		rb[y] = true
+	}
+	return
+}
+
+func TestXorCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b, ra, rb := randomPair(rng, n, rng.Intn(2*n))
+		want := 0
+		for x := range ra {
+			if !rb[x] {
+				want++
+			}
+		}
+		for x := range rb {
+			if !ra[x] {
+				want++
+			}
+		}
+		if got := a.XorCount(b); got != want {
+			t.Fatalf("trial %d (n=%d): XorCount=%d, want %d", trial, n, got, want)
+		}
+		if got := b.XorCount(a); got != want {
+			t.Fatalf("trial %d: XorCount not symmetric", trial)
+		}
+		if a.XorCount(a) != 0 {
+			t.Fatal("XorCount(s, s) != 0")
+		}
+	}
+}
+
+func TestAndNotCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b, ra, rb := randomPair(rng, n, rng.Intn(2*n))
+		want := 0
+		for x := range ra {
+			if !rb[x] {
+				want++
+			}
+		}
+		if got := a.AndNotCount(b); got != want {
+			t.Fatalf("trial %d (n=%d): AndNotCount=%d, want %d", trial, n, got, want)
+		}
+		// AndNotCount == 0 iff subset.
+		if (a.AndNotCount(b) == 0) != a.Subset(b) {
+			t.Fatalf("trial %d: AndNotCount==0 disagrees with Subset", trial)
+		}
+	}
+}
+
+func TestXorIdentity(t *testing.T) {
+	// |a Δ b| = |a| + |b| - 2|a ∩ b| and |a Δ b| = |a\b| + |b\a|.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		a, b, _, _ := randomPair(rng, n, rng.Intn(n))
+		xor := a.XorCount(b)
+		if want := a.Count() + b.Count() - 2*a.IntersectionCount(b); xor != want {
+			t.Fatalf("inclusion-exclusion violated: %d != %d", xor, want)
+		}
+		if want := a.AndNotCount(b) + b.AndNotCount(a); xor != want {
+			t.Fatalf("difference decomposition violated: %d != %d", xor, want)
+		}
+	}
+}
+
+func TestOrAndNotInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b, ra, rb := randomPair(rng, n, rng.Intn(n))
+		u := a.Clone()
+		u.Or(b)
+		d := a.Clone()
+		d.AndNot(b)
+		for x := 0; x < n; x++ {
+			if u.Test(x) != (ra[x] || rb[x]) {
+				t.Fatalf("Or wrong at bit %d", x)
+			}
+			if d.Test(x) != (ra[x] && !rb[x]) {
+				t.Fatalf("AndNot wrong at bit %d", x)
+			}
+		}
+		// In-place ops must not disturb the operand.
+		for x := 0; x < n; x++ {
+			if b.Test(x) != rb[x] {
+				t.Fatalf("operand mutated at bit %d", x)
+			}
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 63, 64, 199} {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", s.Count())
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len changed by Reset")
+	}
+}
+
+func TestNewBlock(t *testing.T) {
+	for _, tc := range []struct{ count, n int }{{0, 0}, {1, 1}, {3, 64}, {5, 130}, {2, 0}} {
+		sets := NewBlock(tc.count, tc.n)
+		if len(sets) != tc.count {
+			t.Fatalf("NewBlock(%d, %d) returned %d sets", tc.count, tc.n, len(sets))
+		}
+		for i, s := range sets {
+			if s.Len() != tc.n {
+				t.Fatalf("set %d has capacity %d, want %d", i, s.Len(), tc.n)
+			}
+			if s.Count() != 0 {
+				t.Fatalf("set %d not empty", i)
+			}
+		}
+		// Sets must be independent despite the shared backing array.
+		if tc.count >= 2 && tc.n >= 1 {
+			sets[0].Set(tc.n - 1)
+			if sets[1].Test(tc.n - 1) {
+				t.Fatal("NewBlock sets share bits")
+			}
+		}
+	}
+}
+
+func TestNewBlockAllocations(t *testing.T) {
+	allocs := testing.AllocsPerRun(20, func() {
+		NewBlock(64, 1024)
+	})
+	if allocs > 3 {
+		t.Fatalf("NewBlock(64, 1024) allocates %.0f times, want <= 3", allocs)
+	}
+}
+
+// --- Micro-benchmarks for the distance kernels --------------------------
+
+func benchSets(n int) (*Set, *Set) {
+	rng := rand.New(rand.NewSource(42))
+	a, b := New(n), New(n)
+	for i := 0; i < n/2; i++ {
+		a.Set(rng.Intn(n))
+		b.Set(rng.Intn(n))
+	}
+	return a, b
+}
+
+func BenchmarkXorCount(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		a, s := benchSets(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += a.XorCount(s)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkAndNotCount(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		a, s := benchSets(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += a.AndNotCount(s)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkOrInPlace(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		a, s := benchSets(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.Or(s)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<16:
+		return "64k"
+	case n >= 1<<12:
+		return "4k"
+	default:
+		return "256"
+	}
+}

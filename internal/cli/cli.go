@@ -153,6 +153,7 @@ func cmdExtract(args []string, env *Env) error {
 	jsonIn := fs.Bool("json", false, "input is a JSON document")
 	showPerfect := fs.Bool("show-perfect", false, "also print the minimal perfect typing")
 	datalog := fs.Bool("datalog", false, "also print the typing as datalog rules")
+	parallel := fs.Int("p", 0, "worker goroutines per stage (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +167,7 @@ func cmdExtract(args []string, env *Env) error {
 	}
 	opts := schemex.Options{
 		K: *k, Delta: *delta, MultiRole: *multiRole, AllowEmpty: *empty, UseSorts: *sorts,
+		Parallelism: *parallel,
 	}
 	if *seedPath != "" {
 		seed, err := os.ReadFile(*seedPath)
@@ -224,6 +226,7 @@ func cmdSweep(args []string, env *Env) error {
 	delta := fs.String("delta", "", "distance function")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	csv := fs.Bool("csv", false, "emit CSV for plotting")
+	parallel := fs.Int("p", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,7 +238,7 @@ func cmdSweep(args []string, env *Env) error {
 	if err != nil {
 		return err
 	}
-	sw, err := schemex.SweepAnalysis(g, schemex.Options{Delta: *delta})
+	sw, err := schemex.SweepAnalysis(g, schemex.Options{Delta: *delta, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}
@@ -262,6 +265,7 @@ func cmdAssign(args []string, env *Env) error {
 	fs := newFlagSet("assign", env)
 	k := fs.Int("k", 0, "target number of types (0 = automatic)")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
+	parallel := fs.Int("p", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -273,7 +277,7 @@ func cmdAssign(args []string, env *Env) error {
 	if err != nil {
 		return err
 	}
-	res, err := schemex.Extract(g, schemex.Options{K: *k})
+	res, err := schemex.Extract(g, schemex.Options{K: *k, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

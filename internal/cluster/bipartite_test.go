@@ -63,12 +63,12 @@ func TestBipartiteStage1ProducesBipartiteProgram(t *testing.T) {
 		t.Fatal("Stage 1 of bipartite data must be bipartite")
 	}
 	g := NewGreedy(res.Program.Clone(), Config{})
-	before := int(g.dist[0][1])
+	before := int(g.distAt(0, 1))
 	g.RunTo(res.Program.Len() - 3)
 	// Neither 0 nor 1 was merged away? Find two still-active original slots
 	// and confirm their distance is unchanged (no projection can occur).
 	var a, b = -1, -1
-	for i := range g.links {
+	for i := 0; i < g.n; i++ {
 		if g.active[i] && len(g.members[i]) == 1 {
 			if a < 0 {
 				a = i
@@ -78,7 +78,7 @@ func TestBipartiteStage1ProducesBipartiteProgram(t *testing.T) {
 			}
 		}
 	}
-	if a == 0 && b == 1 && int(g.dist[0][1]) != before {
+	if a == 0 && b == 1 && int(g.distAt(0, 1)) != before {
 		t.Fatal("distance between untouched bipartite clusters changed (spurious projection)")
 	}
 }

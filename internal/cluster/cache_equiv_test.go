@@ -18,19 +18,19 @@ func bruteForceBest(g *Greedy) (from, to int, cost float64, ok bool) {
 			bestCost, bestFrom, bestTo = c, f, t
 		}
 	}
-	for i := 0; i < len(g.links); i++ {
+	for i := 0; i < g.n; i++ {
 		if !g.active[i] {
 			continue
 		}
-		for j := 0; j < len(g.links); j++ {
+		for j := 0; j < g.n; j++ {
 			if i == j || !g.active[j] || g.cfg.pinned(j) {
 				continue
 			}
-			d := int(g.dist[i][j])
+			d := int(g.distAt(i, j))
 			consider(j, i, delta.Eval(g.weight[i], g.weight[j], d, g.L))
 		}
 		if g.cfg.AllowEmpty && !g.cfg.pinned(i) {
-			d := len(g.links[i])
+			d := g.size[i]
 			w1 := len(g.inEmpty)
 			if w1 == 0 {
 				w1 = 1

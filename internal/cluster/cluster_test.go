@@ -132,7 +132,7 @@ func TestExample51Projection(t *testing.T) {
 	g.merge(0, 1)
 	// After projection, t3 = ->a[0] & ->b[t1] and t4 = ->a[0] & ->b[t1]:
 	// identical, distance 0.
-	if d := g.dist[2][3]; d != 0 {
+	if d := g.distAt(2, 3); d != 0 {
 		t.Fatalf("after coalescing t1,t2: d(t3,t4) = %d, want 0 (projection)", d)
 	}
 	// The next greedy step must take the free merge.

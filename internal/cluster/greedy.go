@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"schemex/internal/bitset"
+	"schemex/internal/par"
 	"schemex/internal/typing"
 )
 
@@ -29,6 +31,12 @@ type Config struct {
 	// integrating data with a known structure). May be nil or shorter than
 	// the program; missing entries are unpinned.
 	Pinned []bool
+	// Parallelism bounds the worker goroutines used for distance-matrix
+	// seeding, touched-row recomputation, and batched best-move repair;
+	// <= 0 means one per CPU, 1 runs everything inline. The merge sequence
+	// and every reported cost are bit-identical at any setting (per-shard
+	// bests are folded with index tie-breaks).
+	Parallelism int
 }
 
 func (c Config) pinned(slot int) bool {
@@ -62,17 +70,33 @@ type Step struct {
 // then call Step until the desired number of types remains; Program
 // materializes the current typing at any point, so a single run yields the
 // whole sensitivity curve of §7.2.
+//
+// Internally every type definition is a point on the {0,1}^U hypercube of
+// interned typed links: a link is a (base, target) pair where the base
+// carries direction/label/sort/value and the target column is the atomic
+// pseudo-slot or one of the n original type slots. Definitions are bitsets
+// over that closed universe, so the §5.2 Manhattan distance is a word-wise
+// popcount (bitset.XorCount) and the §5.1 hypercube projection is a column
+// rewrite — no map walks on the hot path.
 type Greedy struct {
 	cfg     Config
-	links   []typing.LinkSet // slot -> current definition (targets are slots)
+	workers int
+
+	bases  []typing.TypedLink // base id -> representative link (Target meaningless)
+	baseID map[typing.TypedLink]int
+	stride int // columns per base: column 0 = atomic, column s+1 = slot s
+
+	set     []*bitset.Set // slot -> definition over the universe
+	size    []int         // slot -> |definition| (cached popcount)
 	weight  []int
 	name    []string
 	members [][]int // slot -> original type indices absorbed
 	active  []bool
 	inEmpty []int // original type indices moved to the empty type
 
-	slotOf []int // original type index -> current slot, or EmptySlot
-	dist   [][]int32
+	slotOf []int    // original type index -> current slot, or EmptySlot
+	dist   []uint32 // strict upper triangle of the n×n distance matrix, row-major
+	n      int      // original slot count (fixed)
 	nAct   int
 	L      int
 
@@ -84,10 +108,13 @@ type Greedy struct {
 	// Per-row best-move caches: bestCost[k]/bestTo[k] describe the cheapest
 	// move FROM slot k under the current state; rowValid[k] marks rows whose
 	// cache is current. Merges invalidate only the affected rows, turning
-	// the cubic全-pair rescan into a near-quadratic pass in practice.
+	// the cubic all-pair rescan into a near-quadratic pass in practice.
 	bestCost []float64
 	bestTo   []int
 	rowValid []bool
+
+	rowQueue    []int  // scratch: stale rows gathered per Step
+	touchedMark []bool // scratch: touched-slot membership during a move
 }
 
 // NewGreedy initializes the engine from a Stage 1 program. Type weights must
@@ -95,46 +122,103 @@ type Greedy struct {
 func NewGreedy(p *typing.Program, cfg Config) *Greedy {
 	n := len(p.Types)
 	g := &Greedy{
-		cfg:     cfg,
-		links:   make([]typing.LinkSet, n),
-		weight:  make([]int, n),
-		name:    make([]string, n),
-		members: make([][]int, n),
-		active:  make([]bool, n),
-		slotOf:  make([]int, n),
-		nAct:    n,
-		L:       p.DistinctLinks(),
+		cfg:         cfg,
+		workers:     par.Workers(cfg.Parallelism),
+		baseID:      make(map[typing.TypedLink]int),
+		stride:      n + 1,
+		weight:      make([]int, n),
+		name:        make([]string, n),
+		members:     make([][]int, n),
+		active:      make([]bool, n),
+		slotOf:      make([]int, n),
+		n:           n,
+		nAct:        n,
+		L:           p.DistinctLinks(),
+		touchedMark: make([]bool, n),
 	}
+	for _, t := range p.Types {
+		for _, l := range t.Links {
+			key := baseKey(l)
+			if _, ok := g.baseID[key]; !ok {
+				g.baseID[key] = len(g.bases)
+				g.bases = append(g.bases, key)
+			}
+		}
+	}
+	g.set = bitset.NewBlock(n, len(g.bases)*g.stride)
+	g.size = make([]int, n)
+	memberBacking := make([]int, n) // one arena; merges grow out of it via append
 	for i, t := range p.Types {
-		t.Canonicalize() // sorted-slice distances below require canonical links
-		g.links[i] = typing.NewLinkSet(t.Links)
+		for _, l := range t.Links {
+			g.set[i].Set(g.bitOf(l))
+		}
+		g.size[i] = g.set[i].Count()
 		g.weight[i] = t.Weight
 		if g.weight[i] == 0 {
 			g.weight[i] = 1
 		}
 		g.name[i] = t.Name
-		g.members[i] = []int{i}
+		memberBacking[i] = i
+		g.members[i] = memberBacking[i : i+1 : i+1]
 		g.active[i] = true
 		g.slotOf[i] = i
 	}
-	g.dist = make([][]int32, n)
-	for i := range g.dist {
-		g.dist[i] = make([]int32, n)
-	}
+	// The initial distance matrix is the hot spot for large programs: the
+	// strict upper triangle is stored flat (half the memory of a square
+	// matrix, contiguous rows) and seeded with the popcount kernel. Rows
+	// shrink toward the end of the triangle, so they are scheduled
+	// dynamically; each row has a single writer.
+	g.dist = make([]uint32, n*(n-1)/2)
+	par.DoItems(g.workers, n-1, func(i int) {
+		row := g.dist[g.rowOffset(i):]
+		si := g.set[i]
+		for j := i + 1; j < n; j++ {
+			row[j-i-1] = uint32(si.XorCount(g.set[j]))
+		}
+	})
 	g.bestCost = make([]float64, n)
 	g.bestTo = make([]int, n)
 	g.rowValid = make([]bool, n)
-	// The initial distance matrix is the hot spot for large programs;
-	// canonical sorted slices make each pairwise distance a linear merge
-	// instead of two map scans. (Later recomputations run on the mutated
-	// LinkSets, which only a small touched set ever needs.)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := int32(ManhattanSlices(p.Types[i].Links, p.Types[j].Links))
-			g.dist[i][j], g.dist[j][i] = d, d
-		}
-	}
 	return g
+}
+
+// baseKey normalizes a link to its universe base: everything but the target.
+func baseKey(l typing.TypedLink) typing.TypedLink {
+	l.Target = 0
+	return l
+}
+
+// bitOf returns the universe bit index of a concrete typed link.
+func (g *Greedy) bitOf(l typing.TypedLink) int {
+	col := 0
+	if l.Target != typing.AtomicTarget {
+		col = l.Target + 1
+	}
+	return g.baseID[baseKey(l)]*g.stride + col
+}
+
+// rowOffset returns the flat index of cell (i, i+1) in the strict upper
+// triangle.
+func (g *Greedy) rowOffset(i int) int {
+	return i*(g.n-1) - i*(i-1)/2
+}
+
+// distAt returns the current Manhattan distance between slots i and j.
+func (g *Greedy) distAt(i, j int) uint32 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return g.dist[g.rowOffset(i)+j-i-1]
+}
+
+func (g *Greedy) setDist(i, j int, d uint32) {
+	if i > j {
+		i, j = j, i
+	}
+	g.dist[g.rowOffset(i)+j-i-1] = d
 }
 
 // NumActive returns the number of active (non-coalesced) types.
@@ -157,14 +241,23 @@ func (g *Greedy) Step() (Step, bool) {
 	if g.nAct < 2 {
 		return Step{}, false
 	}
+	// Refresh stale row caches as a parallel batch: each row is an
+	// independent scan writing only its own cache slot, so the batch is
+	// race-free and identical to recomputing rows one at a time.
+	rows := g.rowQueue[:0]
+	for k := 0; k < g.n; k++ {
+		if g.active[k] && !g.cfg.pinned(k) && !g.rowValid[k] {
+			rows = append(rows, k)
+		}
+	}
+	g.rowQueue = rows
+	par.DoItems(g.workers, len(rows), func(ri int) { g.computeRow(rows[ri]) })
+
 	bestCost := math.Inf(1)
 	bestFrom, bestTo := -1, -2
-	for k := 0; k < len(g.links); k++ {
+	for k := 0; k < g.n; k++ {
 		if !g.active[k] || g.cfg.pinned(k) {
 			continue
-		}
-		if !g.rowValid[k] {
-			g.computeRow(k)
 		}
 		if g.bestTo[k] == -2 {
 			continue // no legal move from k
@@ -180,10 +273,10 @@ func (g *Greedy) Step() (Step, bool) {
 	}
 	var bestD int
 	if bestTo == EmptySlot {
-		bestD = len(g.links[bestFrom])
+		bestD = g.size[bestFrom]
 		g.moveToEmpty(bestFrom)
 	} else {
-		bestD = int(g.dist[bestTo][bestFrom])
+		bestD = int(g.distAt(bestTo, bestFrom))
 		g.merge(bestTo, bestFrom)
 	}
 	st := Step{From: bestFrom, To: bestTo, D: bestD, Cost: bestCost, NumTypes: g.nAct}
@@ -211,18 +304,18 @@ func (g *Greedy) computeRow(k int) {
 	delta := g.cfg.delta()
 	best := math.Inf(1)
 	bestTo := -2
-	for m := 0; m < len(g.links); m++ {
+	for m := 0; m < g.n; m++ {
 		if m == k || !g.active[m] {
 			continue
 		}
-		d := int(g.dist[m][k])
+		d := int(g.distAt(m, k))
 		cost := delta.Eval(g.weight[m], g.weight[k], d, g.L)
 		if cost < best || (cost == best && m < bestTo) {
 			best, bestTo = cost, m
 		}
 	}
 	if g.cfg.AllowEmpty {
-		d := len(g.links[k])
+		d := g.size[k]
 		w1 := len(g.inEmpty)
 		if w1 == 0 {
 			w1 = 1
@@ -250,40 +343,51 @@ func (g *Greedy) merge(i, j int) {
 	g.active[j] = false
 	g.nAct--
 	touched := g.project(j, i)
-	touched[i] = true
+	// i's move costs changed (its weight grew) even if its definition did
+	// not; treat it as touched so its distances and dependents refresh.
+	if !g.touchedMark[i] {
+		g.touchedMark[i] = true
+		touched = insertSorted(touched, i)
+	}
 	g.recompute(touched)
-	// Repair the row caches. Stale information comes from three places: j
-	// is gone, i's weight grew (all move costs into i changed), and the
-	// projection changed the touched clusters' definitions, hence every
-	// distance to a touched cluster. A row must be recomputed when its
-	// cached destination is any of those; otherwise the only way its best
-	// can IMPROVE is via one of the changed destinations, which are folded
-	// in directly.
+	g.repairRows(touched, j, i)
+	for _, c := range touched {
+		g.touchedMark[c] = false
+	}
+	g.rowValid[i] = false
+}
+
+// repairRows repairs the row caches after merging j into i. Stale
+// information comes from three places: j is gone, i's weight grew (all move
+// costs into i changed), and the projection changed the touched clusters'
+// definitions, hence every distance to a touched cluster. A row must be
+// recomputed when its cached destination is any of those; otherwise the
+// only way its best can IMPROVE is via one of the changed destinations,
+// which are folded in directly (in ascending slot order, preserving the
+// smallest-slot tie-break). Each row touches only its own cache entries, so
+// rows are repaired in parallel.
+func (g *Greedy) repairRows(touched []int, j, i int) {
 	delta := g.cfg.delta()
-	for k := range g.links {
+	par.DoItems(g.workers, g.n, func(k int) {
 		if !g.active[k] || !g.rowValid[k] {
-			continue
+			return
 		}
-		if k == i || touched[k] || g.bestTo[k] == j || g.bestTo[k] == i || touchedHas(touched, g.bestTo[k]) {
+		to := g.bestTo[k]
+		if k == i || g.touchedMark[k] || to == j || to == i || (to >= 0 && g.touchedMark[to]) {
 			g.rowValid[k] = false
-			continue
+			return
 		}
-		for t := range touched {
+		for _, t := range touched {
 			if t == k || !g.active[t] {
 				continue
 			}
-			d := int(g.dist[t][k])
+			d := int(g.distAt(t, k))
 			cost := delta.Eval(g.weight[t], g.weight[k], d, g.L)
 			if cost < g.bestCost[k] || (cost == g.bestCost[k] && t < g.bestTo[k]) {
 				g.bestCost[k], g.bestTo[k] = cost, t
 			}
 		}
-	}
-	g.rowValid[i] = false
-}
-
-func touchedHas(touched map[int]bool, slot int) bool {
-	return slot >= 0 && touched[slot]
+	})
 }
 
 // moveToEmpty retires slot i to the empty type: its objects become
@@ -299,6 +403,9 @@ func (g *Greedy) moveToEmpty(i int) {
 	g.nAct--
 	touched := g.project(i, EmptySlot)
 	g.recompute(touched)
+	for _, c := range touched {
+		g.touchedMark[c] = false
+	}
 	// Empty moves are rare and change the empty type's weight, which feeds
 	// every row's empty candidate: invalidate everything.
 	for k := range g.rowValid {
@@ -307,50 +414,68 @@ func (g *Greedy) moveToEmpty(i int) {
 }
 
 // project rewrites links targeting slot old: retargeted to repl (merge) or
-// removed (repl == EmptySlot). It returns the slots whose definitions
-// changed.
-func (g *Greedy) project(old, repl int) map[int]bool {
-	touched := make(map[int]bool)
-	for c := range g.links {
+// removed (repl == EmptySlot). On the hypercube this is a column rewrite:
+// for every base, a bit in old's column is cleared and, for a merge, the
+// bit in repl's column is set (collapsing duplicates for free). It returns
+// the sorted slots whose definitions changed, with touchedMark set for each.
+func (g *Greedy) project(old, repl int) []int {
+	var touched []int
+	colOld := old + 1
+	for c := 0; c < g.n; c++ {
 		if !g.active[c] {
 			continue
 		}
-		var changedLinks []typing.TypedLink
-		for l := range g.links[c] {
-			if l.Target == old {
-				changedLinks = append(changedLinks, l)
+		s := g.set[c]
+		changed := false
+		for b := range g.bases {
+			id := b*g.stride + colOld
+			if !s.Test(id) {
+				continue
 			}
-		}
-		if len(changedLinks) == 0 {
-			continue
-		}
-		for _, l := range changedLinks {
-			delete(g.links[c], l)
+			s.Clear(id)
 			if repl != EmptySlot {
-				nl := l
-				nl.Target = repl
-				g.links[c][nl] = true
+				s.Set(b*g.stride + repl + 1)
 			}
+			changed = true
 		}
-		touched[c] = true
+		if changed {
+			g.size[c] = s.Count()
+			g.touchedMark[c] = true
+			touched = append(touched, c)
+		}
 	}
 	return touched
 }
 
-// recompute refreshes distance rows for the touched slots.
-func (g *Greedy) recompute(touched map[int]bool) {
-	for c := range touched {
-		if !g.active[c] {
-			continue
-		}
-		for x := range g.links {
+func insertSorted(xs []int, v int) []int {
+	i := 0
+	for i < len(xs) && xs[i] < v {
+		i++
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// recompute refreshes the distance cells incident to the touched slots
+// (touchedMark must be set for them). Work is sharded by touched slot; a
+// touched–touched pair is computed only by its larger member, so every
+// matrix cell has exactly one writer and the batch is race-free.
+func (g *Greedy) recompute(touched []int) {
+	par.DoItems(g.workers, len(touched), func(ti int) {
+		c := touched[ti]
+		sc := g.set[c]
+		for x := 0; x < g.n; x++ {
 			if x == c || !g.active[x] {
 				continue
 			}
-			d := int32(Manhattan(g.links[c], g.links[x]))
-			g.dist[c][x], g.dist[x][c] = d, d
+			if g.touchedMark[x] && x > c {
+				continue // the (c, x) cell is x's job
+			}
+			g.setDist(c, x, uint32(sc.XorCount(g.set[x])))
 		}
-	}
+	})
 }
 
 // Program materializes the current typing: the active slots become a compact
@@ -360,15 +485,21 @@ func (g *Greedy) recompute(touched map[int]bool) {
 func (g *Greedy) Program() (*typing.Program, []int) {
 	compact := make(map[int]int)
 	p := typing.NewProgram()
-	for slot := range g.links {
+	for slot := 0; slot < g.n; slot++ {
 		if !g.active[slot] {
 			continue
 		}
 		compact[slot] = len(p.Types)
 		t := &typing.Type{Name: g.name[slot], Weight: g.weight[slot]}
-		for l := range g.links[slot] {
+		g.set[slot].ForEach(func(id int) {
+			l := g.bases[id/g.stride]
+			if col := id % g.stride; col == 0 {
+				l.Target = typing.AtomicTarget
+			} else {
+				l.Target = col - 1
+			}
 			t.Links = append(t.Links, l)
-		}
+		})
 		p.Add(t)
 	}
 	// Remap link targets from slots to compact indices.

@@ -8,12 +8,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"schemex/internal/cluster"
 	"schemex/internal/defect"
 	"schemex/internal/graph"
+	"schemex/internal/par"
 	"schemex/internal/perfect"
 	"schemex/internal/recast"
 	"schemex/internal/typing"
@@ -55,6 +54,12 @@ type Options struct {
 	// into the final program. Link targets inside Seed refer to Seed's own
 	// types.
 	Seed *typing.Program
+	// Parallelism bounds the worker goroutines used inside each stage
+	// (Stage 1 candidate construction and fixpoint seeding, Stage 2
+	// distance-matrix work, Stage 3 object classification); <= 0 means one
+	// per CPU, 1 runs the exact serial code paths. Every result is
+	// bit-identical at any setting.
+	Parallelism int
 }
 
 func (o Options) recastOptions() recast.Options {
@@ -68,7 +73,21 @@ func (o Options) recastOptions() recast.Options {
 	if len(o.ValueLabels) > 0 {
 		rc.ValueLabels = append([]string(nil), o.ValueLabels...)
 	}
+	if rc.Parallelism == 0 {
+		rc.Parallelism = o.Parallelism
+	}
 	return rc
+}
+
+func (o Options) perfectOptions() perfect.Options {
+	return perfect.Options{
+		NameFor:         o.NameFor,
+		UseNaiveGFP:     o.UseNaiveGFP,
+		UseSorts:        o.UseSorts,
+		ValueLabels:     o.ValueLabels,
+		UseBisimulation: o.UseBisimulation,
+		Parallelism:     o.Parallelism,
+	}
 }
 
 // Result is the outcome of Extract.
@@ -104,7 +123,7 @@ func Extract(db *graph.DB, opts Options) (*Result, error) {
 	if db.NumObjects()-db.NumAtomic() == 0 {
 		return nil, fmt.Errorf("core: database has no complex objects")
 	}
-	stage1, err := perfect.Minimal(db, perfect.Options{NameFor: opts.NameFor, UseNaiveGFP: opts.UseNaiveGFP, UseSorts: opts.UseSorts, ValueLabels: opts.ValueLabels, UseBisimulation: opts.UseBisimulation})
+	stage1, err := perfect.Minimal(db, opts.perfectOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -144,10 +163,11 @@ func Extract(db *graph.DB, opts Options) (*Result, error) {
 	}
 
 	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
-		Delta:      opts.Delta,
-		AllowEmpty: opts.AllowEmpty,
-		EmptyBias:  opts.EmptyBias,
-		Pinned:     pinned,
+		Delta:       opts.Delta,
+		AllowEmpty:  opts.AllowEmpty,
+		EmptyBias:   opts.EmptyBias,
+		Pinned:      pinned,
+		Parallelism: opts.Parallelism,
 	})
 	g.RunTo(k)
 	prog, mapping := g.Program()
@@ -260,7 +280,7 @@ type SweepResult struct {
 // typing down to one type, recasting and measuring the defect at every
 // intermediate number of types — the Figure 6 experiment.
 func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
-	stage1, err := perfect.Minimal(db, perfect.Options{NameFor: opts.NameFor, UseNaiveGFP: opts.UseNaiveGFP, UseSorts: opts.UseSorts, ValueLabels: opts.ValueLabels, UseBisimulation: opts.UseBisimulation})
+	stage1, err := perfect.Minimal(db, opts.perfectOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -283,10 +303,11 @@ func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
 
 func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
 	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
-		Delta:      opts.Delta,
-		AllowEmpty: opts.AllowEmpty,
-		EmptyBias:  opts.EmptyBias,
-		Pinned:     pinned,
+		Delta:       opts.Delta,
+		AllowEmpty:  opts.AllowEmpty,
+		EmptyBias:   opts.EmptyBias,
+		Pinned:      pinned,
+		Parallelism: opts.Parallelism,
 	})
 
 	// The greedy merge sequence is inherently serial, but measuring each
@@ -314,36 +335,23 @@ func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.Objec
 
 	db.Freeze() // concurrent readers need the lazy edge sorting flushed
 	sw := &SweepResult{Points: make([]SweepPoint, len(snaps))}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(snaps) {
-		workers = len(snaps)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				s := snaps[i]
-				homes := mapHomes(baseHomes, s.mapping)
-				rc := recast.Recast(db, s.prog, homes, opts.recastOptions())
-				sw.Points[i] = SweepPoint{
-					K:             s.k,
-					Excess:        rc.Defect.Excess,
-					Deficit:       rc.Defect.Deficit,
-					Defect:        rc.Defect.Total(),
-					TotalDistance: s.totalDistance,
-					Unclassified:  rc.Unclassified,
-				}
-			}
-		}()
-	}
-	for i := range snaps {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	// One snapshot per worker; each recast runs serially inside its worker
+	// (Parallelism: 1) so the sweep doesn't oversubscribe the CPUs.
+	rcOpts := opts.recastOptions()
+	rcOpts.Parallelism = 1
+	par.DoItems(par.Workers(opts.Parallelism), len(snaps), func(i int) {
+		s := snaps[i]
+		homes := mapHomes(baseHomes, s.mapping)
+		rc := recast.Recast(db, s.prog, homes, rcOpts)
+		sw.Points[i] = SweepPoint{
+			K:             s.k,
+			Excess:        rc.Defect.Excess,
+			Deficit:       rc.Defect.Deficit,
+			Defect:        rc.Defect.Total(),
+			TotalDistance: s.totalDistance,
+			Unclassified:  rc.Unclassified,
+		}
+	})
 	return sw, nil
 }
 

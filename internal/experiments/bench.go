@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+
+	"schemex/internal/cluster"
+	"schemex/internal/core"
+	"schemex/internal/dbg"
+	"schemex/internal/graph"
+	"schemex/internal/perfect"
+	"schemex/internal/recast"
+	"schemex/internal/synth"
+)
+
+// SeedBaseline holds the ns/op of each tracked workload measured on the
+// pre-kernel implementation (map-based link sets, [][]int32 distance matrix,
+// serial stages), recorded on the reference machine (Intel Xeon 2.10GHz)
+// before the popcount/worker-pool rewrite. Regenerating BENCH_extract.json
+// always embeds these, so the before/after comparison survives re-runs.
+var SeedBaseline = map[string]int64{
+	"stage1/gfp-classes/dbg-x2": 18394925,
+	"stage2/greedy-recast/dbg":  7408421,
+	"stage2/greedy-only/db7":    90941262,
+	"stage3/recast-only/dbg-x2": 1828712,
+	"pipeline/scale/dbg-x1":     10345449,
+	"pipeline/scale/dbg-x4":     68109694,
+	"pipeline/scale/dbg-x16":    3287544181,
+}
+
+// BenchResult is one workload's measurement.
+type BenchResult struct {
+	Name string `json:"name"`
+	// SeedNsPerOp is the pre-optimization baseline (0 if the workload did
+	// not exist at seed time).
+	SeedNsPerOp int64 `json:"seed_ns_per_op,omitempty"`
+	// SerialNsPerOp runs the workload with Parallelism=1 (the exact
+	// pre-parallelism code path over the new kernels).
+	SerialNsPerOp int64 `json:"serial_ns_per_op"`
+	// ParallelNsPerOp runs with one worker per CPU.
+	ParallelNsPerOp int64 `json:"parallel_ns_per_op"`
+	// SpeedupVsSeed is seed / min(serial, parallel).
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the checked-in BENCH_extract.json document.
+type BenchReport struct {
+	CPU        string        `json:"cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Note       string        `json:"note"`
+	Results    []BenchResult `json:"results"`
+}
+
+// RunBench measures the extraction hot paths with testing.Benchmark at
+// Parallelism 1 and NumCPU, pairing each with its seed baseline. It backs
+// `experiments -bench-json`.
+func RunBench() (*BenchReport, error) {
+	rep := &BenchReport{
+		CPU:        runtime.GOOS + "/" + runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "seed_ns_per_op: pre-bitset/pre-parallelism implementation on the reference machine; " +
+			"serial/parallel: current code at Parallelism 1 / NumCPU. " +
+			"Regenerate with: go run ./cmd/experiments -bench-json > BENCH_extract.json",
+	}
+
+	dbgX2, _ := dbg.Generate(dbg.Options{Scale: 2})
+	dbgX1, roles := dbg.Generate(dbg.Options{})
+	p7 := synth.Presets()[6]
+	db7, err := p7.Build()
+	if err != nil {
+		return nil, err
+	}
+	stage1DBG, err := perfect.Minimal(dbgX1, perfect.Options{NameFor: roles.NameFor})
+	if err != nil {
+		return nil, err
+	}
+	stage1DB7, err := perfect.Minimal(db7, perfect.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res6, err := core.Extract(dbgX2, core.Options{K: 6})
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(name string, run func(workers int, b *testing.B)) {
+		serial := testing.Benchmark(func(b *testing.B) { run(1, b) })
+		parallel := testing.Benchmark(func(b *testing.B) { run(0, b) })
+		r := BenchResult{
+			Name:            name,
+			SeedNsPerOp:     SeedBaseline[name],
+			SerialNsPerOp:   serial.NsPerOp(),
+			ParallelNsPerOp: parallel.NsPerOp(),
+			AllocsPerOp:     serial.AllocsPerOp(),
+		}
+		if best := r.SerialNsPerOp; r.SeedNsPerOp > 0 && best > 0 {
+			if r.ParallelNsPerOp < best {
+				best = r.ParallelNsPerOp
+			}
+			r.SpeedupVsSeed = float64(r.SeedNsPerOp) / float64(best)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
+	measure("stage1/gfp-classes/dbg-x2", func(workers int, b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perfect.Minimal(dbgX2, perfect.Options{Parallelism: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("stage2/greedy-recast/dbg", func(workers int, b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := cluster.NewGreedy(stage1DBG.Program.Clone(), cluster.Config{Parallelism: workers})
+			g.RunTo(6)
+			prog, mapping := g.Program()
+			homes := make(map[graph.ObjectID][]int, len(stage1DBG.Home))
+			for o, h := range stage1DBG.Home {
+				if c := mapping[h]; c != cluster.EmptySlot {
+					homes[o] = []int{c}
+				}
+			}
+			rc := recast.DefaultOptions()
+			rc.Parallelism = workers
+			recast.Recast(dbgX1, prog, homes, rc)
+		}
+	})
+	measure("stage2/greedy-only/db7", func(workers int, b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := cluster.NewGreedy(stage1DB7.Program.Clone(), cluster.Config{Parallelism: workers})
+			g.RunTo(p7.Intended())
+		}
+	})
+	measure("stage3/recast-only/dbg-x2", func(workers int, b *testing.B) {
+		rc := recast.DefaultOptions()
+		rc.Parallelism = workers
+		for i := 0; i < b.N; i++ {
+			recast.Recast(dbgX2, res6.Program, res6.Homes, rc)
+		}
+	})
+	for _, scale := range []int{1, 4, 16} {
+		db, roles := dbg.Generate(dbg.Options{Scale: scale})
+		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]
+		measure(name, func(workers int, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Extract(db, core.Options{K: 6, NameFor: roles.NameFor, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,85 @@
+// Package par is the tiny fork-join helper behind Options.Parallelism: the
+// extraction kernels shard their O(n²)/O(n·k) loops over a bounded set of
+// goroutines. Callers keep per-shard writes disjoint and fold shard results
+// with index tie-breaks, so every pipeline result is bit-identical to a
+// serial run at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a Parallelism option: values <= 0 mean one worker per
+// available CPU (runtime.GOMAXPROCS(0)).
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Do splits [0, n) into one contiguous chunk per worker and runs fn(lo, hi)
+// on each concurrently. With one worker (or n <= 1) it runs inline with no
+// goroutine or allocation. Use for loops whose per-index cost is roughly
+// uniform.
+func Do(workers, n int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// DoItems runs fn(i) for every i in [0, n), handing indexes to workers
+// dynamically through an atomic counter. Use for loops with uneven per-index
+// cost (e.g. triangular distance-matrix rows, where early rows hold more
+// pairs than late ones). With one worker it runs inline in index order.
+func DoItems(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

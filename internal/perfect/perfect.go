@@ -14,6 +14,7 @@ import (
 
 	"schemex/internal/bisim"
 	"schemex/internal/graph"
+	"schemex/internal/par"
 	"schemex/internal/typing"
 )
 
@@ -58,6 +59,11 @@ type Options struct {
 	// (the paper's future-work value predicates): objects with sex "Male"
 	// and sex "Female" then land in different classes.
 	ValueLabels []string
+	// Parallelism bounds the worker goroutines used for Q_D candidate-type
+	// construction and the greatest-fixpoint evaluation; <= 0 means one per
+	// CPU, 1 runs the exact serial code path. Results are identical at any
+	// setting.
+	Parallelism int
 	// UseBisimulation derives the Stage 1 partition by bisimulation
 	// partition refinement (internal/bisim) instead of the GFP extent
 	// quotient. Bisimulation always refines the paper's equivalence (it can
@@ -97,33 +103,52 @@ func BuildQDSorted(db *graph.DB, useSorts bool) (*typing.Program, []graph.Object
 // value predicates on selected labels. Each rule uses the most specific
 // form the options enable.
 func BuildQDOpts(db *graph.DB, opts typing.PictureOpts) (*typing.Program, []graph.ObjectID) {
+	return BuildQDOptsWorkers(db, opts, 1)
+}
+
+// BuildQDOptsWorkers is BuildQDOpts with the per-object rule construction
+// sharded over the given number of workers (each object's rule depends only
+// on its own edges, so shards write disjoint slots). The assembled program
+// is identical to the serial one: types are collected positionally, in
+// complex-object order.
+func BuildQDOptsWorkers(db *graph.DB, opts typing.PictureOpts, workers int) (*typing.Program, []graph.ObjectID) {
 	objs := db.ComplexObjects()
 	pos := make(map[graph.ObjectID]int, len(objs))
 	for i, o := range objs {
 		pos[o] = i
 	}
-	p := typing.NewProgram()
-	for _, o := range objs {
-		t := &typing.Type{Name: db.Name(o), Weight: 1}
-		for _, e := range db.Out(o) {
-			if db.IsAtomic(e.To) {
-				l := typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: typing.AtomicTarget}
-				if v, ok := db.AtomicValue(e.To); ok {
-					if opts.UseSorts {
-						l.Sort = typing.SortConstraint(v.Sort) + 1
+	if workers != 1 {
+		db.Freeze()
+	}
+	types := make([]*typing.Type, len(objs))
+	par.Do(workers, len(objs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o := objs[i]
+			t := &typing.Type{Name: db.Name(o), Weight: 1}
+			for _, e := range db.Out(o) {
+				if db.IsAtomic(e.To) {
+					l := typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: typing.AtomicTarget}
+					if v, ok := db.AtomicValue(e.To); ok {
+						if opts.UseSorts {
+							l.Sort = typing.SortConstraint(v.Sort) + 1
+						}
+						if opts.ValueLabels[e.Label] {
+							l.Value, l.HasValue = v.Text, true
+						}
 					}
-					if opts.ValueLabels[e.Label] {
-						l.Value, l.HasValue = v.Text, true
-					}
+					t.Links = append(t.Links, l)
+				} else {
+					t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: pos[e.To]})
 				}
-				t.Links = append(t.Links, l)
-			} else {
-				t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: pos[e.To]})
 			}
+			for _, e := range db.In(o) {
+				t.Links = append(t.Links, typing.TypedLink{Dir: typing.In, Label: e.Label, Target: pos[e.From]})
+			}
+			types[i] = t
 		}
-		for _, e := range db.In(o) {
-			t.Links = append(t.Links, typing.TypedLink{Dir: typing.In, Label: e.Label, Target: pos[e.From]})
-		}
+	})
+	p := typing.NewProgram()
+	for _, t := range types {
 		p.Add(t)
 	}
 	return p, objs
@@ -132,7 +157,8 @@ func BuildQDOpts(db *graph.DB, opts typing.PictureOpts) (*typing.Program, []grap
 // Minimal computes the minimal perfect typing of db (the full Stage 1
 // algorithm of §4.1).
 func Minimal(db *graph.DB, opts Options) (*Result, error) {
-	qd, objs := BuildQDOpts(db, opts.pictureOpts())
+	workers := par.Workers(opts.Parallelism)
+	qd, objs := BuildQDOptsWorkers(db, opts.pictureOpts(), workers)
 
 	// Bipartite fast path (§5.2's special case): with every link targeting
 	// an atomic object the program is non-recursive, the greatest fixpoint
@@ -169,7 +195,7 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 		if opts.UseNaiveGFP {
 			extent = typing.EvalGFPNaive(qd, db)
 		} else {
-			extent = typing.EvalGFP(qd, db)
+			extent = typing.EvalGFPWorkers(qd, db, workers)
 		}
 
 		// Group types with equal extents. Types are in bijection with
@@ -250,7 +276,7 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 	if opts.UseNaiveGFP {
 		result.Extent = typing.EvalGFPNaive(pd, db)
 	} else {
-		result.Extent = typing.EvalGFP(pd, db)
+		result.Extent = typing.EvalGFPWorkers(pd, db, workers)
 	}
 	return result, nil
 }

@@ -9,9 +9,11 @@ package recast
 import (
 	"math"
 
+	"schemex/internal/bitset"
 	"schemex/internal/cluster"
 	"schemex/internal/defect"
 	"schemex/internal/graph"
+	"schemex/internal/par"
 	"schemex/internal/typing"
 )
 
@@ -36,6 +38,11 @@ type Options struct {
 	// ValueLabels lists labels whose atomic values appear in local
 	// pictures, matching value-predicate definitions.
 	ValueLabels []string
+	// Parallelism bounds the worker goroutines that classify objects;
+	// <= 0 means one per CPU, 1 runs serially. Per-object decisions are
+	// independent and are applied to the assignment in object order, so the
+	// result is identical at any setting.
+	Parallelism int
 }
 
 func (o Options) pictureOpts() typing.PictureOpts {
@@ -74,40 +81,88 @@ type Result struct {
 func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) *Result {
 	a := typing.NewAssignment(prog, db)
 	classesOf := func(x graph.ObjectID) []int { return homes[x] }
+	workers := par.Workers(opts.Parallelism)
+	if workers != 1 {
+		db.Freeze() // flush lazy edge sorting before concurrent local-picture reads
+	}
 
+	// Intern the program's typed links to dense bit positions: every type
+	// definition becomes a bitset over that universe. An object's local
+	// picture splits into in-universe bits plus an out-of-universe count, so
+	// the §6 tests collapse to popcount kernels: t fits exactly iff
+	// |t \ local| = 0 (AndNotCount), and d(local, t) = extra + |local Δ t|
+	// restricted to the universe (XorCount) — links the program never
+	// mentions contribute the same constant to every distance.
+	linkID := make(map[typing.TypedLink]int)
+	for _, t := range prog.Types {
+		for _, l := range t.Links {
+			if _, ok := linkID[l]; !ok {
+				linkID[l] = len(linkID)
+			}
+		}
+	}
+	nT := len(prog.Types)
+	typeSet := bitset.NewBlock(nT, len(linkID))
+	typeLen := make([]int, nT)
+	for ti, t := range prog.Types {
+		for _, l := range t.Links {
+			typeSet[ti].Set(linkID[l])
+		}
+		typeLen[ti] = typeSet[ti].Count()
+	}
+
+	// Classify objects in parallel chunks; each slot of assigned is written
+	// only by its owner. Assignments are applied serially afterwards, in
+	// object order, exactly as the serial loop would issue them.
+	objs := db.ComplexObjects()
 	po := opts.pictureOpts()
-	for _, o := range db.ComplexObjects() {
-		local := typing.LocalLinksOpts(db, o, classesOf, po)
-		localSet := typing.NewLinkSet(local)
-		fit := false
-		for ti, t := range prog.Types {
-			if len(t.Links) == 0 {
-				continue // the empty definition carries no evidence
+	assigned := make([][]int, len(objs))
+	par.Do(workers, len(objs), func(lo, hi int) {
+		local := bitset.New(len(linkID)) // per-chunk scratch
+		for i := lo; i < hi; i++ {
+			o := objs[i]
+			picture := typing.LocalLinksOpts(db, o, classesOf, po)
+			local.Reset()
+			extra := 0
+			for _, l := range picture {
+				if id, ok := linkID[l]; ok {
+					local.Set(id)
+				} else {
+					extra++
+				}
 			}
-			if containsAll(localSet, t.Links) {
-				a.Assign(o, ti)
-				fit = true
+			var out []int
+			for ti := 0; ti < nT; ti++ {
+				if typeLen[ti] == 0 {
+					continue // the empty definition carries no evidence
+				}
+				if typeSet[ti].AndNotCount(local) == 0 {
+					out = append(out, ti)
+				}
 			}
-		}
-		if opts.KeepHome {
-			for _, h := range homes[o] {
-				a.Assign(o, h)
-				fit = true
+			if opts.KeepHome {
+				out = append(out, homes[o]...)
 			}
-		}
-		if fit || opts.NoClosest {
-			continue
-		}
-		// Closest type under the simple distance d (§6).
-		best, bestD := -1, math.MaxInt32
-		for ti, t := range prog.Types {
-			d := cluster.ManhattanSlices(local, t.Links)
-			if d < bestD {
-				best, bestD = ti, d
+			if len(out) == 0 && !opts.NoClosest {
+				// Closest type under the simple distance d (§6); ties go to
+				// the smallest index, as in the serial scan.
+				best, bestD := -1, math.MaxInt32
+				for ti := 0; ti < nT; ti++ {
+					d := extra + local.XorCount(typeSet[ti])
+					if d < bestD {
+						best, bestD = ti, d
+					}
+				}
+				if best >= 0 && (opts.MaxDistance < 0 || bestD <= opts.MaxDistance) {
+					out = append(out, best)
+				}
 			}
+			assigned[i] = out
 		}
-		if best >= 0 && (opts.MaxDistance < 0 || bestD <= opts.MaxDistance) {
-			a.Assign(o, best)
+	})
+	for i, out := range assigned {
+		for _, ti := range out {
+			a.Assign(objs[i], ti)
 		}
 	}
 

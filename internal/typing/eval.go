@@ -5,6 +5,7 @@ import (
 
 	"schemex/internal/bitset"
 	"schemex/internal/graph"
+	"schemex/internal/par"
 )
 
 // Extent is the greatest fixpoint of a typing program for a database: the
@@ -153,6 +154,22 @@ func EvalGFPNaive(p *Program, db *graph.DB) *Extent {
 // rather than full re-evaluation rounds. This is one of the "many possible
 // improvements" §4 alludes to for monadic programs.
 func EvalGFP(p *Program, db *graph.DB) *Extent {
+	return EvalGFPWorkers(p, db, 1)
+}
+
+// EvalGFPWorkers is EvalGFP with the degree-histogram build sharded by object
+// and the initial support seeding sharded by type across the given number of
+// workers (<= 1 runs the exact serial code path). Shards write disjoint
+// state — each object owns its histogram rows, each type owns its member set,
+// count table, and deferred removal list — and the greatest fixpoint is
+// unique regardless of removal order, so the result is identical to serial.
+// The propagation queue itself stays serial: its work is proportional to
+// witnesses actually lost, which is small once seeding has done the bulk
+// elimination.
+func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
+	if workers != 1 {
+		db.Freeze() // edge slices are sorted lazily; flush before concurrent reads
+	}
 	n := db.NumObjects()
 	nT := len(p.Types)
 	member := make([]*bitset.Set, nT)
@@ -199,24 +216,28 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 	if hasSorts {
 		outAtomicSort = make([]int32, nC*nL*nSorts)
 	}
-	for i, o := range complexObjs {
-		base := i * nL
-		for _, e := range db.Out(o) {
-			li := labelID[e.Label]
-			if db.IsAtomic(e.To) {
-				outAtomic[base+li]++
-				if hasSorts {
-					v, _ := db.AtomicValue(e.To)
-					outAtomicSort[(base+li)*nSorts+int(v.Sort)]++
+	par.Do(workers, nC, func(lo, hi int) {
+		// Each object owns its histogram rows; labelID is read-only here.
+		for i := lo; i < hi; i++ {
+			o := complexObjs[i]
+			base := i * nL
+			for _, e := range db.Out(o) {
+				li := labelID[e.Label]
+				if db.IsAtomic(e.To) {
+					outAtomic[base+li]++
+					if hasSorts {
+						v, _ := db.AtomicValue(e.To)
+						outAtomicSort[(base+li)*nSorts+int(v.Sort)]++
+					}
+				} else {
+					outComplex[base+li]++
 				}
-			} else {
-				outComplex[base+li]++
+			}
+			for _, e := range db.In(o) {
+				inComplex[base+labelID[e.Label]]++
 			}
 		}
-		for _, e := range db.In(o) {
-			inComplex[base+labelID[e.Label]]++
-		}
-	}
+	})
 
 	// counts[t] is indexed by linkIdx*nC + position(obj).
 	counts := make([][]int32, nT)
@@ -240,14 +261,27 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 			member[ti].Set(int(o))
 		}
 	}
-	for ti, t := range p.Types {
+	// Seed the support counts sharded by type: shard ti touches only
+	// member[ti], counts[ti], and its own deferred removal list, so shards
+	// never race. The lists are drained into the queue afterwards; the
+	// propagation result does not depend on that order (the GFP is unique).
+	initRemoved := make([][]graph.ObjectID, nT)
+	par.DoItems(workers, nT, func(ti int) {
+		t := p.Types[ti]
+		var local []graph.ObjectID
+		rm := func(o graph.ObjectID) {
+			if member[ti].Test(int(o)) {
+				member[ti].Clear(int(o))
+				local = append(local, o)
+			}
+		}
 		for li, l := range t.Links {
 			row := counts[ti][li*nC : (li+1)*nC]
 			lid, known := labelID[l.Label]
 			if !known {
 				// Label absent from the data: nothing can witness it.
 				for _, o := range complexObjs {
-					remove(ti, o)
+					rm(o)
 				}
 				continue
 			}
@@ -263,7 +297,7 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 					}
 					row[i] = c
 					if c == 0 {
-						remove(ti, o)
+						rm(o)
 					}
 				}
 				continue
@@ -274,7 +308,7 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 					c := outAtomicSort[(i*nL+lid)*nSorts+si]
 					row[i] = c
 					if c == 0 {
-						remove(ti, o)
+						rm(o)
 					}
 				}
 				continue
@@ -292,9 +326,15 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 				c := hist[i*nL+lid]
 				row[i] = c
 				if c == 0 {
-					remove(ti, o)
+					rm(o)
 				}
 			}
+		}
+		initRemoved[ti] = local
+	})
+	for ti, list := range initRemoved {
+		for _, o := range list {
+			queue = append(queue, removal{ti, o})
 		}
 	}
 

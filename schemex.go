@@ -188,6 +188,11 @@ type Options struct {
 	// coarser, typically identical) and is usually much faster on large
 	// recursive datasets. Incompatible with UseSorts/ValueLabels.
 	UseBisimulation bool
+	// Parallelism bounds the worker goroutines used inside each extraction
+	// stage. <= 0 (the default) uses one worker per CPU; 1 runs the exact
+	// serial code paths. The extracted schema, assignment, and defect are
+	// bit-identical at any setting, so this is purely a resource knob.
+	Parallelism int
 }
 
 func (o Options) toCore() (core.Options, error) {
@@ -198,6 +203,7 @@ func (o Options) toCore() (core.Options, error) {
 		UseSorts:        o.UseSorts,
 		ValueLabels:     o.ValueLabels,
 		UseBisimulation: o.UseBisimulation,
+		Parallelism:     o.Parallelism,
 	}
 	if o.Delta != "" {
 		d, ok := cluster.DeltaByName(o.Delta)
