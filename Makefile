@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race check bench bench-json experiments examples fuzz cover fmt vet clean
+.PHONY: all build test race test-race check bench bench-json experiments examples fuzz fuzz-short cover fmt vet clean
 
 all: build test
 
@@ -10,15 +10,16 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout=5m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout=5m ./...
 
 test-race: race
 
-# The full pre-merge gate: build, vet, tests, and the race detector.
-check: build vet test test-race
+# The full pre-merge gate: build, vet, tests, the race detector, and a
+# short fuzzing pass over every parser.
+check: build vet test test-race fuzz-short
 
 # Regenerate the checked-in hot-path benchmark report.
 bench-json:
@@ -33,7 +34,7 @@ experiments:
 examples:
 	@for d in examples/*/; do echo "=== $$d ==="; $(GO) run ./$$d || exit 1; done
 
-# Short fuzzing pass over every parser (longer runs: raise FUZZTIME).
+# Fuzzing pass over every parser (longer runs: raise FUZZTIME).
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -fuzz='^FuzzParseOEM$$' -fuzztime $(FUZZTIME) ./internal/graph/
@@ -42,6 +43,10 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/typing/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/datalog/
 	$(GO) test -fuzz='^FuzzParsePath$$' -fuzztime $(FUZZTIME) ./internal/query/
+
+# 30 seconds per fuzzer; part of `make check`.
+fuzz-short:
+	$(MAKE) fuzz FUZZTIME=30s
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

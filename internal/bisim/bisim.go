@@ -33,6 +33,15 @@ const AtomicBlock = -1
 
 // Compute returns the coarsest in/out bisimulation partition of db.
 func Compute(db *graph.DB) *Partition {
+	p, _ := ComputeCheck(db, nil)
+	return p
+}
+
+// ComputeCheck is Compute with a cooperative cancellation checkpoint
+// consulted once per refinement round (nil check: never cancel). Each round
+// touches every object, so the per-round check bounds cancel latency at one
+// round's work without perturbing the refinement itself.
+func ComputeCheck(db *graph.DB, check func() error) (*Partition, error) {
 	objs := db.ComplexObjects()
 	blockOf := make(map[graph.ObjectID]int, len(objs))
 	for _, o := range objs {
@@ -40,12 +49,17 @@ func Compute(db *graph.DB) *Partition {
 	}
 	nBlocks := 1
 	if len(objs) == 0 {
-		return &Partition{db: db, BlockOf: blockOf}
+		return &Partition{db: db, BlockOf: blockOf}, nil
 	}
 
 	rounds := 0
 	for {
 		rounds++
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		sig := make(map[graph.ObjectID]string, len(objs))
 		for _, o := range objs {
 			sig[o] = signature(db, o, blockOf)
@@ -82,7 +96,7 @@ func Compute(db *graph.DB) *Partition {
 			for _, b := range p.Blocks {
 				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
 			}
-			return p
+			return p, nil
 		}
 		newBlockOf := make(map[graph.ObjectID]int, len(objs))
 		for nb, k := range keys {

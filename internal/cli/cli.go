@@ -4,11 +4,16 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"schemex"
 	"schemex/internal/dbg"
@@ -31,8 +36,20 @@ func DefaultEnv() *Env {
 }
 
 // Run dispatches a schemex command line (without the program name) and
-// returns the exit code.
+// returns the exit code. SIGINT/SIGTERM cancel the running command
+// gracefully: extraction stops at its next checkpoint, partial stats are
+// printed, and the process exits with the conventional code 130.
 func Run(args []string, env *Env) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return RunContext(ctx, args, env)
+}
+
+// RunContext is Run under a caller-supplied context (no signal handling),
+// which makes cancellation behaviour unit-testable. Exit codes: 0 success,
+// 1 command error (including deadline expiry), 2 usage error, 130
+// cancellation.
+func RunContext(ctx context.Context, args []string, env *Env) int {
 	if env == nil {
 		env = DefaultEnv()
 	}
@@ -44,13 +61,13 @@ func Run(args []string, env *Env) int {
 	var err error
 	switch cmd {
 	case "extract":
-		err = cmdExtract(rest, env)
+		err = cmdExtract(ctx, rest, env)
 	case "perfect":
 		err = cmdPerfect(rest, env)
 	case "sweep":
-		err = cmdSweep(rest, env)
+		err = cmdSweep(ctx, rest, env)
 	case "assign":
-		err = cmdAssign(rest, env)
+		err = cmdAssign(ctx, rest, env)
 	case "gen":
 		err = cmdGen(rest, env)
 	case "query":
@@ -76,9 +93,47 @@ func Run(args []string, env *Env) int {
 			return 2
 		}
 		fmt.Fprintln(env.Stderr, "schemex:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		if errors.Is(err, context.Canceled) {
+			return 130 // the conventional "terminated by SIGINT" code
+		}
 		return 1
 	}
 	return 0
+}
+
+// usageError marks a flag-parsing failure, mapped to exit code 2.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usageErr(err error) error {
+	if err == flag.ErrHelp {
+		return err
+	}
+	return usageError{err}
+}
+
+// withTimeout arms a -timeout flag value on ctx; zero means no limit.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// reportPartial prints the loaded graph's stats to stderr when extraction
+// was cancelled or timed out, so an interrupted run still reports what it
+// was working on. The error is returned unchanged.
+func reportPartial(env *Env, g *schemex.Graph, err error) error {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		fmt.Fprintf(env.Stderr, "# interrupted; partial stats: %s\n", g.Stats())
+	}
+	return err
 }
 
 func usage(w io.Writer) {
@@ -141,7 +196,7 @@ func fileArg(fs *flag.FlagSet) (string, error) {
 	return fs.Arg(0), nil
 }
 
-func cmdExtract(args []string, env *Env) error {
+func cmdExtract(ctx context.Context, args []string, env *Env) error {
 	fs := newFlagSet("extract", env)
 	k := fs.Int("k", 0, "target number of types (0 = automatic)")
 	delta := fs.String("delta", "", "distance function: delta1..delta5 or weighted-manhattan")
@@ -154,8 +209,9 @@ func cmdExtract(args []string, env *Env) error {
 	showPerfect := fs.Bool("show-perfect", false, "also print the minimal perfect typing")
 	datalog := fs.Bool("datalog", false, "also print the typing as datalog rules")
 	parallel := fs.Int("p", 0, "worker goroutines per stage (0 = one per CPU, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort extraction after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -176,9 +232,11 @@ func cmdExtract(args []string, env *Env) error {
 		}
 		opts.SeedSchema = string(seed)
 	}
-	res, err := schemex.Extract(g, opts)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	res, err := schemex.ExtractContext(ctx, g, opts)
 	if err != nil {
-		return err
+		return reportPartial(env, g, err)
 	}
 	fmt.Fprintf(env.Stdout, "# %s\n", g.Stats())
 	fmt.Fprintf(env.Stdout, "# perfect typing: %d types; approximate typing: %d types", res.PerfectTypes(), res.NumTypes())
@@ -202,7 +260,7 @@ func cmdPerfect(args []string, env *Env) error {
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	sorts := fs.Bool("sorts", false, "distinguish atomic values by sort")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -221,14 +279,15 @@ func cmdPerfect(args []string, env *Env) error {
 	return nil
 }
 
-func cmdSweep(args []string, env *Env) error {
+func cmdSweep(ctx context.Context, args []string, env *Env) error {
 	fs := newFlagSet("sweep", env)
 	delta := fs.String("delta", "", "distance function")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	csv := fs.Bool("csv", false, "emit CSV for plotting")
 	parallel := fs.Int("p", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -238,9 +297,11 @@ func cmdSweep(args []string, env *Env) error {
 	if err != nil {
 		return err
 	}
-	sw, err := schemex.SweepAnalysis(g, schemex.Options{Delta: *delta, Parallelism: *parallel})
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	sw, err := schemex.SweepAnalysisContext(ctx, g, schemex.Options{Delta: *delta, Parallelism: *parallel})
 	if err != nil {
-		return err
+		return reportPartial(env, g, err)
 	}
 	if *csv {
 		fmt.Fprintln(env.Stdout, "types,defect,excess,deficit,total_distance,unclassified")
@@ -261,13 +322,14 @@ func cmdSweep(args []string, env *Env) error {
 	return nil
 }
 
-func cmdAssign(args []string, env *Env) error {
+func cmdAssign(ctx context.Context, args []string, env *Env) error {
 	fs := newFlagSet("assign", env)
 	k := fs.Int("k", 0, "target number of types (0 = automatic)")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	parallel := fs.Int("p", 0, "worker goroutines (0 = one per CPU, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort the assignment after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -277,9 +339,11 @@ func cmdAssign(args []string, env *Env) error {
 	if err != nil {
 		return err
 	}
-	res, err := schemex.Extract(g, schemex.Options{K: *k, Parallelism: *parallel})
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	res, err := schemex.ExtractContext(ctx, g, schemex.Options{K: *k, Parallelism: *parallel})
 	if err != nil {
-		return err
+		return reportPartial(env, g, err)
 	}
 	for _, ti := range res.Types() {
 		members := res.Members(ti.Name)
@@ -298,7 +362,7 @@ func cmdGen(args []string, env *Env) error {
 	specPath := fs.String("spec", "", "generate from a JSON spec file (see internal/synth)")
 	out := fs.String("out", "-", "output file")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 
 	w := env.Stdout
@@ -347,7 +411,7 @@ func cmdQuery(args []string, env *Env) error {
 	guided := fs.Bool("guided", false, "use the extracted schema to prune the search")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	if *pathExpr == "" {
 		return fmt.Errorf("query: -path is required")
@@ -390,7 +454,7 @@ func cmdConvert(args []string, env *Env) error {
 	to := fs.String("to", "text", "output format: text or oem")
 	out := fs.String("out", "-", "output file")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -424,7 +488,7 @@ func cmdCheck(args []string, env *Env) error {
 	schemaPath := fs.String("schema", "", "schema file in arrow notation (required)")
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	if *schemaPath == "" {
 		return fmt.Errorf("check: -schema is required")
@@ -465,7 +529,7 @@ func cmdValidate(args []string, env *Env) error {
 	fs := newFlagSet("validate", env)
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -484,7 +548,7 @@ func cmdStats(args []string, env *Env) error {
 	oem := fs.Bool("oem", false, "input is OEM syntax")
 	topLabels := fs.Int("top", 10, "show the N most frequent labels")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageErr(err)
 	}
 	path, err := fileArg(fs)
 	if err != nil {

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -297,5 +298,70 @@ func TestBadInputErrors(t *testing.T) {
 	code, _, _ = run(t, "", "extract") // no file arg
 	if code != 1 {
 		t.Fatal("missing file arg accepted")
+	}
+}
+
+// runCtx executes a command line under a caller-supplied context.
+func runCtx(t *testing.T, ctx context.Context, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	env := &Env{Stdin: strings.NewReader(stdin), Stdout: &out, Stderr: &errb}
+	code = RunContext(ctx, args, env)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	dataFile := writeTemp(t, "data.txt", sampleData)
+	cases := []struct {
+		name  string
+		ctx   context.Context
+		stdin string
+		args  []string
+		want  int
+	}{
+		{"success", context.Background(), sampleData, []string{"extract", "-k", "2", "-"}, 0},
+		{"no args", context.Background(), "", nil, 2},
+		{"unknown command", context.Background(), "", []string{"frobnicate"}, 2},
+		{"bad flag", context.Background(), "", []string{"extract", "-no-such-flag"}, 2},
+		{"missing file", context.Background(), "", []string{"extract", "/no/such/file"}, 1},
+		{"bad data", context.Background(), "not a record\n", []string{"extract", "-"}, 1},
+		{"cancelled extract", cancelled, sampleData, []string{"extract", "-k", "2", dataFile}, 130},
+		{"cancelled sweep", cancelled, sampleData, []string{"sweep", dataFile}, 130},
+		{"cancelled assign", cancelled, sampleData, []string{"assign", "-k", "2", dataFile}, 130},
+		{"timeout", context.Background(), "", []string{"extract", "-timeout", "1ns", dataFile}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCtx(t, c.ctx, c.stdin, c.args...)
+			if code != c.want {
+				t.Fatalf("exit code %d, want %d (stderr: %q)", code, c.want, stderr)
+			}
+		})
+	}
+}
+
+func TestCancelledExtractPrintsPartialStats(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dataFile := writeTemp(t, "data.txt", sampleData)
+	code, _, stderr := runCtx(t, ctx, "", "extract", "-k", "2", dataFile)
+	if code != 130 {
+		t.Fatalf("exit code %d, want 130", code)
+	}
+	if !strings.Contains(stderr, "partial stats") || !strings.Contains(stderr, "objects") {
+		t.Fatalf("no partial stats on cancel; stderr: %q", stderr)
+	}
+}
+
+func TestTimeoutFlagParses(t *testing.T) {
+	// A generous timeout must not interfere with a successful run.
+	code, stdout, stderr := run(t, sampleData, "extract", "-k", "2", "-timeout", "1m", "-")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "type ") {
+		t.Fatalf("no schema printed:\n%s", stdout)
 	}
 }

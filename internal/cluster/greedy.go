@@ -31,6 +31,12 @@ type Config struct {
 	// integrating data with a known structure). May be nil or shorter than
 	// the program; missing entries are unpinned.
 	Pinned []bool
+	// Check, if non-nil, is a cooperative cancellation checkpoint consulted
+	// when seeding the distance matrix and at the top of every Step. A
+	// non-nil return makes the engine refuse further moves; the error is
+	// available from Err. Checks never alter any computed distance or move,
+	// so the merge sequence stays bit-identical.
+	Check func() error
 	// Parallelism bounds the worker goroutines used for distance-matrix
 	// seeding, touched-row recomputation, and batched best-move repair;
 	// <= 0 means one per CPU, 1 runs everything inline. The merge sequence
@@ -93,6 +99,8 @@ type Greedy struct {
 	members [][]int // slot -> original type indices absorbed
 	active  []bool
 	inEmpty []int // original type indices moved to the empty type
+
+	err error // sticky cancellation error; set once, refuses further moves
 
 	slotOf []int    // original type index -> current slot, or EmptySlot
 	dist   []uint32 // strict upper triangle of the n×n distance matrix, row-major
@@ -169,12 +177,18 @@ func NewGreedy(p *typing.Program, cfg Config) *Greedy {
 	// shrink toward the end of the triangle, so they are scheduled
 	// dynamically; each row has a single writer.
 	g.dist = make([]uint32, n*(n-1)/2)
-	par.DoItems(g.workers, n-1, func(i int) {
+	g.err = par.DoItemsErr(g.workers, n-1, func(i int) error {
+		if cfg.Check != nil {
+			if err := cfg.Check(); err != nil {
+				return err
+			}
+		}
 		row := g.dist[g.rowOffset(i):]
 		si := g.set[i]
 		for j := i + 1; j < n; j++ {
 			row[j-i-1] = uint32(si.XorCount(g.set[j]))
 		}
+		return nil
 	})
 	g.bestCost = make([]float64, n)
 	g.bestTo = make([]int, n)
@@ -235,11 +249,22 @@ func (g *Greedy) DefectEstimate() int { return g.defectEstimate }
 // Trace returns the steps performed so far.
 func (g *Greedy) Trace() []Step { return g.trace }
 
+// Err returns the cancellation error that stopped the engine, if any. Once
+// set (by Config.Check failing during NewGreedy or Step), every further Step
+// reports no move; the partially coalesced state remains readable.
+func (g *Greedy) Err() error { return g.err }
+
 // Step performs the cheapest available move. It reports false when fewer
 // than two active types remain and no move was made.
 func (g *Greedy) Step() (Step, bool) {
-	if g.nAct < 2 {
+	if g.err != nil || g.nAct < 2 {
 		return Step{}, false
+	}
+	if g.cfg.Check != nil {
+		if err := g.cfg.Check(); err != nil {
+			g.err = err
+			return Step{}, false
+		}
 	}
 	// Refresh stale row caches as a parallel batch: each row is an
 	// independent scan writing only its own cache slot, so the batch is

@@ -7,7 +7,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"schemex/internal/cluster"
 	"schemex/internal/defect"
@@ -60,9 +63,85 @@ type Options struct {
 	// per CPU, 1 runs the exact serial code paths. Every result is
 	// bit-identical at any setting.
 	Parallelism int
+	// Limits bounds the resources an extraction may consume. Violations
+	// surface as *graph.LimitError. The zero value imposes no caps.
+	Limits Limits
 }
 
-func (o Options) recastOptions() recast.Options {
+// Limits bounds the resources an extraction run may consume. Each cap is
+// checked before or during the stage it protects, so a violating run fails
+// early with a typed *graph.LimitError instead of running to completion (or
+// OOM). Zero or negative fields mean "unlimited".
+type Limits struct {
+	// MaxObjects caps the database size (objects, complex plus atomic)
+	// accepted by the pipeline; checked before Stage 1.
+	MaxObjects int
+	// MaxLinks caps the number of link facts; checked before Stage 1.
+	MaxLinks int
+	// MaxTypes caps the size of the pre-clustering program (the Stage 1
+	// perfect typing, after any multi-role decomposition and seeding).
+	// Stage 2 is quadratic in this count, so the cap bounds clustering
+	// memory and time.
+	MaxTypes int
+	// MaxWallTime caps the total wall-clock time of the run. When the
+	// budget expires the pipeline stops at its next checkpoint and returns
+	// a *graph.LimitError wrapping context.DeadlineExceeded.
+	MaxWallTime time.Duration
+}
+
+// checkGraph enforces the input-size caps against db.
+func (l Limits) checkGraph(db *graph.DB) error {
+	if l.MaxObjects > 0 && db.NumObjects() > l.MaxObjects {
+		return &graph.LimitError{Resource: "objects", Limit: int64(l.MaxObjects), Actual: int64(db.NumObjects())}
+	}
+	if l.MaxLinks > 0 && db.NumLinks() > l.MaxLinks {
+		return &graph.LimitError{Resource: "links", Limit: int64(l.MaxLinks), Actual: int64(db.NumLinks())}
+	}
+	return nil
+}
+
+// checkTypes enforces the pre-clustering program-size cap.
+func (l Limits) checkTypes(p *typing.Program) error {
+	if l.MaxTypes > 0 && p.Len() > l.MaxTypes {
+		return &graph.LimitError{Resource: "types", Limit: int64(l.MaxTypes), Actual: int64(p.Len())}
+	}
+	return nil
+}
+
+// withWallClock arms the MaxWallTime budget on ctx. It returns the derived
+// context, its cancel func (always call it), and a wrapper that rewrites
+// context.DeadlineExceeded into a *graph.LimitError — but only when it was
+// our own budget that fired, not a deadline the caller already carried.
+func (l Limits) withWallClock(ctx context.Context) (context.Context, context.CancelFunc, func(error) error) {
+	if l.MaxWallTime <= 0 {
+		return ctx, func() {}, func(err error) error { return err }
+	}
+	parent := ctx
+	ctx, cancel := context.WithTimeout(ctx, l.MaxWallTime)
+	wrap := func(err error) error {
+		if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+			return &graph.LimitError{
+				Resource: "wall-time",
+				Limit:    l.MaxWallTime.Milliseconds(),
+				Err:      context.DeadlineExceeded,
+			}
+		}
+		return err
+	}
+	return ctx, cancel, wrap
+}
+
+// checkFunc adapts a context into the cooperative checkpoint closure the
+// stage packages consume. A context that can never be cancelled yields nil,
+// which disables checkpointing entirely (the PR 1 fast path).
+func checkFunc(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
+func (o Options) recastOptions(check func() error) recast.Options {
 	rc := recast.DefaultOptions()
 	if o.Recast != nil {
 		rc = *o.Recast
@@ -76,10 +155,11 @@ func (o Options) recastOptions() recast.Options {
 	if rc.Parallelism == 0 {
 		rc.Parallelism = o.Parallelism
 	}
+	rc.Check = check
 	return rc
 }
 
-func (o Options) perfectOptions() perfect.Options {
+func (o Options) perfectOptions(check func() error) perfect.Options {
 	return perfect.Options{
 		NameFor:         o.NameFor,
 		UseNaiveGFP:     o.UseNaiveGFP,
@@ -87,6 +167,18 @@ func (o Options) perfectOptions() perfect.Options {
 		ValueLabels:     o.ValueLabels,
 		UseBisimulation: o.UseBisimulation,
 		Parallelism:     o.Parallelism,
+		Check:           check,
+	}
+}
+
+func (o Options) clusterConfig(pinned []bool, check func() error) cluster.Config {
+	return cluster.Config{
+		Delta:       o.Delta,
+		AllowEmpty:  o.AllowEmpty,
+		EmptyBias:   o.EmptyBias,
+		Pinned:      pinned,
+		Parallelism: o.Parallelism,
+		Check:       check,
 	}
 }
 
@@ -120,10 +212,33 @@ type Result struct {
 
 // Extract runs the full three-stage pipeline on db.
 func Extract(db *graph.DB, opts Options) (*Result, error) {
+	return ExtractContext(context.Background(), db, opts)
+}
+
+// ExtractContext is Extract with cooperative cancellation and resource
+// budgets: the run stops at the next checkpoint once ctx is cancelled (or
+// the Options.Limits wall-clock budget expires) and returns ctx.Err() — or a
+// *graph.LimitError for budget violations. Checkpoints only ever abort the
+// whole run, so a completed extraction is bit-identical to Extract.
+func ExtractContext(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
+	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
+	defer cancel()
+	res, err := extract(ctx, db, opts)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	return res, nil
+}
+
+func extract(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
 	if db.NumObjects()-db.NumAtomic() == 0 {
 		return nil, fmt.Errorf("core: database has no complex objects")
 	}
-	stage1, err := perfect.Minimal(db, opts.perfectOptions())
+	if err := opts.Limits.checkGraph(db); err != nil {
+		return nil, err
+	}
+	check := checkFunc(ctx)
+	stage1, err := perfect.Minimal(db, opts.perfectOptions(check))
 	if err != nil {
 		return nil, err
 	}
@@ -145,10 +260,13 @@ func Extract(db *graph.DB, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Limits.checkTypes(baseProg); err != nil {
+		return nil, err
+	}
 
 	k := opts.K
 	if k <= 0 {
-		sweep, err := sweepFrom(db, baseProg, baseHomes, pinned, opts)
+		sweep, err := sweepFrom(check, db, baseProg, baseHomes, pinned, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -162,21 +280,21 @@ func Extract(db *graph.DB, opts Options) (*Result, error) {
 		k = nPinned
 	}
 
-	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
-		Delta:       opts.Delta,
-		AllowEmpty:  opts.AllowEmpty,
-		EmptyBias:   opts.EmptyBias,
-		Pinned:      pinned,
-		Parallelism: opts.Parallelism,
-	})
+	g := cluster.NewGreedy(baseProg.Clone(), opts.clusterConfig(pinned, check))
 	g.RunTo(k)
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
 	prog, mapping := g.Program()
 	res.Program = prog
 	res.Mapping = mapping
 	res.TotalDistance = g.TotalDistance()
 
 	res.Homes = mapHomes(baseHomes, mapping)
-	rc := recast.Recast(db, prog, res.Homes, opts.recastOptions())
+	rc, err := recast.RecastErr(db, prog, res.Homes, opts.recastOptions(check))
+	if err != nil {
+		return nil, err
+	}
 	res.Assignment = rc.Assignment
 	res.Defect = rc.Defect
 	res.Unclassified = rc.Unclassified
@@ -280,7 +398,27 @@ type SweepResult struct {
 // typing down to one type, recasting and measuring the defect at every
 // intermediate number of types — the Figure 6 experiment.
 func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
-	stage1, err := perfect.Minimal(db, opts.perfectOptions())
+	return SweepContext(context.Background(), db, opts)
+}
+
+// SweepContext is Sweep with cooperative cancellation and resource budgets,
+// with the same contract as ExtractContext.
+func SweepContext(ctx context.Context, db *graph.DB, opts Options) (*SweepResult, error) {
+	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
+	defer cancel()
+	sw, err := sweep(ctx, db, opts)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	return sw, nil
+}
+
+func sweep(ctx context.Context, db *graph.DB, opts Options) (*SweepResult, error) {
+	if err := opts.Limits.checkGraph(db); err != nil {
+		return nil, err
+	}
+	check := checkFunc(ctx)
+	stage1, err := perfect.Minimal(db, opts.perfectOptions(check))
 	if err != nil {
 		return nil, err
 	}
@@ -298,17 +436,17 @@ func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sweepFrom(db, baseProg, baseHomes, pinned, opts)
+	if err := opts.Limits.checkTypes(baseProg); err != nil {
+		return nil, err
+	}
+	return sweepFrom(check, db, baseProg, baseHomes, pinned, opts)
 }
 
-func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
-	g := cluster.NewGreedy(baseProg.Clone(), cluster.Config{
-		Delta:       opts.Delta,
-		AllowEmpty:  opts.AllowEmpty,
-		EmptyBias:   opts.EmptyBias,
-		Pinned:      pinned,
-		Parallelism: opts.Parallelism,
-	})
+func sweepFrom(check func() error, db *graph.DB, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
+	g := cluster.NewGreedy(baseProg.Clone(), opts.clusterConfig(pinned, check))
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
 
 	// The greedy merge sequence is inherently serial, but measuring each
 	// intermediate typing (recast + defect) is independent work: capture a
@@ -332,17 +470,23 @@ func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.Objec
 		}
 		capture()
 	}
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
 
 	db.Freeze() // concurrent readers need the lazy edge sorting flushed
 	sw := &SweepResult{Points: make([]SweepPoint, len(snaps))}
 	// One snapshot per worker; each recast runs serially inside its worker
 	// (Parallelism: 1) so the sweep doesn't oversubscribe the CPUs.
-	rcOpts := opts.recastOptions()
+	rcOpts := opts.recastOptions(check)
 	rcOpts.Parallelism = 1
-	par.DoItems(par.Workers(opts.Parallelism), len(snaps), func(i int) {
+	if err := par.DoItemsErr(par.Workers(opts.Parallelism), len(snaps), func(i int) error {
 		s := snaps[i]
 		homes := mapHomes(baseHomes, s.mapping)
-		rc := recast.Recast(db, s.prog, homes, rcOpts)
+		rc, err := recast.RecastErr(db, s.prog, homes, rcOpts)
+		if err != nil {
+			return err
+		}
 		sw.Points[i] = SweepPoint{
 			K:             s.k,
 			Excess:        rc.Defect.Excess,
@@ -351,7 +495,10 @@ func sweepFrom(db *graph.DB, baseProg *typing.Program, baseHomes map[graph.Objec
 			TotalDistance: s.totalDistance,
 			Unclassified:  rc.Unclassified,
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return sw, nil
 }
 

@@ -1,6 +1,9 @@
 package datalog
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks the datalog parser never panics and accepted programs
 // validate and round-trip through the printer.
@@ -12,6 +15,11 @@ func FuzzParse(f *testing.F) {
 		`p(X) :- q(X) & !r(X).`,
 		`% comment` + "\n" + `p(X) :- q(X).`,
 		`p() :- q().`,
+		// Adversarial shapes: giant predicate names, wide bodies, and
+		// direct self-reference.
+		strings.Repeat("p", 1<<10) + `(X) :- q(X).`,
+		`p(X) :- ` + strings.Repeat("q(X), ", 300) + `r(X).`,
+		`p(X) :- p(X).`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

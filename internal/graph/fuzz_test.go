@@ -18,6 +18,13 @@ func FuzzParseOEM(f *testing.F) {
 		`&a {} &b { r: *a, r2: *a }`,
 		`*forward`,
 		`&x { a: 1, }`,
+		// Adversarial shapes: deep nesting, giant labels, and cyclic or
+		// reference-heavy *name documents.
+		strings.Repeat("{ a: ", 64) + "1" + strings.Repeat(" }", 64),
+		"&a { " + strings.Repeat("x", 1<<12) + ": 1 }",
+		`&a { "` + strings.Repeat("y", 1<<10) + `": *a }`,
+		`&a { next: *b } &b { next: *c } &c { next: *a, back: *b, self: *c }`,
+		"&r {" + strings.Repeat(" m: *r,", 200) + " }",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -48,6 +55,10 @@ func FuzzReadText(f *testing.F) {
 		"obj lonely\n# comment\nlink a \"b c\" \"l l\"\n",
 		"atomic x int 42\natomic y bool true\n",
 		"link a b l\nlink a b l2\nlink b c l\n",
+		// Adversarial shapes: giant field values and duplicate records.
+		"link " + strings.Repeat("a", 1<<12) + " b " + strings.Repeat("l", 1<<12) + "\n",
+		"atomic huge string \"" + strings.Repeat("v", 1<<10) + "\"\n",
+		"link a a self\nlink a a self\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -80,6 +91,10 @@ func FuzzFromJSON(f *testing.F) {
 		`[[1, 2], [3]]`,
 		`"bare string"`,
 		`{"deep": {"deeper": {"deepest": [{"x": 1}]}}}`,
+		// Adversarial shapes: deep nesting and giant keys/values.
+		strings.Repeat(`{"a":`, 64) + `1` + strings.Repeat(`}`, 64),
+		strings.Repeat(`[`, 128) + strings.Repeat(`]`, 128),
+		`{"` + strings.Repeat("k", 1<<12) + `": "` + strings.Repeat("v", 1<<12) + `"}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

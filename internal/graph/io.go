@@ -58,11 +58,22 @@ func (db *DB) Write(w io.Writer) error {
 
 // Read parses the text format into a new database.
 func Read(r io.Reader) (*DB, error) {
+	return ReadLimits(r, Limits{})
+}
+
+// ReadLimits is Read with resource budgets: parsing stops with a *LimitError
+// as soon as the input exceeds lim's byte, object, or link caps.
+func ReadLimits(r io.Reader, lim Limits) (*DB, error) {
 	db := New()
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(newCappedReader(r, lim.MaxBytes))
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	lineNo := 0
 	for sc.Scan() {
+		// A byte-cap violation surfaces as a scanner error alongside a
+		// truncated final token; report the cap, not a bogus parse error.
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -98,6 +109,9 @@ func Read(r io.Reader) (*DB, error) {
 			}
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+		if err := lim.checkCounts(db); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -25,10 +26,21 @@ import (
 // named <parent>/<label>[<i>]. The function may be called repeatedly on the
 // same DB to load several documents side by side (use distinct root names).
 func (db *DB) FromJSON(r io.Reader, rootName string) (ObjectID, error) {
-	dec := json.NewDecoder(r)
+	return db.FromJSONLimits(r, rootName, Limits{})
+}
+
+// FromJSONLimits is FromJSON with resource budgets: loading stops with a
+// *LimitError as soon as the document exceeds lim's byte, object, link, or
+// nesting-depth caps.
+func (db *DB) FromJSONLimits(r io.Reader, rootName string, lim Limits) (ObjectID, error) {
+	dec := json.NewDecoder(newCappedReader(r, lim.MaxBytes))
 	dec.UseNumber()
 	var doc interface{}
 	if err := dec.Decode(&doc); err != nil {
+		var le *LimitError
+		if errors.As(err, &le) {
+			return NoObject, le
+		}
 		return NoObject, fmt.Errorf("graph: json: %v", err)
 	}
 	if rootName == "" {
@@ -37,7 +49,7 @@ func (db *DB) FromJSON(r io.Reader, rootName string) (ObjectID, error) {
 	if db.Lookup(rootName) != NoObject {
 		return NoObject, fmt.Errorf("graph: json: object %q already exists", rootName)
 	}
-	ld := &jsonLoader{db: db}
+	ld := &jsonLoader{db: db, lim: lim}
 	id, err := ld.value(rootName, doc)
 	if err != nil {
 		return NoObject, err
@@ -50,8 +62,14 @@ func (db *DB) FromJSON(r io.Reader, rootName string) (ObjectID, error) {
 
 // FromJSON is the package-level convenience over a fresh database.
 func FromJSON(r io.Reader, rootName string) (*DB, ObjectID, error) {
+	return FromJSONLimits(r, rootName, Limits{})
+}
+
+// FromJSONLimits is the package-level convenience over a fresh database,
+// with resource budgets.
+func FromJSONLimits(r io.Reader, rootName string, lim Limits) (*DB, ObjectID, error) {
 	db := New()
-	id, err := db.FromJSON(r, rootName)
+	id, err := db.FromJSONLimits(r, rootName, lim)
 	if err != nil {
 		return nil, NoObject, err
 	}
@@ -60,17 +78,27 @@ func FromJSON(r io.Reader, rootName string) (*DB, ObjectID, error) {
 
 type jsonLoader struct {
 	db    *DB
+	lim   Limits
 	nAtom int
+	depth int
 }
 
 // value materializes a JSON value under the given object name and returns
 // its ObjectID (NoObject for null).
 func (l *jsonLoader) value(name string, v interface{}) (ObjectID, error) {
+	l.depth++
+	defer func() { l.depth-- }()
+	if max := l.lim.depth(); l.depth > max {
+		return NoObject, &LimitError{Resource: "depth", Limit: int64(max), Actual: int64(l.depth)}
+	}
 	switch x := v.(type) {
 	case nil:
 		return NoObject, nil
 	case map[string]interface{}:
 		id := l.db.Intern(name)
+		if err := l.lim.checkCounts(l.db); err != nil {
+			return NoObject, err
+		}
 		keys := make([]string, 0, len(x))
 		for k := range x {
 			keys = append(keys, k)
@@ -85,6 +113,9 @@ func (l *jsonLoader) value(name string, v interface{}) (ObjectID, error) {
 	case []interface{}:
 		// A bare array: treat as an object with repeated "element" members.
 		id := l.db.Intern(name)
+		if err := l.lim.checkCounts(l.db); err != nil {
+			return NoObject, err
+		}
 		if err := l.attach(id, name+"/element", "element", x); err != nil {
 			return NoObject, err
 		}
@@ -120,7 +151,10 @@ func (l *jsonLoader) attach(parent ObjectID, name, label string, v interface{}) 
 	if child == NoObject {
 		return nil
 	}
-	return l.db.AddLink(parent, child, label)
+	if err := l.db.AddLink(parent, child, label); err != nil {
+		return err
+	}
+	return l.lim.checkCounts(l.db)
 }
 
 func (l *jsonLoader) atom(name string, v interface{}) (ObjectID, error) {
@@ -144,5 +178,5 @@ func (l *jsonLoader) atom(name string, v interface{}) (ObjectID, error) {
 	if err := l.db.SetAtomic(id, val); err != nil {
 		return NoObject, err
 	}
-	return id, nil
+	return id, l.lim.checkCounts(l.db)
 }

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// Limits bounds the resources a loader may consume, so hostile or oversized
+// inputs fail with a structured error instead of exhausting memory or stack.
+// The zero value imposes no caps beyond the built-in recursion-depth guard.
+type Limits struct {
+	// MaxBytes caps the raw input size in bytes (<= 0: unlimited).
+	MaxBytes int64
+	// MaxObjects caps the number of objects, complex plus atomic
+	// (<= 0: unlimited).
+	MaxObjects int
+	// MaxLinks caps the number of link facts (<= 0: unlimited).
+	MaxLinks int
+	// MaxDepth caps OEM/JSON object nesting (<= 0: the built-in guard of
+	// DefaultMaxDepth, which exists to protect parser recursion).
+	MaxDepth int
+}
+
+// DefaultMaxDepth is the nesting-depth guard applied when Limits.MaxDepth is
+// unset: deep enough for any real document, shallow enough that parser
+// recursion cannot blow the stack.
+const DefaultMaxDepth = 10000
+
+func (l Limits) depth() int {
+	if l.MaxDepth <= 0 {
+		return DefaultMaxDepth
+	}
+	return l.MaxDepth
+}
+
+// checkCounts verifies the object/link caps against the database under
+// construction. Loaders call it after every record, so a violating input
+// fails as soon as it crosses the cap rather than after being fully read.
+func (l Limits) checkCounts(db *DB) error {
+	if l.MaxObjects > 0 && db.NumObjects() > l.MaxObjects {
+		return &LimitError{Resource: "objects", Limit: int64(l.MaxObjects), Actual: int64(db.NumObjects())}
+	}
+	if l.MaxLinks > 0 && db.NumLinks() > l.MaxLinks {
+		return &LimitError{Resource: "links", Limit: int64(l.MaxLinks), Actual: int64(db.NumLinks())}
+	}
+	return nil
+}
+
+// LimitError reports a violated resource budget: which resource, the cap,
+// and (when known) the observed value. It is returned by the limited loaders
+// and by the extraction pipeline's Limits enforcement.
+type LimitError struct {
+	// Resource names the budget: "bytes", "objects", "links", "depth",
+	// "types", or "wall-time".
+	Resource string
+	// Limit is the configured cap.
+	Limit int64
+	// Actual is the observed value at the moment the cap was crossed
+	// (0 when the loader stopped before measuring the full input).
+	Actual int64
+	// Err is the underlying cause, if any (e.g. context.DeadlineExceeded
+	// for wall-time limits).
+	Err error
+}
+
+func (e *LimitError) Error() string {
+	msg := fmt.Sprintf("limit exceeded: %s > %d", e.Resource, e.Limit)
+	if e.Actual > e.Limit {
+		msg = fmt.Sprintf("limit exceeded: %d %s > %d", e.Actual, e.Resource, e.Limit)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *LimitError) Unwrap() error { return e.Err }
+
+// cappedReader returns a *LimitError once more than max bytes have been
+// read. Unlike io.LimitReader it fails loudly instead of faking EOF, so a
+// truncated parse cannot be mistaken for a complete one.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+	max       int64
+}
+
+func newCappedReader(r io.Reader, max int64) io.Reader {
+	if max <= 0 {
+		return r
+	}
+	return &cappedReader{r: r, remaining: max, max: max}
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return c.r.Read(p)
+	}
+	// Allow reading one byte past the cap: an input of exactly max bytes
+	// ends in a clean EOF, while the max+1'th byte trips the limit.
+	if int64(len(p)) > c.remaining+1 {
+		p = p[:c.remaining+1]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	if c.remaining < 0 {
+		return n, &LimitError{Resource: "bytes", Limit: c.max}
+	}
+	return n, err
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// wantLimit asserts err is a *LimitError for the given resource.
+func wantLimit(t *testing.T, err error, resource string) *LimitError {
+	t.Helper()
+	var le *LimitError
+	if err == nil || !errors.As(err, &le) {
+		t.Fatalf("got %v, want *LimitError(%s)", err, resource)
+	}
+	if le.Resource != resource {
+		t.Fatalf("resource %q, want %q (err: %v)", le.Resource, resource, err)
+	}
+	return le
+}
+
+func TestReadLimitsBytes(t *testing.T) {
+	src := "link a b l\nlink b c l\n"
+	if _, err := ReadLimits(strings.NewReader(src), Limits{MaxBytes: int64(len(src))}); err != nil {
+		t.Fatalf("input of exactly MaxBytes rejected: %v", err)
+	}
+	_, err := ReadLimits(strings.NewReader(src), Limits{MaxBytes: int64(len(src)) - 1})
+	wantLimit(t, err, "bytes")
+}
+
+func TestReadLimitsObjects(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sb, "obj o%d\n", i)
+	}
+	if _, err := ReadLimits(strings.NewReader(sb.String()), Limits{MaxObjects: 20}); err != nil {
+		t.Fatalf("at-cap input rejected: %v", err)
+	}
+	_, err := ReadLimits(strings.NewReader(sb.String()), Limits{MaxObjects: 10})
+	le := wantLimit(t, err, "objects")
+	if le.Limit != 10 {
+		t.Fatalf("limit %d, want 10", le.Limit)
+	}
+}
+
+func TestReadLimitsLinks(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sb, "link a b l%d\n", i)
+	}
+	_, err := ReadLimits(strings.NewReader(sb.String()), Limits{MaxLinks: 5})
+	wantLimit(t, err, "links")
+}
+
+func TestOEMLimits(t *testing.T) {
+	t.Run("depth", func(t *testing.T) {
+		deep := strings.Repeat("{ a: ", 50) + "1" + strings.Repeat(" }", 50)
+		_, err := ParseOEMStringLimits(deep, Limits{MaxDepth: 10})
+		wantLimit(t, err, "depth")
+		if _, err := ParseOEMStringLimits(deep, Limits{MaxDepth: 60}); err != nil {
+			t.Fatalf("within-cap nesting rejected: %v", err)
+		}
+	})
+	t.Run("objects", func(t *testing.T) {
+		_, err := ParseOEMStringLimits(`&a { x: 1, y: 2, z: 3 }`, Limits{MaxObjects: 2})
+		wantLimit(t, err, "objects")
+	})
+	t.Run("links", func(t *testing.T) {
+		_, err := ParseOEMStringLimits(`&a { x: 1, y: 2, z: 3 }`, Limits{MaxLinks: 1})
+		wantLimit(t, err, "links")
+	})
+	t.Run("bytes", func(t *testing.T) {
+		_, err := ParseOEMLimits(strings.NewReader(`&a { x: 1, y: 2 }`), Limits{MaxBytes: 4})
+		wantLimit(t, err, "bytes")
+	})
+}
+
+func TestJSONLimits(t *testing.T) {
+	t.Run("depth", func(t *testing.T) {
+		deep := strings.Repeat(`{"a":`, 50) + "1" + strings.Repeat("}", 50)
+		_, _, err := FromJSONLimits(strings.NewReader(deep), "root", Limits{MaxDepth: 10})
+		wantLimit(t, err, "depth")
+		if _, _, err := FromJSONLimits(strings.NewReader(deep), "root", Limits{MaxDepth: 60}); err != nil {
+			t.Fatalf("within-cap nesting rejected: %v", err)
+		}
+	})
+	t.Run("objects", func(t *testing.T) {
+		_, _, err := FromJSONLimits(strings.NewReader(`{"a":1,"b":2,"c":3}`), "root", Limits{MaxObjects: 2})
+		wantLimit(t, err, "objects")
+	})
+	t.Run("links", func(t *testing.T) {
+		_, _, err := FromJSONLimits(strings.NewReader(`{"a":[1,2,3,4]}`), "root", Limits{MaxLinks: 2})
+		wantLimit(t, err, "links")
+	})
+	t.Run("bytes", func(t *testing.T) {
+		_, _, err := FromJSONLimits(strings.NewReader(`{"a": "xxxxxxxxxxxxxxxx"}`), "root", Limits{MaxBytes: 4})
+		wantLimit(t, err, "bytes")
+	})
+}
+
+func TestLimitErrorMessageAndUnwrap(t *testing.T) {
+	inner := errors.New("deadline")
+	le := &LimitError{Resource: "wall-time", Limit: 100, Err: inner}
+	if !errors.Is(le, inner) {
+		t.Fatal("Unwrap does not expose the cause")
+	}
+	if msg := le.Error(); !strings.Contains(msg, "wall-time") || !strings.Contains(msg, "deadline") {
+		t.Fatalf("unhelpful message %q", msg)
+	}
+	withActual := &LimitError{Resource: "objects", Limit: 10, Actual: 42}
+	if msg := withActual.Error(); !strings.Contains(msg, "42") || !strings.Contains(msg, "10") {
+		t.Fatalf("message %q misses the observed/limit values", msg)
+	}
+}
+
+func TestCappedReaderExactBoundary(t *testing.T) {
+	// Exactly max bytes must stream through with a clean EOF even when read
+	// through a tiny buffer.
+	src := strings.Repeat("x", 100)
+	r := newCappedReader(strings.NewReader(src), 100)
+	buf := make([]byte, 7)
+	total := 0
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if err != nil {
+			if err.Error() != "EOF" {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+	}
+	if total != 100 {
+		t.Fatalf("read %d bytes, want 100", total)
+	}
+}

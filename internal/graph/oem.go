@@ -31,16 +31,29 @@ import (
 // Anonymous complex objects are named "_oemN" in definition order; atomic
 // literals are named "_atomN".
 func ParseOEM(r io.Reader) (*DB, error) {
-	data, err := io.ReadAll(r)
+	return ParseOEMLimits(r, Limits{})
+}
+
+// ParseOEMLimits is ParseOEM with resource budgets: parsing stops with a
+// *LimitError as soon as the document exceeds lim's byte, object, link, or
+// nesting-depth caps.
+func ParseOEMLimits(r io.Reader, lim Limits) (*DB, error) {
+	data, err := io.ReadAll(newCappedReader(r, lim.MaxBytes))
 	if err != nil {
 		return nil, err
 	}
-	return ParseOEMString(string(data))
+	return ParseOEMStringLimits(string(data), lim)
 }
 
 // ParseOEMString is ParseOEM over a string.
 func ParseOEMString(src string) (*DB, error) {
-	p := &oemParser{lex: newOEMLexer(src), db: New(), pending: make(map[string][]pendingRef)}
+	return ParseOEMStringLimits(src, Limits{})
+}
+
+// ParseOEMStringLimits is ParseOEMLimits over a string (the byte cap is not
+// applied; the caller already holds the whole input).
+func ParseOEMStringLimits(src string, lim Limits) (*DB, error) {
+	p := &oemParser{lex: newOEMLexer(src), db: New(), lim: lim, pending: make(map[string][]pendingRef)}
 	if err := p.parseDocument(); err != nil {
 		return nil, err
 	}
@@ -201,13 +214,10 @@ type pendingRef struct {
 	line  int
 }
 
-// maxOEMDepth bounds object nesting so hostile documents cannot exhaust
-// the stack through parser recursion.
-const maxOEMDepth = 10000
-
 type oemParser struct {
 	lex     *oemLexer
 	db      *DB
+	lim     Limits
 	tok     oemToken
 	peeked  bool
 	nAnon   int
@@ -215,6 +225,15 @@ type oemParser struct {
 	depth   int
 	defined map[string]ObjectID
 	pending map[string][]pendingRef
+}
+
+// checkLimits enforces the object/link caps against the database under
+// construction, annotated with the current source line.
+func (p *oemParser) checkLimits(line int) error {
+	if err := p.lim.checkCounts(p.db); err != nil {
+		return fmt.Errorf("oem: line %d: %w", line, err)
+	}
+	return nil
 }
 
 func (p *oemParser) next() (oemToken, error) {
@@ -287,8 +306,8 @@ func (p *oemParser) parseDocument() error {
 func (p *oemParser) parseObject() (ObjectID, error) {
 	p.depth++
 	defer func() { p.depth-- }()
-	if p.depth > maxOEMDepth {
-		return NoObject, fmt.Errorf("oem: objects nested deeper than %d", maxOEMDepth)
+	if max := p.lim.depth(); p.depth > max {
+		return NoObject, &LimitError{Resource: "depth", Limit: int64(max), Actual: int64(p.depth)}
 	}
 	t, err := p.next()
 	if err != nil {
@@ -298,6 +317,9 @@ func (p *oemParser) parseObject() (ObjectID, error) {
 	case tokLBrace:
 		id := p.db.Intern(fmt.Sprintf("_oem%d", p.nAnon))
 		p.nAnon++
+		if err := p.checkLimits(t.line); err != nil {
+			return NoObject, err
+		}
 		return id, p.parseMembers(id)
 	case tokAmp:
 		name, err := p.expectName("object name after '&'")
@@ -318,6 +340,9 @@ func (p *oemParser) parseObject() (ObjectID, error) {
 			}
 		}
 		delete(p.pending, name.text)
+		if err := p.checkLimits(name.line); err != nil {
+			return NoObject, err
+		}
 		if _, err := p.expect(tokLBrace, "'{' after object name"); err != nil {
 			return NoObject, err
 		}
@@ -334,7 +359,7 @@ func (p *oemParser) parseObject() (ObjectID, error) {
 		id := p.db.Intern(name.text)
 		p.pending[name.text] = append(p.pending[name.text],
 			pendingRef{from: NoObject, line: name.line})
-		return id, nil
+		return id, p.checkLimits(name.line)
 	case tokString, tokWord:
 		id := p.db.Intern(fmt.Sprintf("_atom%d", p.nAtom))
 		p.nAtom++
@@ -345,7 +370,7 @@ func (p *oemParser) parseObject() (ObjectID, error) {
 		if err := p.db.SetAtomic(id, Value{Sort: sort, Text: t.text}); err != nil {
 			return NoObject, err
 		}
-		return id, nil
+		return id, p.checkLimits(t.line)
 	default:
 		return NoObject, fmt.Errorf("oem: line %d: expected object, got %s", t.line, t)
 	}
@@ -401,6 +426,9 @@ func (p *oemParser) parseMembers(owner ObjectID) error {
 			if err := p.db.AddLink(owner, child, lbl.text); err != nil {
 				return fmt.Errorf("oem: line %d: %v", lbl.line, err)
 			}
+		}
+		if err := p.checkLimits(lbl.line); err != nil {
+			return err
 		}
 		sep, err := p.next()
 		if err != nil {

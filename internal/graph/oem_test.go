@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -164,7 +165,8 @@ func TestParseOEMTrailingComma(t *testing.T) {
 func TestParseOEMDepthLimit(t *testing.T) {
 	// A pathological document nested beyond the cap must error, not crash.
 	deep := strings.Repeat("{ a: ", 20001) + "1" + strings.Repeat(" }", 20001)
-	if _, err := ParseOEMString(deep); err == nil || !strings.Contains(err.Error(), "nested deeper") {
+	var le *LimitError
+	if _, err := ParseOEMString(deep); err == nil || !errors.As(err, &le) || le.Resource != "depth" {
 		t.Fatalf("deep nesting: %v", err)
 	}
 	// Reasonable nesting still parses.

@@ -15,16 +15,45 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"schemex"
 )
 
 // MaxBody caps request bodies (data sets are inlined in the envelope).
 const MaxBody = 32 << 20
+
+// ExtractLimits is the resource budget applied to every extract/sweep
+// request: the input already passed MaxBody, so the graph caps mirror that
+// scale, and the wall-clock cap keeps one adversarial dataset from pinning a
+// worker forever.
+var ExtractLimits = schemex.Limits{MaxWallTime: 2 * time.Minute}
+
+// extractStatus maps an extraction error to an HTTP status: client-closed
+// (499, the de-facto nginx code) for request cancellation, 503 for an
+// expired budget, 500 for an internal invariant failure, 422 otherwise.
+func extractStatus(err error) int {
+	var le *schemex.LimitError
+	var ie *schemex.InternalError
+	switch {
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &le):
+		return http.StatusUnprocessableEntity
+	case errors.As(err, &ie):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
 
 // Options mirrors schemex.Options for the wire.
 type Options struct {
@@ -176,9 +205,11 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := schemex.Extract(g, req.Options.toLib())
+	opts := req.Options.toLib()
+	opts.Limits = ExtractLimits
+	res, err := schemex.ExtractContext(r.Context(), g, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, extractStatus(err), err)
 		return
 	}
 	resp := extractResponse{
@@ -209,9 +240,11 @@ func handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sw, err := schemex.SweepAnalysis(g, req.Options.toLib())
+	opts := req.Options.toLib()
+	opts.Limits = ExtractLimits
+	sw, err := schemex.SweepAnalysisContext(r.Context(), g, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, extractStatus(err), err)
 		return
 	}
 	writeJSON(w, sweepResponse{Suggested: sw.Suggested, Points: sw.Points})
@@ -252,9 +285,9 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var matches []string
 	if req.Guided {
-		res, err := schemex.Extract(g, req.Opts.toLib())
+		res, err := schemex.ExtractContext(r.Context(), g, req.Opts.toLib())
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, extractStatus(err), err)
 			return
 		}
 		matches, err = res.FindPath(req.Path)

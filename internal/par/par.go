@@ -83,3 +83,99 @@ func DoItems(workers, n int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// errCollector folds worker errors deterministically: the error produced at
+// the smallest index wins, no matter which worker reports first.
+type errCollector struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (c *errCollector) report(i int, err error) {
+	c.mu.Lock()
+	if c.err == nil || i < c.idx {
+		c.idx, c.err = i, err
+	}
+	c.mu.Unlock()
+}
+
+// DoErr is Do with error propagation: chunks run concurrently, and the first
+// error (by chunk start index, so the choice is deterministic) is returned.
+// Chunks that already started still run to completion — fn is responsible for
+// its own early exit (typically by consulting the same cancellation check
+// that made a sibling fail) — and every worker is joined before DoErr
+// returns, so cancellation never leaks goroutines.
+func DoErr(workers, n int, fn func(lo, hi int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			return fn(0, n)
+		}
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	var col errCollector
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := fn(lo, hi); err != nil {
+				col.report(lo, err)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return col.err
+}
+
+// DoItemsErr is DoItems with error propagation and early stop: once any item
+// fails, workers stop claiming new indexes, drain, and the error produced at
+// the smallest index is returned. All workers are joined before return — a
+// cancelled run leaves no goroutines behind. With one worker it runs inline
+// in index order and stops at the first error.
+func DoItemsErr(workers, n int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var col errCollector
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					col.report(i, err)
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return col.err
+}

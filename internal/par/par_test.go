@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -61,5 +62,86 @@ func TestSerialRunsInline(t *testing.T) {
 		if got != i {
 			t.Fatalf("serial DoItems out of order: %v", order)
 		}
+	}
+}
+
+func TestDoErrNilOnSuccess(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if err := DoErr(workers, 50, func(lo, hi int) error { return nil }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+}
+
+func TestDoErrSmallestChunkWins(t *testing.T) {
+	// Every chunk fails with an error naming its start index; the chunk with
+	// the smallest start must win regardless of scheduling.
+	for _, workers := range []int{1, 2, 4, 8} {
+		err := DoErr(workers, 64, func(lo, hi int) error {
+			return fmt.Errorf("chunk %d", lo)
+		})
+		if err == nil || err.Error() != "chunk 0" {
+			t.Fatalf("workers=%d: got %v, want chunk 0", workers, err)
+		}
+	}
+}
+
+func TestDoItemsErrSmallestIndexWins(t *testing.T) {
+	// Indexes are claimed in increasing order, so index 50 is always reached
+	// and its error beats any later one in the deterministic fold.
+	for _, workers := range []int{1, 2, 4, 8} {
+		err := DoItemsErr(workers, 100, func(i int) error {
+			if i >= 50 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 50" {
+			t.Fatalf("workers=%d: got %v, want item 50", workers, err)
+		}
+	}
+}
+
+func TestDoItemsErrStopsClaiming(t *testing.T) {
+	// After the first error, workers must stop claiming fresh indexes: with
+	// a serial run the count is exact; with parallel workers it can overshoot
+	// only by in-flight items (< n).
+	var count atomic.Int32
+	err := DoItemsErr(1, 1000, func(i int) error {
+		count.Add(1)
+		if i == 10 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || count.Load() != 11 {
+		t.Fatalf("serial: err=%v count=%d, want 11", err, count.Load())
+	}
+	count.Store(0)
+	err = DoItemsErr(4, 100000, func(i int) error {
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		count.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("parallel: expected error")
+	}
+	if got := count.Load(); got > 1000 {
+		t.Fatalf("parallel: %d items ran after the first error — workers did not stop claiming", got)
+	}
+}
+
+func TestErrVariantsLeaveNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		DoErr(8, 64, func(lo, hi int) error { return fmt.Errorf("x") })
+		DoItemsErr(8, 64, func(i int) error { return fmt.Errorf("x") })
+	}
+	// Both helpers join every worker before returning, so the count must be
+	// back at (or below) the baseline immediately.
+	if got := runtime.NumGoroutine(); got > base+2 {
+		t.Fatalf("goroutines grew from %d to %d after failed runs", base, got)
 	}
 }

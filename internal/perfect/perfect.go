@@ -64,6 +64,12 @@ type Options struct {
 	// CPU, 1 runs the exact serial code path. Results are identical at any
 	// setting.
 	Parallelism int
+	// Check, if non-nil, is a cooperative cancellation checkpoint consulted
+	// periodically throughout Stage 1 (candidate-type construction, the
+	// greatest-fixpoint evaluation, class grouping). A non-nil return aborts
+	// the stage with that error. Checks never alter computed values, so the
+	// determinism guarantee is unaffected.
+	Check func() error
 	// UseBisimulation derives the Stage 1 partition by bisimulation
 	// partition refinement (internal/bisim) instead of the GFP extent
 	// quotient. Bisimulation always refines the paper's equivalence (it can
@@ -112,6 +118,14 @@ func BuildQDOpts(db *graph.DB, opts typing.PictureOpts) (*typing.Program, []grap
 // is identical to the serial one: types are collected positionally, in
 // complex-object order.
 func BuildQDOptsWorkers(db *graph.DB, opts typing.PictureOpts, workers int) (*typing.Program, []graph.ObjectID) {
+	p, objs, _ := BuildQDOptsCheck(db, opts, workers, nil)
+	return p, objs
+}
+
+// BuildQDOptsCheck is BuildQDOptsWorkers with a cooperative cancellation
+// checkpoint consulted periodically inside each shard (nil check: never
+// cancel). On cancellation all workers are joined and the error is returned.
+func BuildQDOptsCheck(db *graph.DB, opts typing.PictureOpts, workers int, check func() error) (*typing.Program, []graph.ObjectID, error) {
 	objs := db.ComplexObjects()
 	pos := make(map[graph.ObjectID]int, len(objs))
 	for i, o := range objs {
@@ -121,8 +135,13 @@ func BuildQDOptsWorkers(db *graph.DB, opts typing.PictureOpts, workers int) (*ty
 		db.Freeze()
 	}
 	types := make([]*typing.Type, len(objs))
-	par.Do(workers, len(objs), func(lo, hi int) {
+	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if check != nil && i%checkEvery == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
 			o := objs[i]
 			t := &typing.Type{Name: db.Name(o), Weight: 1}
 			for _, e := range db.Out(o) {
@@ -146,19 +165,31 @@ func BuildQDOptsWorkers(db *graph.DB, opts typing.PictureOpts, workers int) (*ty
 			}
 			types[i] = t
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	p := typing.NewProgram()
 	for _, t := range types {
 		p.Add(t)
 	}
-	return p, objs
+	return p, objs, nil
 }
+
+// checkEvery is the checkpoint stride inside sharded loops: frequent enough
+// to bound cancel latency to microseconds, rare enough to be unmeasurable.
+const checkEvery = 1024
 
 // Minimal computes the minimal perfect typing of db (the full Stage 1
 // algorithm of §4.1).
 func Minimal(db *graph.DB, opts Options) (*Result, error) {
 	workers := par.Workers(opts.Parallelism)
-	qd, objs := BuildQDOptsWorkers(db, opts.pictureOpts(), workers)
+	check := opts.Check
+	qd, objs, err := BuildQDOptsCheck(db, opts.pictureOpts(), workers, check)
+	if err != nil {
+		return nil, err
+	}
 
 	// Bipartite fast path (§5.2's special case): with every link targeting
 	// an atomic object the program is non-recursive, the greatest fixpoint
@@ -172,7 +203,10 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 		if opts.UseSorts || len(opts.ValueLabels) > 0 {
 			return nil, fmt.Errorf("perfect: bisimulation Stage 1 does not support sort or value refinements")
 		}
-		part := bisim.Compute(db)
+		part, err := bisim.ComputeCheck(db, check)
+		if err != nil {
+			return nil, err
+		}
 		pos := make(map[graph.ObjectID]int, len(objs))
 		for i, o := range objs {
 			pos[o] = i
@@ -195,7 +229,11 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 		if opts.UseNaiveGFP {
 			extent = typing.EvalGFPNaive(qd, db)
 		} else {
-			extent = typing.EvalGFPWorkers(qd, db, workers)
+			var err error
+			extent, err = typing.EvalGFPCheck(qd, db, workers, check)
+			if err != nil {
+				return nil, err
+			}
 		}
 
 		// Group types with equal extents. Types are in bijection with
@@ -205,6 +243,11 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 		classOf = make([]int, len(objs)) // type position -> class index
 		byHash := make(map[uint64][]int) // hash -> class indexes
 		for ti := range qd.Types {
+			if check != nil && ti%checkEvery == 0 {
+				if err := check(); err != nil {
+					return nil, err
+				}
+			}
 			h := extent.Member[ti].Hash()
 			found := -1
 			for _, ci := range byHash[h] {
@@ -276,7 +319,11 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 	if opts.UseNaiveGFP {
 		result.Extent = typing.EvalGFPNaive(pd, db)
 	} else {
-		result.Extent = typing.EvalGFPWorkers(pd, db, workers)
+		ext, err := typing.EvalGFPCheck(pd, db, workers, check)
+		if err != nil {
+			return nil, err
+		}
+		result.Extent = ext
 	}
 	return result, nil
 }

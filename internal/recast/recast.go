@@ -38,6 +38,11 @@ type Options struct {
 	// ValueLabels lists labels whose atomic values appear in local
 	// pictures, matching value-predicate definitions.
 	ValueLabels []string
+	// Check, if non-nil, is a cooperative cancellation checkpoint consulted
+	// periodically while classifying objects. A non-nil return aborts the
+	// recast (RecastErr returns the error; Recast returns nil). Checks never
+	// alter any classification decision.
+	Check func() error
 	// Parallelism bounds the worker goroutines that classify objects;
 	// <= 0 means one per CPU, 1 runs serially. Per-object decisions are
 	// independent and are applied to the assignment in object order, so the
@@ -79,6 +84,17 @@ type Result struct {
 // Stage 2 merged classes, so the home mapping is the available evidence
 // about neighbours.
 func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) *Result {
+	res, _ := RecastErr(db, prog, homes, opts)
+	return res
+}
+
+// checkEvery is the per-object checkpoint stride of the classification loop.
+const checkEvery = 1024
+
+// RecastErr is Recast with cancellation: when Options.Check reports an error
+// mid-pass, all workers are joined and the error is returned with a nil
+// result.
+func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) (*Result, error) {
 	a := typing.NewAssignment(prog, db)
 	classesOf := func(x graph.ObjectID) []int { return homes[x] }
 	workers := par.Workers(opts.Parallelism)
@@ -117,9 +133,14 @@ func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, 
 	objs := db.ComplexObjects()
 	po := opts.pictureOpts()
 	assigned := make([][]int, len(objs))
-	par.Do(workers, len(objs), func(lo, hi int) {
+	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
 		local := bitset.New(len(linkID)) // per-chunk scratch
 		for i := lo; i < hi; i++ {
+			if opts.Check != nil && i%checkEvery == 0 {
+				if err := opts.Check(); err != nil {
+					return err
+				}
+			}
 			o := objs[i]
 			picture := typing.LocalLinksOpts(db, o, classesOf, po)
 			local.Reset()
@@ -159,7 +180,11 @@ func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, 
 			}
 			assigned[i] = out
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, out := range assigned {
 		for _, ti := range out {
 			a.Assign(objs[i], ti)
@@ -169,7 +194,7 @@ func Recast(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, 
 	res := &Result{Assignment: a}
 	res.Defect = defect.Measure(a)
 	res.Unclassified = len(a.Unclassified())
-	return res
+	return res, nil
 }
 
 func containsAll(set typing.LinkSet, links []typing.TypedLink) bool {

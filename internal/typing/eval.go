@@ -167,6 +167,23 @@ func EvalGFP(p *Program, db *graph.DB) *Extent {
 // witnesses actually lost, which is small once seeding has done the bulk
 // elimination.
 func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
+	ext, _ := EvalGFPCheck(p, db, workers, nil)
+	return ext
+}
+
+// checkEvery is the checkpoint stride of the fixpoint evaluators: the
+// cancellation check runs once per this many loop iterations, keeping the
+// overhead unmeasurable while bounding the latency of a cancel to a few
+// microseconds of extra work. Checks never alter any computed value — they
+// only abort the whole evaluation — so determinism is unaffected.
+const checkEvery = 1024
+
+// EvalGFPCheck is EvalGFPWorkers with a cooperative cancellation checkpoint:
+// check (nil means "never cancel") is consulted between phases, per seeding
+// shard, and every checkEvery propagation-queue pops. On a non-nil check
+// error the evaluation stops early, all worker goroutines are joined, and
+// the error is returned with a nil extent.
+func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*Extent, error) {
 	if workers != 1 {
 		db.Freeze() // edge slices are sorted lazily; flush before concurrent reads
 	}
@@ -174,6 +191,13 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 	nT := len(p.Types)
 	member := make([]*bitset.Set, nT)
 	for i := range member {
+		// With many types × many objects this allocation sweep alone can
+		// run for seconds; keep it cancellable.
+		if check != nil && i%checkEvery == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		member[i] = bitset.New(n)
 	}
 
@@ -216,9 +240,14 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 	if hasSorts {
 		outAtomicSort = make([]int32, nC*nL*nSorts)
 	}
-	par.Do(workers, nC, func(lo, hi int) {
+	if err := par.DoErr(workers, nC, func(lo, hi int) error {
 		// Each object owns its histogram rows; labelID is read-only here.
 		for i := lo; i < hi; i++ {
+			if check != nil && i%checkEvery == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
 			o := complexObjs[i]
 			base := i * nL
 			for _, e := range db.Out(o) {
@@ -237,7 +266,10 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 				inComplex[base+labelID[e.Label]]++
 			}
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// counts[t] is indexed by linkIdx*nC + position(obj).
 	counts := make([][]int32, nT)
@@ -254,19 +286,42 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 	}
 
 	for ti, t := range p.Types {
+		// Another many-types × many-objects allocation sweep (see the
+		// member loop above): keep it cancellable, and check often — under
+		// GC pressure a single table allocation can stall for milliseconds.
+		if check != nil && ti%64 == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
 		counts[ti] = make([]int32, len(t.Links)*nC)
 	}
+	// Initially every complex object is in every type: build the membership
+	// prototype once and copy it per type (word-wise, far cheaper than nT
+	// scattered Set calls per object), checking between copies.
+	proto := bitset.New(n)
 	for _, o := range complexObjs {
-		for ti := range p.Types {
-			member[ti].Set(int(o))
+		proto.Set(int(o))
+	}
+	for ti := range p.Types {
+		if check != nil && ti%64 == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
 		}
+		member[ti].Or(proto)
 	}
 	// Seed the support counts sharded by type: shard ti touches only
 	// member[ti], counts[ti], and its own deferred removal list, so shards
 	// never race. The lists are drained into the queue afterwards; the
 	// propagation result does not depend on that order (the GFP is unique).
 	initRemoved := make([][]graph.ObjectID, nT)
-	par.DoItems(workers, nT, func(ti int) {
+	if err := par.DoItemsErr(workers, nT, func(ti int) error {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		t := p.Types[ti]
 		var local []graph.ObjectID
 		rm := func(o graph.ObjectID) {
@@ -331,7 +386,10 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 			}
 		}
 		initRemoved[ti] = local
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for ti, list := range initRemoved {
 		for _, o := range list {
 			queue = append(queue, removal{ti, o})
@@ -356,7 +414,15 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 		}
 	}
 
+	pops := 0
 	for len(queue) > 0 {
+		if check != nil {
+			if pops++; pops%checkEvery == 0 {
+				if err := check(); err != nil {
+					return nil, err
+				}
+			}
+		}
 		rm := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		x := rm.o
@@ -398,7 +464,7 @@ func EvalGFPWorkers(p *Program, db *graph.DB, workers int) *Extent {
 			}
 		}
 	}
-	return &Extent{Program: p, DB: db, Member: member}
+	return &Extent{Program: p, DB: db, Member: member}, nil
 }
 
 // IsFixpoint reports whether the extent is a fixpoint of its program: every

@@ -1,6 +1,9 @@
 package typing
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks the arrow-notation parser never panics, and that every
 // accepted program validates and survives a print/parse round trip.
@@ -13,6 +16,10 @@ func FuzzParse(f *testing.F) {
 		"type \"weird name\" = ->\"weird label\"[0]",
 		"# comment\ntype a = ->x[0] // trailing",
 		"type t = ->x[0:string=\"v\"]",
+		// Adversarial shapes: giant names, wide conjunctions, recursion.
+		"type " + strings.Repeat("n", 1<<10) + " = ->" + strings.Repeat("l", 1<<10) + "[0]",
+		"type a = " + strings.Repeat("->x[a] & ", 200) + "->y[0]",
+		"type a = ->x[b]\ntype b = ->x[a]",
 	}
 	for _, s := range seeds {
 		f.Add(s)

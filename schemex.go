@@ -25,6 +25,7 @@
 package schemex
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -193,6 +194,10 @@ type Options struct {
 	// serial code paths. The extracted schema, assignment, and defect are
 	// bit-identical at any setting, so this is purely a resource knob.
 	Parallelism int
+	// Limits bounds the resources an extraction may consume (object/link/
+	// type counts and wall-clock time; the loader-side caps apply to the
+	// *Limits loader functions). Violations surface as *LimitError.
+	Limits Limits
 }
 
 func (o Options) toCore() (core.Options, error) {
@@ -204,6 +209,7 @@ func (o Options) toCore() (core.Options, error) {
 		ValueLabels:     o.ValueLabels,
 		UseBisimulation: o.UseBisimulation,
 		Parallelism:     o.Parallelism,
+		Limits:          o.Limits.pipeline(),
 	}
 	if o.Delta != "" {
 		d, ok := cluster.DeltaByName(o.Delta)
@@ -420,13 +426,14 @@ func (c *CheckReport) Conforms() bool { return c.Excess == 0 && c.Unclassified =
 // unclassified objects. This is the conformance direction of the paper's
 // defect measure: under greatest-fixpoint semantics there can be excess but
 // never deficit (§2).
-func Check(g *Graph, schema string) (*CheckReport, error) {
+func Check(g *Graph, schema string) (report *CheckReport, err error) {
+	defer recoverInternal(&err)
 	p, err := typing.Parse(schema)
 	if err != nil {
 		return nil, err
 	}
 	ext := typing.EvalGFP(p, g.db)
-	report := &CheckReport{Types: make(map[string]int, len(p.Types))}
+	report = &CheckReport{Types: make(map[string]int, len(p.Types))}
 	for ti, t := range p.Types {
 		report.Types[t.Name] = ext.Count(ti)
 	}
@@ -439,17 +446,11 @@ func Check(g *Graph, schema string) (*CheckReport, error) {
 	return report, nil
 }
 
-// Extract runs the three-stage extraction on g.
+// Extract runs the three-stage extraction on g. Internal invariant panics
+// are recovered into *InternalError; use ExtractContext to also get
+// cancellation and wall-clock budgets.
 func Extract(g *Graph, opts Options) (*Result, error) {
-	co, err := opts.toCore()
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Extract(g.db, co)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{res: res}, nil
+	return ExtractContext(context.Background(), g, opts)
 }
 
 // SweepPoint is one point of the sensitivity analysis: the defect and
@@ -473,26 +474,7 @@ type Sweep struct {
 // perfect typing all the way down to one type, recasting and measuring the
 // defect at each size.
 func SweepAnalysis(g *Graph, opts Options) (*Sweep, error) {
-	co, err := opts.toCore()
-	if err != nil {
-		return nil, err
-	}
-	sw, err := core.Sweep(g.db, co)
-	if err != nil {
-		return nil, err
-	}
-	out := &Sweep{Suggested: sw.Knee()}
-	for _, p := range sw.Points {
-		out.Points = append(out.Points, SweepPoint{
-			K:             p.K,
-			Defect:        p.Defect,
-			Excess:        p.Excess,
-			Deficit:       p.Deficit,
-			TotalDistance: p.TotalDistance,
-			Unclassified:  p.Unclassified,
-		})
-	}
-	return out, nil
+	return SweepAnalysisContext(context.Background(), g, opts)
 }
 
 // FindPath returns the names of the complex objects that have an outgoing
