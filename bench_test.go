@@ -68,6 +68,43 @@ func BenchmarkFigure1DBG(b *testing.B) {
 	b.ReportMetric(float64(res.Defect.Total()), "defect")
 }
 
+// BenchmarkPrepareOnceExtractMany contrasts serving repeated extraction
+// requests cold (parse state rebuilt per call: Extract compiles a snapshot
+// each time) against warm (Prepare once, ExtractPrepared per call, sharing
+// the compiled snapshot and the Stage 1 memo). The warm path is what the
+// HTTP API's snapshot cache exercises on repeat traffic.
+func BenchmarkPrepareOnceExtractMany(b *testing.B) {
+	for _, p := range synth.Presets() {
+		p := p
+		db, err := p.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{K: p.Intended()}
+		b.Run(fmt.Sprintf("DB%d/cold", p.DBNo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Extract(db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DB%d/warm", p.DBNo), func(b *testing.B) {
+			b.ReportAllocs()
+			prep, err := core.Prepare(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ExtractPrepared(prep, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure6Sweep runs the full sensitivity sweep on DBG (Figure 6):
 // clustering from the 53-type perfect typing down to one type, recasting
 // and measuring the defect at every size.

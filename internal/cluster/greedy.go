@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"schemex/internal/bitset"
+	"schemex/internal/compile"
 	"schemex/internal/par"
 	"schemex/internal/typing"
 )
@@ -88,9 +89,18 @@ type Greedy struct {
 	cfg     Config
 	workers int
 
-	bases  []typing.TypedLink // base id -> representative link (Target meaningless)
-	baseID map[typing.TypedLink]int
-	stride int // columns per base: column 0 = atomic, column s+1 = slot s
+	bases []typing.TypedLink // base id -> representative link (Target meaningless)
+	// Base interning. With a compiled snapshot, plain bases (no sort or
+	// value constraint, label present in the data) are keyed arithmetically
+	// as dir*nL+labelID into plainBase — the universe comes pre-interned
+	// from the snapshot's label table and no map is built for them.
+	// Constrained bases and labels absent from the data (seed schemas may
+	// reference either) fall back to baseID; without a snapshot everything
+	// goes through baseID.
+	snap      *compile.Snapshot
+	plainBase []int32
+	baseID    map[typing.TypedLink]int
+	stride    int // columns per base: column 0 = atomic, column s+1 = slot s
 
 	set     []*bitset.Set // slot -> definition over the universe
 	size    []int         // slot -> |definition| (cached popcount)
@@ -128,11 +138,21 @@ type Greedy struct {
 // NewGreedy initializes the engine from a Stage 1 program. Type weights must
 // be set (home-class sizes); link targets refer to type indices of p.
 func NewGreedy(p *typing.Program, cfg Config) *Greedy {
+	return NewGreedySnap(p, nil, cfg)
+}
+
+// NewGreedySnap is NewGreedy with the typed-link universe pre-interned from
+// a compiled snapshot: plain link bases are resolved arithmetically against
+// the snapshot's label table instead of through a freshly built map. A nil
+// snapshot falls back to map-only interning. The engine's behavior is
+// identical either way (base IDs only index hypercube columns; distances
+// and the merge sequence do not depend on their order).
+func NewGreedySnap(p *typing.Program, snap *compile.Snapshot, cfg Config) *Greedy {
 	n := len(p.Types)
 	g := &Greedy{
 		cfg:         cfg,
 		workers:     par.Workers(cfg.Parallelism),
-		baseID:      make(map[typing.TypedLink]int),
+		snap:        snap,
 		stride:      n + 1,
 		weight:      make([]int, n),
 		name:        make([]string, n),
@@ -144,13 +164,15 @@ func NewGreedy(p *typing.Program, cfg Config) *Greedy {
 		L:           p.DistinctLinks(),
 		touchedMark: make([]bool, n),
 	}
+	if snap != nil {
+		g.plainBase = make([]int32, 2*snap.NumLabels())
+		for i := range g.plainBase {
+			g.plainBase[i] = -1
+		}
+	}
 	for _, t := range p.Types {
 		for _, l := range t.Links {
-			key := baseKey(l)
-			if _, ok := g.baseID[key]; !ok {
-				g.baseID[key] = len(g.bases)
-				g.bases = append(g.bases, key)
-			}
+			g.internBase(baseKey(l))
 		}
 	}
 	g.set = bitset.NewBlock(n, len(g.bases)*g.stride)
@@ -202,13 +224,53 @@ func baseKey(l typing.TypedLink) typing.TypedLink {
 	return l
 }
 
+// plainSlot returns the arithmetic interning cell of a base key, or nil when
+// the key cannot be keyed through the snapshot (no snapshot, constrained
+// base, or a label absent from the data).
+func (g *Greedy) plainSlot(key typing.TypedLink) *int32 {
+	if g.plainBase == nil || key.Sort != typing.AnySort || key.HasValue {
+		return nil
+	}
+	lid, ok := g.snap.LabelID(key.Label)
+	if !ok {
+		return nil
+	}
+	return &g.plainBase[int(key.Dir)*g.snap.NumLabels()+lid]
+}
+
+// internBase assigns the key a base ID if it does not have one yet.
+func (g *Greedy) internBase(key typing.TypedLink) {
+	if cell := g.plainSlot(key); cell != nil {
+		if *cell < 0 {
+			*cell = int32(len(g.bases))
+			g.bases = append(g.bases, key)
+		}
+		return
+	}
+	if g.baseID == nil {
+		g.baseID = make(map[typing.TypedLink]int)
+	}
+	if _, ok := g.baseID[key]; !ok {
+		g.baseID[key] = len(g.bases)
+		g.bases = append(g.bases, key)
+	}
+}
+
+// baseOf resolves the base ID of an already-interned key.
+func (g *Greedy) baseOf(key typing.TypedLink) int {
+	if cell := g.plainSlot(key); cell != nil {
+		return int(*cell)
+	}
+	return g.baseID[key]
+}
+
 // bitOf returns the universe bit index of a concrete typed link.
 func (g *Greedy) bitOf(l typing.TypedLink) int {
 	col := 0
 	if l.Target != typing.AtomicTarget {
 		col = l.Target + 1
 	}
-	return g.baseID[baseKey(l)]*g.stride + col
+	return g.baseOf(baseKey(l))*g.stride + col
 }
 
 // rowOffset returns the flat index of cell (i, i+1) in the strict upper

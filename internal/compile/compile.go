@@ -1,0 +1,232 @@
+// Package compile turns a graph.DB into an immutable, index-backed
+// Snapshot that every extraction stage shares: CSR-style adjacency (flat
+// []int32 edge arrays with per-object offsets), edge labels interned into a
+// dense label universe, atomic objects as a bitset, dense positions for
+// complex objects, and the per-(object, label) degree histograms that seed
+// the greatest-fixpoint support counts.
+//
+// The paper's three-stage method (minimal perfect typing → greedy
+// clustering → recast, §4–§6) runs many passes over the same link/atomic
+// instance. Compiling the instance once and handing the same Snapshot to
+// every pass removes the per-stage rebuild of label maps, position tables,
+// and degree histograms, and replaces string comparisons on the hot paths
+// with int32 label-ID comparisons.
+//
+// A Snapshot is immutable after Compile returns: concurrent readers need no
+// synchronization, and a single Snapshot can back any number of concurrent
+// extractions (the basis of core.Prepared and the HTTP snapshot cache).
+// Label IDs are per-snapshot: they are dense indexes into this snapshot's
+// sorted label table, not stable identifiers across graphs.
+package compile
+
+import (
+	"schemex/internal/bitset"
+	"schemex/internal/graph"
+	"schemex/internal/par"
+)
+
+// NumSorts is the number of atomic value sorts (graph.SortString..SortBool).
+const NumSorts = 4
+
+// Snapshot is the compiled, immutable view of a graph.DB.
+//
+// Layout invariants:
+//   - Label IDs are dense indexes into Labels, which is sorted; because
+//     graph.DB sorts each object's edge lists by (label string, neighbor),
+//     every per-object CSR run is sorted by (label ID, neighbor) too.
+//   - OutTo[OutOff[o]:OutOff[o+1]] / OutLab[...] are the targets/labels of
+//     object o's outgoing edges; InFrom/InLab mirror them for incoming edges.
+//   - Pos maps an ObjectID to its dense complex position (or -1 for atomic
+//     objects); Complex is the inverse, in ObjectID order.
+//   - The degree histograms are indexed by pos*NumLabels()+labelID and count
+//     o's ℓ-edges to complex targets, to atomic targets, and from complex
+//     sources; OutAtomicSort further splits the atomic counts by value sort
+//     ((pos*nL+lab)*NumSorts+sort).
+//
+// All fields are exported for the stage packages but must be treated as
+// read-only; mutating a Snapshot breaks every extraction sharing it.
+type Snapshot struct {
+	db *graph.DB
+
+	// Labels is the dense label universe, sorted ascending.
+	Labels []string
+	// OutOff/InOff have length NumObjects()+1; the edges of object o occupy
+	// [Off[o], Off[o+1]).
+	OutOff, InOff []int32
+	// OutTo/OutLab hold the target object ID and label ID of each outgoing
+	// edge; InFrom/InLab the source object ID and label ID of each incoming
+	// edge.
+	OutTo, OutLab, InFrom, InLab []int32
+	// Atomic marks atomic objects, as a bitset over ObjectIDs.
+	Atomic *bitset.Set
+	// Complex lists the complex objects in ObjectID order; Pos is its
+	// inverse (Pos[o] == -1 for atomic objects).
+	Complex []graph.ObjectID
+	Pos     []int32
+	// Sorts[o] is the value sort of atomic object o (meaningless for
+	// complex objects).
+	Sorts []uint8
+
+	// Degree histograms over (complex position, label ID); see the layout
+	// invariants above. They seed the GFP support counts, so the fixpoint
+	// evaluator never rebuilds them.
+	OutComplex, OutAtomic, InComplex []int32
+	OutAtomicSort                    []int32
+
+	labelID map[string]int
+}
+
+// Compile builds the snapshot of db using one worker per CPU. The result is
+// identical at any worker count (shards write disjoint rows).
+func Compile(db *graph.DB) *Snapshot {
+	s, _ := CompileCheck(db, 0, nil)
+	return s
+}
+
+// CompileCheck is Compile with an explicit worker count (<= 0 means one per
+// CPU, 1 runs serially) and a cooperative cancellation checkpoint (nil
+// means "never cancel"). On a non-nil check error compilation stops, all
+// workers are joined, and the error is returned with a nil snapshot.
+func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, error) {
+	db.Freeze() // flush lazy edge sorting before (possibly concurrent) reads
+	n := db.NumObjects()
+
+	s := &Snapshot{
+		db:     db,
+		Labels: db.Labels(),
+		Atomic: bitset.New(n),
+		Pos:    make([]int32, n),
+		Sorts:  make([]uint8, n),
+	}
+	s.labelID = make(map[string]int, len(s.Labels))
+	for i, l := range s.Labels {
+		s.labelID[l] = i
+	}
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dense complex positions and the atomic bitset/sort table.
+	for i := 0; i < n; i++ {
+		o := graph.ObjectID(i)
+		if v, ok := db.AtomicValue(o); ok {
+			s.Atomic.Set(i)
+			s.Sorts[i] = uint8(v.Sort)
+			s.Pos[i] = -1
+		} else {
+			s.Pos[i] = int32(len(s.Complex))
+			s.Complex = append(s.Complex, o)
+		}
+	}
+
+	// CSR offsets from the per-object degrees, then a sharded fill: each
+	// object owns its own [Off[o], Off[o+1]) run, so shards never race.
+	s.OutOff = make([]int32, n+1)
+	s.InOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		s.OutOff[i+1] = s.OutOff[i] + int32(len(db.Out(graph.ObjectID(i))))
+		s.InOff[i+1] = s.InOff[i] + int32(len(db.In(graph.ObjectID(i))))
+	}
+	nE := int(s.OutOff[n])
+	s.OutTo = make([]int32, nE)
+	s.OutLab = make([]int32, nE)
+	s.InFrom = make([]int32, nE)
+	s.InLab = make([]int32, nE)
+
+	nC := len(s.Complex)
+	nL := len(s.Labels)
+	s.OutComplex = make([]int32, nC*nL)
+	s.OutAtomic = make([]int32, nC*nL)
+	s.InComplex = make([]int32, nC*nL)
+	s.OutAtomicSort = make([]int32, nC*nL*NumSorts)
+
+	const checkEvery = 1024
+	if err := par.DoErr(workers, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if check != nil && i%checkEvery == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+			o := graph.ObjectID(i)
+			base := -1
+			if p := s.Pos[i]; p >= 0 {
+				base = int(p) * nL
+			}
+			at := s.OutOff[i]
+			for _, e := range db.Out(o) {
+				lab := int32(s.labelID[e.Label])
+				s.OutTo[at] = int32(e.To)
+				s.OutLab[at] = lab
+				at++
+				if base >= 0 {
+					if s.Atomic.Test(int(e.To)) {
+						s.OutAtomic[base+int(lab)]++
+						s.OutAtomicSort[(base+int(lab))*NumSorts+int(s.Sorts[e.To])]++
+					} else {
+						s.OutComplex[base+int(lab)]++
+					}
+				}
+			}
+			at = s.InOff[i]
+			for _, e := range db.In(o) {
+				lab := int32(s.labelID[e.Label])
+				s.InFrom[at] = int32(e.From)
+				s.InLab[at] = lab
+				at++
+				if base >= 0 {
+					s.InComplex[base+int(lab)]++
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DB returns the database the snapshot was compiled from. The snapshot
+// holds positional indexes into it, so the database must not be mutated
+// while the snapshot is in use.
+func (s *Snapshot) DB() *graph.DB { return s.db }
+
+// NumObjects reports the number of objects (complex plus atomic).
+func (s *Snapshot) NumObjects() int { return len(s.Pos) }
+
+// NumComplex reports the number of complex objects.
+func (s *Snapshot) NumComplex() int { return len(s.Complex) }
+
+// NumLabels reports the size of the label universe.
+func (s *Snapshot) NumLabels() int { return len(s.Labels) }
+
+// NumLinks reports the number of link facts.
+func (s *Snapshot) NumLinks() int { return len(s.OutTo) }
+
+// LabelID returns the dense ID of a label, if it occurs in the data.
+func (s *Snapshot) LabelID(label string) (int, bool) {
+	id, ok := s.labelID[label]
+	return id, ok
+}
+
+// IsAtomic reports whether object o is atomic.
+func (s *Snapshot) IsAtomic(o graph.ObjectID) bool { return s.Atomic.Test(int(o)) }
+
+// Value returns the value of an atomic object.
+func (s *Snapshot) Value(o graph.ObjectID) (graph.Value, bool) { return s.db.AtomicValue(o) }
+
+// Out returns the targets and label IDs of o's outgoing edges, sorted by
+// (label ID, target). The slices alias the snapshot and must not be
+// modified.
+func (s *Snapshot) Out(o graph.ObjectID) (to, lab []int32) {
+	return s.OutTo[s.OutOff[o]:s.OutOff[o+1]], s.OutLab[s.OutOff[o]:s.OutOff[o+1]]
+}
+
+// In returns the sources and label IDs of o's incoming edges, sorted by
+// (label ID, source). The slices alias the snapshot and must not be
+// modified.
+func (s *Snapshot) In(o graph.ObjectID) (from, lab []int32) {
+	return s.InFrom[s.InOff[o]:s.InOff[o+1]], s.InLab[s.InOff[o]:s.InOff[o+1]]
+}

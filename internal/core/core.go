@@ -10,9 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"schemex/internal/cluster"
+	"schemex/internal/compile"
 	"schemex/internal/defect"
 	"schemex/internal/graph"
 	"schemex/internal/par"
@@ -210,6 +213,94 @@ type Result struct {
 	AutoK int
 }
 
+// Prepared is a compiled, reusable extraction context for one database: the
+// immutable snapshot every stage reads, plus a memo of the most recent
+// Stage 1 result. Preparing once and extracting many times (different K,
+// Delta, Recast options, sweeps) skips both the snapshot compilation and —
+// when the Stage-1-relevant options are unchanged — the minimal perfect
+// typing itself. A Prepared is safe for concurrent use; results are
+// bit-identical to the unprepared path.
+type Prepared struct {
+	db   *graph.DB
+	snap *compile.Snapshot
+
+	mu    sync.Mutex
+	s1key stage1Key
+	s1    *perfect.Result
+}
+
+// stage1Key identifies the options that influence the Stage 1 result
+// (parallelism and cancellation never do; naming does, so non-nil NameFor
+// disables the memo — func values cannot be compared).
+type stage1Key struct {
+	useNaiveGFP     bool
+	useSorts        bool
+	useBisimulation bool
+	valueLabels     string
+}
+
+func stage1KeyOf(opts Options) (stage1Key, bool) {
+	if opts.NameFor != nil {
+		return stage1Key{}, false
+	}
+	return stage1Key{
+		useNaiveGFP:     opts.UseNaiveGFP,
+		useSorts:        opts.UseSorts,
+		useBisimulation: opts.UseBisimulation,
+		valueLabels:     strings.Join(opts.ValueLabels, "\x00"),
+	}, true
+}
+
+// Prepare compiles db into a reusable extraction context.
+func Prepare(db *graph.DB) (*Prepared, error) {
+	return PrepareContext(context.Background(), db, 0)
+}
+
+// PrepareContext is Prepare with cooperative cancellation and an explicit
+// worker bound for the compilation (<= 0 means one per CPU).
+func PrepareContext(ctx context.Context, db *graph.DB, parallelism int) (*Prepared, error) {
+	snap, err := compile.CompileCheck(db, par.Workers(parallelism), checkFunc(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, snap: snap}, nil
+}
+
+// DB returns the database the context was prepared from. It must not be
+// mutated while the Prepared is in use.
+func (p *Prepared) DB() *graph.DB { return p.db }
+
+// Snapshot returns the compiled snapshot.
+func (p *Prepared) Snapshot() *compile.Snapshot { return p.snap }
+
+// stage1 computes (or replays) the Stage 1 minimal perfect typing. The memo
+// holds the single most recent result: repeated extractions with the same
+// Stage-1-relevant options — the serving pattern the snapshot cache exists
+// for — hit it, an options change recomputes. Stage 1 results are read-only
+// downstream (every stage clones before mutating), so sharing is safe.
+func (p *Prepared) stage1(opts Options, check func() error) (*perfect.Result, error) {
+	key, cacheable := stage1KeyOf(opts)
+	if cacheable {
+		p.mu.Lock()
+		s1 := p.s1
+		hit := s1 != nil && p.s1key == key
+		p.mu.Unlock()
+		if hit {
+			return s1, nil
+		}
+	}
+	res, err := perfect.MinimalSnap(p.snap, opts.perfectOptions(check))
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		p.mu.Lock()
+		p.s1, p.s1key = res, key
+		p.mu.Unlock()
+	}
+	return res, nil
+}
+
 // Extract runs the full three-stage pipeline on db.
 func Extract(db *graph.DB, opts Options) (*Result, error) {
 	return ExtractContext(context.Background(), db, opts)
@@ -223,22 +314,47 @@ func Extract(db *graph.DB, opts Options) (*Result, error) {
 func ExtractContext(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
 	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
 	defer cancel()
-	res, err := extract(ctx, db, opts)
+	if err := opts.Limits.checkGraph(db); err != nil {
+		return nil, err
+	}
+	prep, err := PrepareContext(ctx, db, opts.Parallelism)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	res, err := extract(ctx, prep, opts)
 	if err != nil {
 		return nil, wrapWall(err)
 	}
 	return res, nil
 }
 
-func extract(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
-	if db.NumObjects()-db.NumAtomic() == 0 {
+// ExtractPrepared runs the pipeline over a prepared context, skipping the
+// snapshot compilation (and, when the Stage-1 options repeat, Stage 1).
+func ExtractPrepared(p *Prepared, opts Options) (*Result, error) {
+	return ExtractPreparedContext(context.Background(), p, opts)
+}
+
+// ExtractPreparedContext is ExtractPrepared with cancellation and budgets,
+// with the same contract as ExtractContext.
+func ExtractPreparedContext(ctx context.Context, p *Prepared, opts Options) (*Result, error) {
+	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
+	defer cancel()
+	res, err := extract(ctx, p, opts)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	return res, nil
+}
+
+func extract(ctx context.Context, prep *Prepared, opts Options) (*Result, error) {
+	if prep.snap.NumComplex() == 0 {
 		return nil, fmt.Errorf("core: database has no complex objects")
 	}
-	if err := opts.Limits.checkGraph(db); err != nil {
+	if err := opts.Limits.checkGraph(prep.db); err != nil {
 		return nil, err
 	}
 	check := checkFunc(ctx)
-	stage1, err := perfect.Minimal(db, opts.perfectOptions(check))
+	stage1, err := prep.stage1(opts, check)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +382,7 @@ func extract(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
 
 	k := opts.K
 	if k <= 0 {
-		sweep, err := sweepFrom(check, db, baseProg, baseHomes, pinned, opts)
+		sweep, err := sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +396,7 @@ func extract(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
 		k = nPinned
 	}
 
-	g := cluster.NewGreedy(baseProg.Clone(), opts.clusterConfig(pinned, check))
+	g := cluster.NewGreedySnap(baseProg.Clone(), prep.snap, opts.clusterConfig(pinned, check))
 	g.RunTo(k)
 	if err := g.Err(); err != nil {
 		return nil, err
@@ -291,7 +407,7 @@ func extract(ctx context.Context, db *graph.DB, opts Options) (*Result, error) {
 	res.TotalDistance = g.TotalDistance()
 
 	res.Homes = mapHomes(baseHomes, mapping)
-	rc, err := recast.RecastErr(db, prog, res.Homes, opts.recastOptions(check))
+	rc, err := recast.RecastSnapErr(prep.snap, prog, res.Homes, opts.recastOptions(check))
 	if err != nil {
 		return nil, err
 	}
@@ -406,19 +522,43 @@ func Sweep(db *graph.DB, opts Options) (*SweepResult, error) {
 func SweepContext(ctx context.Context, db *graph.DB, opts Options) (*SweepResult, error) {
 	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
 	defer cancel()
-	sw, err := sweep(ctx, db, opts)
+	if err := opts.Limits.checkGraph(db); err != nil {
+		return nil, err
+	}
+	prep, err := PrepareContext(ctx, db, opts.Parallelism)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	sw, err := sweep(ctx, prep, opts)
 	if err != nil {
 		return nil, wrapWall(err)
 	}
 	return sw, nil
 }
 
-func sweep(ctx context.Context, db *graph.DB, opts Options) (*SweepResult, error) {
-	if err := opts.Limits.checkGraph(db); err != nil {
+// SweepPrepared runs the sensitivity sweep over a prepared context.
+func SweepPrepared(p *Prepared, opts Options) (*SweepResult, error) {
+	return SweepPreparedContext(context.Background(), p, opts)
+}
+
+// SweepPreparedContext is SweepPrepared with cancellation and budgets, with
+// the same contract as SweepContext.
+func SweepPreparedContext(ctx context.Context, p *Prepared, opts Options) (*SweepResult, error) {
+	ctx, cancel, wrapWall := opts.Limits.withWallClock(ctx)
+	defer cancel()
+	sw, err := sweep(ctx, p, opts)
+	if err != nil {
+		return nil, wrapWall(err)
+	}
+	return sw, nil
+}
+
+func sweep(ctx context.Context, prep *Prepared, opts Options) (*SweepResult, error) {
+	if err := opts.Limits.checkGraph(prep.db); err != nil {
 		return nil, err
 	}
 	check := checkFunc(ctx)
-	stage1, err := perfect.Minimal(db, opts.perfectOptions(check))
+	stage1, err := prep.stage1(opts, check)
 	if err != nil {
 		return nil, err
 	}
@@ -439,29 +579,29 @@ func sweep(ctx context.Context, db *graph.DB, opts Options) (*SweepResult, error
 	if err := opts.Limits.checkTypes(baseProg); err != nil {
 		return nil, err
 	}
-	return sweepFrom(check, db, baseProg, baseHomes, pinned, opts)
+	return sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts)
 }
 
-func sweepFrom(check func() error, db *graph.DB, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
-	g := cluster.NewGreedy(baseProg.Clone(), opts.clusterConfig(pinned, check))
+func sweepFrom(check func() error, snap *compile.Snapshot, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
+	g := cluster.NewGreedySnap(baseProg.Clone(), snap, opts.clusterConfig(pinned, check))
 	if err := g.Err(); err != nil {
 		return nil, err
 	}
 
 	// The greedy merge sequence is inherently serial, but measuring each
-	// intermediate typing (recast + defect) is independent work: capture a
-	// snapshot per size during the single run, then measure them on all
+	// intermediate typing (recast + defect) is independent work: capture the
+	// typing at each size during the single run, then measure them on all
 	// CPUs. Results are deterministic (indexed writes).
-	type snapshot struct {
+	type capturePoint struct {
 		k             int
 		prog          *typing.Program
 		mapping       []int
 		totalDistance float64
 	}
-	var snaps []snapshot
+	var snaps []capturePoint
 	capture := func() {
 		prog, mapping := g.Program()
-		snaps = append(snaps, snapshot{g.NumActive(), prog, mapping, g.TotalDistance()})
+		snaps = append(snaps, capturePoint{g.NumActive(), prog, mapping, g.TotalDistance()})
 	}
 	capture()
 	for {
@@ -474,16 +614,15 @@ func sweepFrom(check func() error, db *graph.DB, baseProg *typing.Program, baseH
 		return nil, err
 	}
 
-	db.Freeze() // concurrent readers need the lazy edge sorting flushed
 	sw := &SweepResult{Points: make([]SweepPoint, len(snaps))}
-	// One snapshot per worker; each recast runs serially inside its worker
+	// One capture per worker; each recast runs serially inside its worker
 	// (Parallelism: 1) so the sweep doesn't oversubscribe the CPUs.
 	rcOpts := opts.recastOptions(check)
 	rcOpts.Parallelism = 1
 	if err := par.DoItemsErr(par.Workers(opts.Parallelism), len(snaps), func(i int) error {
 		s := snaps[i]
 		homes := mapHomes(baseHomes, s.mapping)
-		rc, err := recast.RecastErr(db, s.prog, homes, rcOpts)
+		rc, err := recast.RecastSnapErr(snap, s.prog, homes, rcOpts)
 		if err != nil {
 			return err
 		}

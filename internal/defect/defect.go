@@ -12,6 +12,7 @@ package defect
 
 import (
 	"schemex/internal/bitset"
+	"schemex/internal/compile"
 	"schemex/internal/graph"
 	"schemex/internal/typing"
 )
@@ -151,6 +152,125 @@ func justified(s *stipulation, db *graph.DB, member []*bitset.Set, e graph.Edge)
 	return false
 }
 
+// stipulationSnap is the stipulation index over a compiled snapshot: the
+// per-label tables are slices indexed by dense label ID instead of
+// string-keyed maps. Program links whose label is absent from the data are
+// dropped — no ground fact can ever carry them, so they justify nothing.
+type stipulationSnap struct {
+	n        int
+	pairs    []map[int]*bitset.Set       // label ID -> from class -> to classes
+	toAtomic []map[atomicKey]*bitset.Set // label ID -> constraint -> from classes
+}
+
+func newStipulationSnap(p *typing.Program, snap *compile.Snapshot) *stipulationSnap {
+	nL := snap.NumLabels()
+	s := &stipulationSnap{
+		n:        len(p.Types),
+		pairs:    make([]map[int]*bitset.Set, nL),
+		toAtomic: make([]map[atomicKey]*bitset.Set, nL),
+	}
+	addPair := func(lid, from, to int) {
+		m := s.pairs[lid]
+		if m == nil {
+			m = make(map[int]*bitset.Set)
+			s.pairs[lid] = m
+		}
+		set, ok := m[from]
+		if !ok {
+			set = bitset.New(s.n)
+			m[from] = set
+		}
+		set.Set(to)
+	}
+	for ci, t := range p.Types {
+		for _, l := range t.Links {
+			lid, ok := snap.LabelID(l.Label)
+			if !ok {
+				continue
+			}
+			switch {
+			case l.Dir == typing.Out && l.Target == typing.AtomicTarget:
+				byKey := s.toAtomic[lid]
+				if byKey == nil {
+					byKey = make(map[atomicKey]*bitset.Set)
+					s.toAtomic[lid] = byKey
+				}
+				key := atomicKey{sort: l.Sort, value: l.Value, hasValue: l.HasValue}
+				set, ok := byKey[key]
+				if !ok {
+					set = bitset.New(s.n)
+					byKey[key] = set
+				}
+				set.Set(ci)
+			case l.Dir == typing.Out:
+				addPair(lid, ci, l.Target)
+			default: // In: an ℓ-edge from the target class into ci
+				addPair(lid, l.Target, ci)
+			}
+		}
+	}
+	return s
+}
+
+func (s *stipulationSnap) justified(snap *compile.Snapshot, member []*bitset.Set, from, to graph.ObjectID, lab int32) bool {
+	if snap.IsAtomic(to) {
+		byKey := s.toAtomic[lab]
+		if byKey == nil {
+			return false
+		}
+		v, _ := snap.Value(to)
+		for key, set := range byKey {
+			if !key.matches(v) {
+				continue
+			}
+			for c := 0; c < s.n; c++ {
+				if set.Test(c) && member[c].Test(int(from)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	m := s.pairs[lab]
+	if m == nil {
+		return false
+	}
+	for f, tos := range m {
+		if !member[f].Test(int(from)) {
+			continue
+		}
+		found := false
+		tos.ForEach(func(t int) {
+			if !found && member[t].Test(int(to)) {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// ExcessSnap is Excess over a compiled snapshot: the stipulation index is
+// keyed by the snapshot's dense label IDs and the link facts are walked in
+// CSR form, so the justification test compares no strings.
+func ExcessSnap(p *typing.Program, snap *compile.Snapshot, member []*bitset.Set) int {
+	s := newStipulationSnap(p, snap)
+	excess := 0
+	n := snap.NumObjects()
+	for i := 0; i < n; i++ {
+		o := graph.ObjectID(i)
+		to, lab := snap.Out(o)
+		for k := range to {
+			if !s.justified(snap, member, o, graph.ObjectID(to[k]), lab[k]) {
+				excess++
+			}
+		}
+	}
+	return excess
+}
+
 // Requirement is one unsatisfied typed link of an assignment: object Obj is
 // assigned a type whose definition demands Link, but no witnessing fact
 // exists.
@@ -220,6 +340,65 @@ func satisfiedUnder(db *graph.DB, member []*bitset.Set, o graph.ObjectID, l typi
 	return false
 }
 
+// UnsatisfiedRequirementsSnap is UnsatisfiedRequirements over a compiled
+// snapshot: each demanded link's label is resolved to a dense ID once, and
+// the witness scans walk CSR edges comparing int32 IDs.
+func UnsatisfiedRequirementsSnap(a *typing.Assignment, snap *compile.Snapshot) []Requirement {
+	member := a.Membership()
+	seen := make(map[Requirement]bool)
+	var reqs []Requirement
+	for _, o := range snap.Complex {
+		for _, ti := range a.Of(o) {
+			for _, l := range a.Program.Types[ti].Links {
+				if satisfiedUnderSnap(snap, member, o, l) {
+					continue
+				}
+				r := Requirement{Obj: o, Link: l}
+				if !seen[r] {
+					seen[r] = true
+					reqs = append(reqs, r)
+				}
+			}
+		}
+	}
+	return reqs
+}
+
+func satisfiedUnderSnap(snap *compile.Snapshot, member []*bitset.Set, o graph.ObjectID, l typing.TypedLink) bool {
+	lid, ok := snap.LabelID(l.Label)
+	if !ok {
+		return false // label absent from the data: no fact can witness it
+	}
+	lab := int32(lid)
+	if l.Dir == typing.Out {
+		to, labs := snap.Out(o)
+		for k := range to {
+			if labs[k] != lab {
+				continue
+			}
+			t := graph.ObjectID(to[k])
+			if l.Target == typing.AtomicTarget {
+				if snap.IsAtomic(t) {
+					if v, ok := snap.Value(t); ok && typing.SortMatches(l.Sort, v.Sort) &&
+						(!l.HasValue || v.Text == l.Value) {
+						return true
+					}
+				}
+			} else if member[l.Target].Test(int(t)) {
+				return true
+			}
+		}
+		return false
+	}
+	from, labs := snap.In(o)
+	for k := range from {
+		if labs[k] == lab && member[l.Target].Test(int(from[k])) {
+			return true
+		}
+	}
+	return false
+}
+
 // DeficitShared is a tighter deficit: a single invented fact link(o, x, ℓ)
 // can satisfy both an →ℓ[j] requirement of o (with x assigned j) and an
 // ←ℓ[c] requirement of x (with o assigned c). Complementary requirement
@@ -275,5 +454,14 @@ func Measure(a *typing.Assignment) Report {
 	return Report{
 		Excess:  Excess(a.Program, a.DB, member),
 		Deficit: Deficit(a),
+	}
+}
+
+// MeasureSnap is Measure over a compiled snapshot of a.DB.
+func MeasureSnap(a *typing.Assignment, snap *compile.Snapshot) Report {
+	member := a.Membership()
+	return Report{
+		Excess:  ExcessSnap(a.Program, snap, member),
+		Deficit: len(UnsatisfiedRequirementsSnap(a, snap)),
 	}
 }

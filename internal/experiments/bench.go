@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -38,9 +39,17 @@ type BenchResult struct {
 	SeedNsPerOp int64 `json:"seed_ns_per_op,omitempty"`
 	// SerialNsPerOp runs the workload with Parallelism=1 (the exact
 	// pre-parallelism code path over the new kernels).
-	SerialNsPerOp int64 `json:"serial_ns_per_op"`
+	SerialNsPerOp int64 `json:"serial_ns_per_op,omitempty"`
 	// ParallelNsPerOp runs with one worker per CPU.
-	ParallelNsPerOp int64 `json:"parallel_ns_per_op"`
+	ParallelNsPerOp int64 `json:"parallel_ns_per_op,omitempty"`
+	// ColdNsPerOp and WarmNsPerOp contrast one-shot extraction (a snapshot
+	// compiled inside every call) with extraction over a prepared context
+	// (Prepare once, ExtractPrepared per op, sharing the snapshot and the
+	// Stage 1 memo). Present only for the prepared/* workloads.
+	ColdNsPerOp int64 `json:"cold_ns_per_op,omitempty"`
+	WarmNsPerOp int64 `json:"warm_ns_per_op,omitempty"`
+	// WarmSpeedup is cold / warm.
+	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
 	// SpeedupVsSeed is seed / min(serial, parallel).
 	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
@@ -141,6 +150,44 @@ func RunBench() (*BenchReport, error) {
 			recast.Recast(dbgX2, res6.Program, res6.Homes, rc)
 		}
 	})
+	// Warm-vs-cold serving: Prepare once then ExtractPrepared per request,
+	// against Extract recompiling per request, on the Table 1 shapes.
+	for _, p := range synth.Presets() {
+		db, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{K: p.Intended()}
+		cold := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Extract(db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		prep, err := core.Prepare(db)
+		if err != nil {
+			return nil, err
+		}
+		warm := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ExtractPrepared(prep, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		r := BenchResult{
+			Name:        fmt.Sprintf("prepared/extract-many/db%d", p.DBNo),
+			ColdNsPerOp: cold.NsPerOp(),
+			WarmNsPerOp: warm.NsPerOp(),
+			AllocsPerOp: warm.AllocsPerOp(),
+		}
+		if warm.NsPerOp() > 0 {
+			r.WarmSpeedup = float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
 	for _, scale := range []int{1, 4, 16} {
 		db, roles := dbg.Generate(dbg.Options{Scale: scale})
 		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]

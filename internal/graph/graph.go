@@ -244,8 +244,13 @@ func (db *DB) AtomicValue(obj ObjectID) (Value, bool) {
 	return v, ok
 }
 
-// Out returns the outgoing edges of obj, sorted by (Label, To). The returned
-// slice must not be modified.
+// Out returns the outgoing edges of obj, sorted by (Label, To).
+//
+// The returned slice aliases the DB's internal edge index — it is not a copy.
+// Callers must treat it as read-only: mutating an element, reordering it, or
+// appending through it corrupts the index shared by every other reader
+// (including compiled snapshots, which assume this exact order). Copy the
+// slice first if a mutable view is needed.
 func (db *DB) Out(obj ObjectID) []Edge {
 	db.ensureSorted()
 	if obj < 0 || int(obj) >= len(db.out) {
@@ -254,8 +259,10 @@ func (db *DB) Out(obj ObjectID) []Edge {
 	return db.out[obj]
 }
 
-// In returns the incoming edges of obj, sorted by (Label, From). The returned
-// slice must not be modified.
+// In returns the incoming edges of obj, sorted by (Label, From).
+//
+// Like Out, the returned slice aliases the DB's internal edge index and must
+// be treated as read-only; copy it before mutating.
 func (db *DB) In(obj ObjectID) []Edge {
 	db.ensureSorted()
 	if obj < 0 || int(obj) >= len(db.in) {

@@ -16,11 +16,14 @@ package httpapi
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"schemex"
@@ -157,11 +160,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// writeJSON marshals v fully before touching the response: an encoding
+// failure becomes a clean 500 error envelope instead of a silently truncated
+// 200 body, and a failed write (client gone mid-response) is logged rather
+// than dropped.
 func writeJSON(w http.ResponseWriter, v interface{}) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err))
+		return
+	}
+	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(buf); err != nil {
+		log.Printf("httpapi: writing response: %v", err)
+	}
 }
 
 func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
@@ -177,6 +191,94 @@ func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 		return false
 	}
 	return true
+}
+
+// prepCacheSize bounds the prepared-snapshot LRU. Entries hold a full graph
+// plus its compiled snapshot, so the cache is kept small; repeated traffic
+// over a handful of datasets is the pattern it serves.
+const prepCacheSize = 8
+
+// prepCache is a content-hash-keyed LRU of prepared extraction contexts:
+// repeated /v1/extract, /v1/sweep, and /v1/query requests carrying the same
+// (format, data) pair skip the parse and the snapshot compilation entirely.
+// Entries are immutable once stored, so concurrent readers can share them.
+type prepCache struct {
+	mu      sync.Mutex
+	entries []prepCacheEntry // front = most recently used
+}
+
+type prepCacheEntry struct {
+	key  [sha256.Size]byte
+	prep *schemex.Prepared
+}
+
+func (c *prepCache) get(key [sha256.Size]byte) (*schemex.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[1:], c.entries[:i])
+			c.entries[0] = e
+			return e.prep, true
+		}
+	}
+	return nil, false
+}
+
+func (c *prepCache) put(key [sha256.Size]byte, prep *schemex.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[1:], c.entries[:i])
+			c.entries[0] = prepCacheEntry{key, prep}
+			return
+		}
+	}
+	if len(c.entries) < prepCacheSize {
+		c.entries = append(c.entries, prepCacheEntry{})
+	}
+	copy(c.entries[1:], c.entries)
+	c.entries[0] = prepCacheEntry{key, prep}
+}
+
+func (c *prepCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+var snapshots prepCache
+
+func prepKey(data, format string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(format))
+	h.Write([]byte{0})
+	h.Write([]byte(data))
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// loadPrepared returns a prepared extraction context for the request data,
+// hitting the snapshot cache when the same dataset was served before. On
+// error the returned status is the HTTP code to report (load failures are
+// the client's fault; preparation failures follow extractStatus).
+func loadPrepared(ctx context.Context, data, format string) (*schemex.Prepared, int, error) {
+	key := prepKey(data, format)
+	if prep, ok := snapshots.get(key); ok {
+		return prep, 0, nil
+	}
+	g, err := loadData(data, format)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	prep, err := schemex.PrepareContext(ctx, g)
+	if err != nil {
+		return nil, extractStatus(err), err
+	}
+	snapshots.put(key, prep)
+	return prep, 0, nil
 }
 
 func loadData(data, format string) (*schemex.Graph, error) {
@@ -200,14 +302,14 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	g, err := loadData(req.Data, req.Format)
+	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status, err)
 		return
 	}
 	opts := req.Options.toLib()
 	opts.Limits = ExtractLimits
-	res, err := schemex.ExtractContext(r.Context(), g, opts)
+	res, err := schemex.ExtractPreparedContext(r.Context(), prep, opts)
 	if err != nil {
 		writeError(w, extractStatus(err), err)
 		return
@@ -235,14 +337,14 @@ func handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	g, err := loadData(req.Data, req.Format)
+	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status, err)
 		return
 	}
 	opts := req.Options.toLib()
 	opts.Limits = ExtractLimits
-	sw, err := schemex.SweepAnalysisContext(r.Context(), g, opts)
+	sw, err := schemex.SweepPreparedContext(r.Context(), prep, opts)
 	if err != nil {
 		writeError(w, extractStatus(err), err)
 		return
@@ -278,14 +380,14 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	g, err := loadData(req.Data, req.Format)
+	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, status, err)
 		return
 	}
 	var matches []string
 	if req.Guided {
-		res, err := schemex.ExtractContext(r.Context(), g, req.Opts.toLib())
+		res, err := schemex.ExtractPreparedContext(r.Context(), prep, req.Opts.toLib())
 		if err != nil {
 			writeError(w, extractStatus(err), err)
 			return
@@ -296,7 +398,7 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		matches, err = g.FindPath(req.Path)
+		matches, err = prep.Graph().FindPath(req.Path)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -187,5 +188,124 @@ func TestErrors(t *testing.T) {
 		if out["error"] == nil {
 			t.Errorf("POST %s: missing error field", c.path)
 		}
+	}
+}
+
+func TestWriteJSONEncodeError(t *testing.T) {
+	// math.NaN cannot be marshaled; the handler must answer with a clean
+	// 500 error envelope, not a truncated 200 body.
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]interface{}{"bad": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("error envelope is not valid JSON: %v (%q)", err, rec.Body.String())
+	}
+	if out["error"] == "" {
+		t.Fatalf("missing error field: %q", rec.Body.String())
+	}
+}
+
+func TestWriteJSONSuccess(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]int{"n": 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["n"] != 1 {
+		t.Fatalf("body %q (err %v)", rec.Body.String(), err)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "\n") {
+		t.Fatal("response body should end with a newline")
+	}
+}
+
+func TestPrepCacheLRU(t *testing.T) {
+	var c prepCache
+	key := func(i int) [32]byte {
+		var k [32]byte
+		k[0] = byte(i)
+		return k
+	}
+	// Fill beyond capacity; the oldest keys must be evicted.
+	for i := 0; i < prepCacheSize+3; i++ {
+		c.put(key(i), nil)
+	}
+	if c.len() != prepCacheSize {
+		t.Fatalf("cache holds %d entries, want %d", c.len(), prepCacheSize)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.get(key(i)); ok {
+			t.Fatalf("key %d should have been evicted", i)
+		}
+	}
+	for i := 3; i < prepCacheSize+3; i++ {
+		if _, ok := c.get(key(i)); !ok {
+			t.Fatalf("key %d should be cached", i)
+		}
+	}
+	// A get refreshes recency: key 3 must now survive one more insertion
+	// while key 4 (least recently used) is evicted.
+	c.get(key(3))
+	c.put(key(100), nil)
+	if _, ok := c.get(key(3)); !ok {
+		t.Fatal("recently used key 3 was evicted")
+	}
+	if _, ok := c.get(key(4)); ok {
+		t.Fatal("least recently used key 4 should have been evicted")
+	}
+}
+
+func TestSnapshotCacheServesRepeatTraffic(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	data := sampleText + "link gates pets has-pet\nlink pets gates owned-by\n"
+	body := mustJSON(t, map[string]interface{}{
+		"data":    data,
+		"options": map[string]interface{}{"k": 2},
+	})
+	status, first := post(t, srv, "/v1/extract", body)
+	if status != 200 {
+		t.Fatalf("cold status %d: %v", status, first)
+	}
+	before := snapshots.len()
+	status, second := post(t, srv, "/v1/extract", body)
+	if status != 200 {
+		t.Fatalf("warm status %d: %v", status, second)
+	}
+	if snapshots.len() != before {
+		t.Fatalf("repeat request grew the cache: %d -> %d", before, snapshots.len())
+	}
+	if first["schema"] != second["schema"] {
+		t.Fatalf("cached snapshot changed the result:\n%v\n%v", first["schema"], second["schema"])
+	}
+	// Same data with different options reuses the snapshot but recomputes
+	// the typing.
+	status, third := post(t, srv, "/v1/extract", mustJSON(t, map[string]interface{}{
+		"data":    data,
+		"options": map[string]interface{}{"k": 1},
+	}))
+	if status != 200 {
+		t.Fatalf("k=1 status %d: %v", status, third)
+	}
+	if third["numTypes"].(float64) != 1 {
+		t.Fatalf("k=1 over a warm snapshot: %v", third["numTypes"])
+	}
+	// Sweep and query over the same dataset also ride the cache.
+	status, _ = post(t, srv, "/v1/sweep", mustJSON(t, map[string]interface{}{"data": data}))
+	if status != 200 {
+		t.Fatalf("sweep status %d", status)
+	}
+	status, q := post(t, srv, "/v1/query", mustJSON(t, map[string]interface{}{
+		"data": data, "path": "is-manager-of.name", "guided": true,
+	}))
+	if status != 200 || q["count"].(float64) != 2 {
+		t.Fatalf("query status %d: %v", status, q)
+	}
+	if snapshots.len() != before {
+		t.Fatalf("same-data sweep/query grew the cache: %d -> %d", before, snapshots.len())
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"schemex/internal/bisim"
+	"schemex/internal/compile"
 	"schemex/internal/graph"
 	"schemex/internal/par"
 	"schemex/internal/typing"
@@ -125,15 +126,24 @@ func BuildQDOptsWorkers(db *graph.DB, opts typing.PictureOpts, workers int) (*ty
 // BuildQDOptsCheck is BuildQDOptsWorkers with a cooperative cancellation
 // checkpoint consulted periodically inside each shard (nil check: never
 // cancel). On cancellation all workers are joined and the error is returned.
+//
+// It compiles a throwaway snapshot of db and delegates to BuildQDSnapCheck;
+// callers running several passes over one database should compile once.
 func BuildQDOptsCheck(db *graph.DB, opts typing.PictureOpts, workers int, check func() error) (*typing.Program, []graph.ObjectID, error) {
-	objs := db.ComplexObjects()
-	pos := make(map[graph.ObjectID]int, len(objs))
-	for i, o := range objs {
-		pos[o] = i
+	snap, err := compile.CompileCheck(db, workers, check)
+	if err != nil {
+		return nil, nil, err
 	}
-	if workers != 1 {
-		db.Freeze()
-	}
+	return BuildQDSnapCheck(snap, opts, workers, check)
+}
+
+// BuildQDSnapCheck builds Q_D from a compiled snapshot: the dense
+// complex-object positions that become rule targets come straight from
+// snap.Pos, and each object's edges are walked in CSR form, so no position
+// map is built and no per-edge map lookups occur.
+func BuildQDSnapCheck(snap *compile.Snapshot, opts typing.PictureOpts, workers int, check func() error) (*typing.Program, []graph.ObjectID, error) {
+	db := snap.DB()
+	objs := snap.Complex
 	types := make([]*typing.Type, len(objs))
 	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
@@ -144,24 +154,30 @@ func BuildQDOptsCheck(db *graph.DB, opts typing.PictureOpts, workers int, check 
 			}
 			o := objs[i]
 			t := &typing.Type{Name: db.Name(o), Weight: 1}
-			for _, e := range db.Out(o) {
-				if db.IsAtomic(e.To) {
-					l := typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: typing.AtomicTarget}
-					if v, ok := db.AtomicValue(e.To); ok {
+			to, lab := snap.Out(o)
+			for k := range to {
+				tgt := graph.ObjectID(to[k])
+				label := snap.Labels[lab[k]]
+				if snap.IsAtomic(tgt) {
+					l := typing.TypedLink{Dir: typing.Out, Label: label, Target: typing.AtomicTarget}
+					if v, ok := snap.Value(tgt); ok {
 						if opts.UseSorts {
 							l.Sort = typing.SortConstraint(v.Sort) + 1
 						}
-						if opts.ValueLabels[e.Label] {
+						if opts.ValueLabels[label] {
 							l.Value, l.HasValue = v.Text, true
 						}
 					}
 					t.Links = append(t.Links, l)
 				} else {
-					t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: e.Label, Target: pos[e.To]})
+					t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: label, Target: int(snap.Pos[tgt])})
 				}
 			}
-			for _, e := range db.In(o) {
-				t.Links = append(t.Links, typing.TypedLink{Dir: typing.In, Label: e.Label, Target: pos[e.From]})
+			from, lab := snap.In(o)
+			for k := range from {
+				t.Links = append(t.Links, typing.TypedLink{
+					Dir: typing.In, Label: snap.Labels[lab[k]], Target: int(snap.Pos[from[k]]),
+				})
 			}
 			types[i] = t
 		}
@@ -182,11 +198,24 @@ func BuildQDOptsCheck(db *graph.DB, opts typing.PictureOpts, workers int, check 
 const checkEvery = 1024
 
 // Minimal computes the minimal perfect typing of db (the full Stage 1
-// algorithm of §4.1).
+// algorithm of §4.1). It compiles a throwaway snapshot and delegates to
+// MinimalSnap; callers extracting repeatedly should compile once.
 func Minimal(db *graph.DB, opts Options) (*Result, error) {
+	snap, err := compile.CompileCheck(db, par.Workers(opts.Parallelism), opts.Check)
+	if err != nil {
+		return nil, err
+	}
+	return MinimalSnap(snap, opts)
+}
+
+// MinimalSnap is Minimal over a pre-compiled snapshot: Q_D construction,
+// both greatest-fixpoint evaluations, and the bisimulation position lookups
+// all read the snapshot's shared positions and label table.
+func MinimalSnap(snap *compile.Snapshot, opts Options) (*Result, error) {
+	db := snap.DB()
 	workers := par.Workers(opts.Parallelism)
 	check := opts.Check
-	qd, objs, err := BuildQDOptsCheck(db, opts.pictureOpts(), workers, check)
+	qd, objs, err := BuildQDSnapCheck(snap, opts.pictureOpts(), workers, check)
 	if err != nil {
 		return nil, err
 	}
@@ -207,16 +236,12 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pos := make(map[graph.ObjectID]int, len(objs))
-		for i, o := range objs {
-			pos[o] = i
-		}
 		classOf = make([]int, len(objs))
 		classes = make([][]int, part.NumBlocks())
 		for b, block := range part.Blocks {
 			for _, o := range block {
-				classes[b] = append(classes[b], pos[o])
-				classOf[pos[o]] = b
+				classes[b] = append(classes[b], int(snap.Pos[o]))
+				classOf[snap.Pos[o]] = b
 			}
 		}
 		grouped = true
@@ -230,7 +255,7 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 			extent = typing.EvalGFPNaive(qd, db)
 		} else {
 			var err error
-			extent, err = typing.EvalGFPCheck(qd, db, workers, check)
+			extent, err = typing.EvalGFPSnapCheck(qd, snap, workers, check)
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +344,7 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 	if opts.UseNaiveGFP {
 		result.Extent = typing.EvalGFPNaive(pd, db)
 	} else {
-		ext, err := typing.EvalGFPCheck(pd, db, workers, check)
+		ext, err := typing.EvalGFPSnapCheck(pd, snap, workers, check)
 		if err != nil {
 			return nil, err
 		}

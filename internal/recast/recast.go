@@ -11,6 +11,7 @@ import (
 
 	"schemex/internal/bitset"
 	"schemex/internal/cluster"
+	"schemex/internal/compile"
 	"schemex/internal/defect"
 	"schemex/internal/graph"
 	"schemex/internal/par"
@@ -94,13 +95,25 @@ const checkEvery = 1024
 // RecastErr is Recast with cancellation: when Options.Check reports an error
 // mid-pass, all workers are joined and the error is returned with a nil
 // result.
+//
+// It compiles a throwaway snapshot of db and delegates to RecastSnapErr;
+// callers recasting repeatedly over one database should compile once.
 func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) (*Result, error) {
+	snap, err := compile.CompileCheck(db, par.Workers(opts.Parallelism), opts.Check)
+	if err != nil {
+		return nil, err
+	}
+	return RecastSnapErr(snap, prog, homes, opts)
+}
+
+// RecastSnapErr is RecastErr over a pre-compiled snapshot: local pictures
+// are computed in CSR form through the snapshot's label table, and the
+// defect measurement reuses the same snapshot.
+func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) (*Result, error) {
+	db := snap.DB()
 	a := typing.NewAssignment(prog, db)
 	classesOf := func(x graph.ObjectID) []int { return homes[x] }
 	workers := par.Workers(opts.Parallelism)
-	if workers != 1 {
-		db.Freeze() // flush lazy edge sorting before concurrent local-picture reads
-	}
 
 	// Intern the program's typed links to dense bit positions: every type
 	// definition becomes a bitset over that universe. An object's local
@@ -130,7 +143,7 @@ func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]in
 	// Classify objects in parallel chunks; each slot of assigned is written
 	// only by its owner. Assignments are applied serially afterwards, in
 	// object order, exactly as the serial loop would issue them.
-	objs := db.ComplexObjects()
+	objs := snap.Complex
 	po := opts.pictureOpts()
 	assigned := make([][]int, len(objs))
 	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
@@ -142,7 +155,7 @@ func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]in
 				}
 			}
 			o := objs[i]
-			picture := typing.LocalLinksOpts(db, o, classesOf, po)
+			picture := typing.LocalLinksSnapOpts(snap, o, classesOf, po)
 			local.Reset()
 			extra := 0
 			for _, l := range picture {
@@ -192,7 +205,7 @@ func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]in
 	}
 
 	res := &Result{Assignment: a}
-	res.Defect = defect.Measure(a)
+	res.Defect = defect.MeasureSnap(a, snap)
 	res.Unclassified = len(a.Unclassified())
 	return res, nil
 }

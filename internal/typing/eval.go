@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"schemex/internal/bitset"
+	"schemex/internal/compile"
 	"schemex/internal/graph"
 	"schemex/internal/par"
 )
@@ -183,11 +184,35 @@ const checkEvery = 1024
 // shard, and every checkEvery propagation-queue pops. On a non-nil check
 // error the evaluation stops early, all worker goroutines are joined, and
 // the error is returned with a nil extent.
+//
+// It compiles a throwaway snapshot of db and delegates to EvalGFPSnapCheck;
+// callers evaluating several programs over one database should compile the
+// snapshot once and call EvalGFPSnapCheck directly.
 func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*Extent, error) {
-	if workers != 1 {
-		db.Freeze() // edge slices are sorted lazily; flush before concurrent reads
+	snap, err := compile.CompileCheck(db, workers, check)
+	if err != nil {
+		return nil, err
 	}
-	n := db.NumObjects()
+	return EvalGFPSnapCheck(p, snap, workers, check)
+}
+
+// atomicWitnessSnap is atomicWitness against the compiled snapshot.
+func atomicWitnessSnap(snap *compile.Snapshot, to graph.ObjectID, l TypedLink) bool {
+	v, ok := snap.Value(to)
+	if !ok || !SortMatches(l.Sort, v.Sort) {
+		return false
+	}
+	return !l.HasValue || v.Text == l.Value
+}
+
+// EvalGFPSnapCheck computes the greatest fixpoint over a compiled snapshot:
+// the snapshot supplies the label universe, the dense complex positions, and
+// the degree histograms that seed the support counts, so the evaluator
+// performs no per-call rebuild of any of them, and the propagation loop
+// compares int32 label IDs instead of strings. Program labels are resolved
+// against the snapshot's label table once, up front.
+func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check func() error) (*Extent, error) {
+	n := snap.NumObjects()
 	nT := len(p.Types)
 	member := make([]*bitset.Set, nT)
 	for i := range member {
@@ -201,75 +226,11 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 		member[i] = bitset.New(n)
 	}
 
-	// Dense positions for complex objects: the count tables are indexed by
-	// position, not raw ObjectID, so atomic objects cost nothing.
-	complexObjs := db.ComplexObjects()
+	complexObjs := snap.Complex
 	nC := len(complexObjs)
-	pos := make([]int32, n)
-	for i := range pos {
-		pos[i] = -1
-	}
-	for i, o := range complexObjs {
-		pos[o] = int32(i)
-	}
-
-	// Per-object, per-label degree histograms with labels interned to dense
-	// IDs. Initially every complex object is in every type, so the initial
-	// witness count of a typed link depends only on (direction, label,
-	// atomic-vs-complex), not on the target type.
-	labelID := make(map[string]int)
-	for _, l := range db.Labels() {
-		labelID[l] = len(labelID)
-	}
-	nL := len(labelID)
-	outComplex := make([]int32, nC*nL)
-	outAtomic := make([]int32, nC*nL)
-	inComplex := make([]int32, nC*nL)
-	// Per-sort atomic histograms are only materialized when the program
-	// uses sort constraints (the Remark 2.1 extension).
-	hasSorts := false
-	for _, t := range p.Types {
-		for _, l := range t.Links {
-			if l.Sort != AnySort {
-				hasSorts = true
-			}
-		}
-	}
-	const nSorts = 4
-	var outAtomicSort []int32
-	if hasSorts {
-		outAtomicSort = make([]int32, nC*nL*nSorts)
-	}
-	if err := par.DoErr(workers, nC, func(lo, hi int) error {
-		// Each object owns its histogram rows; labelID is read-only here.
-		for i := lo; i < hi; i++ {
-			if check != nil && i%checkEvery == 0 {
-				if err := check(); err != nil {
-					return err
-				}
-			}
-			o := complexObjs[i]
-			base := i * nL
-			for _, e := range db.Out(o) {
-				li := labelID[e.Label]
-				if db.IsAtomic(e.To) {
-					outAtomic[base+li]++
-					if hasSorts {
-						v, _ := db.AtomicValue(e.To)
-						outAtomicSort[(base+li)*nSorts+int(v.Sort)]++
-					}
-				} else {
-					outComplex[base+li]++
-				}
-			}
-			for _, e := range db.In(o) {
-				inComplex[base+labelID[e.Label]]++
-			}
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
+	pos := snap.Pos
+	nL := snap.NumLabels()
+	const nSorts = compile.NumSorts
 
 	// counts[t] is indexed by linkIdx*nC + position(obj).
 	counts := make([][]int32, nT)
@@ -315,6 +276,9 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 	// member[ti], counts[ti], and its own deferred removal list, so shards
 	// never race. The lists are drained into the queue afterwards; the
 	// propagation result does not depend on that order (the GFP is unique).
+	// Initially every complex object is in every type, so the initial
+	// witness count of a typed link depends only on (direction, label,
+	// atomic-vs-complex) — exactly the histograms the snapshot carries.
 	initRemoved := make([][]graph.ObjectID, nT)
 	if err := par.DoItemsErr(workers, nT, func(ti int) error {
 		if check != nil {
@@ -332,7 +296,7 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 		}
 		for li, l := range t.Links {
 			row := counts[ti][li*nC : (li+1)*nC]
-			lid, known := labelID[l.Label]
+			lid, known := snap.LabelID(l.Label)
 			if !known {
 				// Label absent from the data: nothing can witness it.
 				for _, o := range complexObjs {
@@ -343,10 +307,13 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			if l.Dir == Out && l.Target == AtomicTarget && l.HasValue {
 				// Value-constrained links are rare; count by scanning each
 				// object's edges directly.
+				lid32 := int32(lid)
 				for i, o := range complexObjs {
 					var c int32
-					for _, e := range db.Out(o) {
-						if e.Label == l.Label && db.IsAtomic(e.To) && atomicWitness(db, e.To, l) {
+					to, lab := snap.Out(o)
+					for k := range to {
+						if lab[k] == lid32 && snap.IsAtomic(graph.ObjectID(to[k])) &&
+							atomicWitnessSnap(snap, graph.ObjectID(to[k]), l) {
 							c++
 						}
 					}
@@ -360,7 +327,7 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			if l.Dir == Out && l.Target == AtomicTarget && l.Sort != AnySort {
 				si := int(l.Sort) - 1
 				for i, o := range complexObjs {
-					c := outAtomicSort[(i*nL+lid)*nSorts+si]
+					c := snap.OutAtomicSort[(i*nL+lid)*nSorts+si]
 					row[i] = c
 					if c == 0 {
 						rm(o)
@@ -371,11 +338,11 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			var hist []int32
 			switch {
 			case l.Dir == Out && l.Target == AtomicTarget:
-				hist = outAtomic
+				hist = snap.OutAtomic
 			case l.Dir == Out:
-				hist = outComplex
+				hist = snap.OutComplex
 			default:
-				hist = inComplex
+				hist = snap.InComplex
 			}
 			for i, o := range complexObjs {
 				c := hist[i*nL+lid]
@@ -398,10 +365,11 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 
 	// refs[j] lists the (type, link) positions whose target is type j, split
 	// by direction, so a removal from type j can decrement exactly the
-	// affected counts.
+	// affected counts. Labels are pre-resolved to snapshot IDs (-1 for
+	// labels absent from the data, which no edge can ever match).
 	type ref struct {
 		t, li int
-		label string
+		lab   int32
 		dir   Dir
 	}
 	refs := make([][]ref, nT)
@@ -410,7 +378,11 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			if l.Target == AtomicTarget {
 				continue // atomic membership never changes
 			}
-			refs[l.Target] = append(refs[l.Target], ref{ti, li, l.Label, l.Dir})
+			lab := int32(-1)
+			if lid, ok := snap.LabelID(l.Label); ok {
+				lab = int32(lid)
+			}
+			refs[l.Target] = append(refs[l.Target], ref{ti, li, lab, l.Dir})
 		}
 	}
 
@@ -430,11 +402,12 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			if rf.dir == Out {
 				// Some object o with an ℓ-edge to x may lose a witness for
 				// →ℓ[rm.t].
-				for _, e := range db.In(x) {
-					if e.Label != rf.label {
+				from, lab := snap.In(x)
+				for k := range from {
+					if lab[k] != rf.lab {
 						continue
 					}
-					o := e.From
+					o := graph.ObjectID(from[k])
 					if !member[rf.t].Test(int(o)) {
 						continue
 					}
@@ -447,12 +420,13 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			} else {
 				// Some object o with an ℓ-edge from x may lose a witness for
 				// ←ℓ[rm.t].
-				for _, e := range db.Out(x) {
-					if e.Label != rf.label {
+				to, lab := snap.Out(x)
+				for k := range to {
+					if lab[k] != rf.lab {
 						continue
 					}
-					o := e.To
-					if db.IsAtomic(o) || !member[rf.t].Test(int(o)) {
+					o := graph.ObjectID(to[k])
+					if snap.IsAtomic(o) || !member[rf.t].Test(int(o)) {
 						continue
 					}
 					c := &counts[rf.t][rf.li*nC+int(pos[o])]
@@ -464,7 +438,7 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 			}
 		}
 	}
-	return &Extent{Program: p, DB: db, Member: member}, nil
+	return &Extent{Program: p, DB: snap.DB(), Member: member}, nil
 }
 
 // IsFixpoint reports whether the extent is a fixpoint of its program: every
@@ -563,6 +537,55 @@ func LocalLinksOpts(db *graph.DB, o graph.ObjectID, classesOf func(graph.ObjectI
 	for _, e := range db.In(o) {
 		for _, c := range classesOf(e.From) {
 			links = append(links, TypedLink{Dir: In, Label: e.Label, Target: c})
+		}
+	}
+	tmp := Type{Links: links}
+	tmp.Canonicalize()
+	return tmp.Links
+}
+
+// LocalLinksSnapOpts is LocalLinksOpts over a compiled snapshot: edges are
+// walked in CSR form and label strings come from the snapshot's interned
+// table, so no per-edge map lookups or string allocations occur.
+func LocalLinksSnapOpts(snap *compile.Snapshot, o graph.ObjectID, classesOf func(graph.ObjectID) []int, opts PictureOpts) []TypedLink {
+	var links []TypedLink
+	to, lab := snap.Out(o)
+	for k := range to {
+		t := graph.ObjectID(to[k])
+		label := snap.Labels[lab[k]]
+		if snap.IsAtomic(t) {
+			links = append(links, TypedLink{Dir: Out, Label: label, Target: AtomicTarget})
+			v, ok := snap.Value(t)
+			if !ok {
+				continue
+			}
+			if opts.UseSorts {
+				links = append(links, TypedLink{
+					Dir: Out, Label: label, Target: AtomicTarget,
+					Sort: SortConstraint(v.Sort) + 1,
+				})
+			}
+			if opts.ValueLabels[label] {
+				l := TypedLink{
+					Dir: Out, Label: label, Target: AtomicTarget,
+					Value: v.Text, HasValue: true,
+				}
+				if opts.UseSorts {
+					l.Sort = SortConstraint(v.Sort) + 1
+				}
+				links = append(links, l)
+			}
+			continue
+		}
+		for _, c := range classesOf(t) {
+			links = append(links, TypedLink{Dir: Out, Label: label, Target: c})
+		}
+	}
+	from, lab := snap.In(o)
+	for k := range from {
+		label := snap.Labels[lab[k]]
+		for _, c := range classesOf(graph.ObjectID(from[k])) {
+			links = append(links, TypedLink{Dir: In, Label: label, Target: c})
 		}
 	}
 	tmp := Type{Links: links}

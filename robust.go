@@ -122,6 +122,10 @@ func SweepAnalysisContext(ctx context.Context, g *Graph, opts Options) (sw *Swee
 	if err != nil {
 		return nil, err
 	}
+	return toSweep(csw), nil
+}
+
+func toSweep(csw *core.SweepResult) *Sweep {
 	out := &Sweep{Suggested: csw.Knee()}
 	for _, p := range csw.Points {
 		out.Points = append(out.Points, SweepPoint{
@@ -133,7 +137,81 @@ func SweepAnalysisContext(ctx context.Context, g *Graph, opts Options) (sw *Swee
 			Unclassified:  p.Unclassified,
 		})
 	}
-	return out, nil
+	return out
+}
+
+// Prepared is a compiled, reusable extraction context for one graph: an
+// immutable CSR snapshot of the data (interned labels, dense positions,
+// degree histograms) shared by every extraction stage, plus a memo of the
+// most recent Stage 1 typing. Prepare once and call ExtractPrepared /
+// SweepPrepared many times — with different K, distance, or recast options —
+// to skip the per-call compilation; results are bit-identical to Extract /
+// SweepAnalysis. A Prepared is safe for concurrent use, but the underlying
+// graph must not be mutated while it is in use.
+type Prepared struct {
+	g    *Graph
+	prep *core.Prepared
+}
+
+// Prepare compiles g into a reusable extraction context.
+func Prepare(g *Graph) (*Prepared, error) {
+	return PrepareContext(context.Background(), g)
+}
+
+// PrepareContext is Prepare with cooperative cancellation.
+func PrepareContext(ctx context.Context, g *Graph) (p *Prepared, err error) {
+	defer recoverInternal(&err)
+	cp, err := core.PrepareContext(ctx, g.db, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{g: g, prep: cp}, nil
+}
+
+// Graph returns the graph the context was prepared from.
+func (p *Prepared) Graph() *Graph { return p.g }
+
+// ExtractPrepared is Extract over a prepared context: the snapshot
+// compilation is skipped, and when the Stage-1-relevant options repeat
+// (sorts, value labels, engine choice) the minimal perfect typing is reused
+// as well. The result is bit-identical to Extract on the same graph.
+func ExtractPrepared(p *Prepared, opts Options) (*Result, error) {
+	return ExtractPreparedContext(context.Background(), p, opts)
+}
+
+// ExtractPreparedContext is ExtractPrepared with cancellation and budgets,
+// under the same contract as ExtractContext.
+func ExtractPreparedContext(ctx context.Context, p *Prepared, opts Options) (res *Result, err error) {
+	defer recoverInternal(&err)
+	co, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := core.ExtractPreparedContext(ctx, p.prep, co)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: cr}, nil
+}
+
+// SweepPrepared is SweepAnalysis over a prepared context, with the same
+// reuse guarantees as ExtractPrepared.
+func SweepPrepared(p *Prepared, opts Options) (*Sweep, error) {
+	return SweepPreparedContext(context.Background(), p, opts)
+}
+
+// SweepPreparedContext is SweepPrepared with cancellation and budgets.
+func SweepPreparedContext(ctx context.Context, p *Prepared, opts Options) (sw *Sweep, err error) {
+	defer recoverInternal(&err)
+	co, err := opts.toCore()
+	if err != nil {
+		return nil, err
+	}
+	csw, err := core.SweepPreparedContext(ctx, p.prep, co)
+	if err != nil {
+		return nil, err
+	}
+	return toSweep(csw), nil
 }
 
 // ReadGraphLimits is ReadGraph with resource budgets: loading fails with a
