@@ -1,6 +1,6 @@
 // Command schemex-server serves schema extraction over HTTP (JSON API).
 //
-//	schemex-server -addr :8080
+//	schemex-server -addr :8080 -cache-entries 8
 //
 //	curl -s localhost:8080/v1/extract -d '{
 //	  "data": "{\"name\": \"Ada\", \"age\": 36}",
@@ -8,14 +8,17 @@
 //	  "options": {"useSorts": true}
 //	}'
 //
-// Endpoints: POST /v1/extract, /v1/sweep, /v1/check, /v1/query;
-// GET /v1/healthz. See internal/httpapi for the envelope formats.
+// Endpoints: POST /v1/extract, /v1/sweep, /v1/check, /v1/query; the delta
+// session family under /v1/session; GET /v1/healthz. See internal/httpapi
+// for the envelope formats.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"schemex/internal/httpapi"
@@ -23,14 +26,30 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", httpapi.DefaultCacheEntries,
+		"prepared-snapshot LRU capacity (must be positive)")
+	sessionEntries := flag.Int("session-entries", httpapi.DefaultSessionEntries,
+		"maximum live delta sessions (must be positive)")
 	flag.Parse()
+	if *cacheEntries <= 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -cache-entries must be positive, got %d\n", *cacheEntries)
+		os.Exit(2)
+	}
+	if *sessionEntries <= 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -session-entries must be positive, got %d\n", *sessionEntries)
+		os.Exit(2)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.Handler(),
+		Addr: *addr,
+		Handler: httpapi.NewHandler(httpapi.Config{
+			CacheEntries:   *cacheEntries,
+			SessionEntries: *sessionEntries,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 	}
-	log.Printf("schemex-server listening on %s", *addr)
+	log.Printf("schemex-server listening on %s (cache %d, sessions %d)",
+		*addr, *cacheEntries, *sessionEntries)
 	log.Fatal(srv.ListenAndServe())
 }

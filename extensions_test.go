@@ -1,6 +1,7 @@
 package schemex
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -261,5 +262,89 @@ func TestCheckNoDeficitUnderGFP(t *testing.T) {
 	// with missing links" — that is Stage 3 recasting, not GFP).
 	if report.Types["ab"] != 1 || report.Unclassified != 1 {
 		t.Fatalf("report = %+v, want extent 1 and 1 unclassified", report)
+	}
+}
+
+// TestClassifyNewSnapshotUnknownLabel pins down late classification over the
+// prepared-snapshot path when the new object's picture uses labels that were
+// never compiled into the snapshot's label table: the classifier reads the
+// live graph, so unknown labels must degrade to "does not satisfy any type"
+// rather than panic or misindex.
+func TestClassifyNewSnapshotUnknownLabel(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		n := fmt.Sprintf("emp%d", i)
+		g.LinkAtom(n, "name", "x")
+		g.LinkAtom(n, "salary", "100")
+	}
+	prep, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractPrepared(prep, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeName := res.Types()[0].Name
+
+	// The new object mixes a compiled label with one the snapshot has never
+	// seen; the extra link keeps it from satisfying the type, so it must
+	// fall back to the closest type.
+	g.LinkAtom("emp9", "name", "x")
+	g.LinkAtom("emp9", "badge", "7")
+	if got := res.ClassifyNew("emp9", -1); len(got) != 1 || got[0] != typeName {
+		t.Fatalf("ClassifyNew(mixed labels) = %v, want [%s]", got, typeName)
+	}
+	// An object carrying only unknown labels is still classifiable by
+	// distance but never by satisfaction; with a zero cutoff it stays out.
+	g.LinkAtom("emp10", "badge", "8")
+	if got := res.ClassifyNew("emp10", 0); len(got) != 0 {
+		t.Fatalf("ClassifyNew(unknown-only, cutoff 0) = %v, want none", got)
+	}
+	if got := res.ClassifyNew("emp10", -1); len(got) != 1 {
+		t.Fatalf("ClassifyNew(unknown-only) = %v, want closest type", got)
+	}
+}
+
+// TestClassifyNewAfterApply classifies objects introduced by a delta session:
+// the child's extraction sees labels its parent never compiled, and
+// ClassifyNew over the child result must handle yet another layer of
+// post-extraction labels.
+func TestClassifyNewAfterApply(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		n := fmt.Sprintf("emp%d", i)
+		g.LinkAtom(n, "name", "x")
+		g.LinkAtom(n, "salary", "100")
+	}
+	parent, err := Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractPrepared(parent, Options{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The delta introduces a label absent from the parent's label table.
+	d := NewDelta().Atom("emp5.name", "x").Atom("emp5.badge", "9").
+		Link("emp5", "emp5.name", "name").Link("emp5", "emp5.badge", "badge")
+	child, info, err := parent.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Incremental {
+		t.Fatal("new label should force a full recompile")
+	}
+	res, err := ExtractPrepared(child, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeName := res.Types()[0].Name
+	// A fresh object added after the child's extraction, with one more
+	// never-compiled label.
+	cg := child.Graph()
+	cg.LinkAtom("emp6", "name", "x")
+	cg.LinkAtom("emp6", "clearance", "top")
+	if got := res.ClassifyNew("emp6", -1); len(got) != 1 || got[0] != typeName {
+		t.Fatalf("ClassifyNew(child) = %v, want [%s]", got, typeName)
 	}
 }

@@ -69,6 +69,19 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Grown returns an independent copy of s resized to hold bits [0, n) with
+// n >= s.Len(); bits beyond the original capacity are zero. It is how the
+// incremental compiler extends a parent snapshot's sets to a delta-grown
+// object universe without mutating the shared parent.
+func (s *Set) Grown(n int) *Set {
+	if n < s.n {
+		panic("bitset: Grown to smaller capacity")
+	}
+	c := New(n)
+	copy(c.words, s.words)
+	return c
+}
+
 // Hash returns an FNV-style hash of the contents, for grouping equal sets.
 func (s *Set) Hash() uint64 {
 	const (

@@ -365,3 +365,62 @@ func TestTimeoutFlagParses(t *testing.T) {
 		t.Fatalf("no schema printed:\n%s", stdout)
 	}
 }
+
+func TestApplyPrintsMutatedGraph(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	delta := writeTemp(t, "delta.txt", "link gates jobs knows\nunlink gates gn name\n")
+	code, stdout, stderr := run(t, "", "apply", "-d", delta, data)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "link gates jobs knows") {
+		t.Errorf("added link missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "link gates gn name") {
+		t.Errorf("removed link still present:\n%s", stdout)
+	}
+}
+
+func TestApplyExtractAndVerbose(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	d1 := writeTemp(t, "d1.txt", "link torvalds linux is-manager-of\nlink linux torvalds is-managed-by\n"+
+		"link torvalds tn name\nlink linux ln name\natomic tn string Torvalds\natomic ln string Linux\n")
+	d2 := writeTemp(t, "d2.txt", "link gates jobs rival\n")
+	code, stdout, stderr := run(t, "", "apply", "-d", d1, "-d", d2, "-extract", "-k", "2", "-v", data)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "after 2 deltas") || !strings.Contains(stdout, "type ") {
+		t.Errorf("missing extraction output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "incremental") || !strings.Contains(stderr, "full recompile") {
+		t.Errorf("verbose apply paths missing:\n%s", stderr)
+	}
+}
+
+func TestApplyDeltaFromStdin(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	code, stdout, stderr := run(t, "remove gates\n", "apply", "-d", "-", data)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if strings.Contains(stdout, "link gates microsoft is-manager-of") {
+		t.Errorf("detached object still linked:\n%s", stdout)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	if code, _, _ := run(t, "", "apply", data); code != 2 {
+		t.Fatalf("missing -d: code=%d, want 2", code)
+	}
+	bad := writeTemp(t, "bad.txt", "unlink gates apple nope\n")
+	code, _, stderr := run(t, "", "apply", "-d", bad, data)
+	if code != 1 || !strings.Contains(stderr, "applying") {
+		t.Fatalf("invalid delta: code=%d stderr=%q", code, stderr)
+	}
+	garbled := writeTemp(t, "garbled.txt", "frobnicate x\n")
+	if code, _, _ := run(t, "", "apply", "-d", garbled, data); code != 1 {
+		t.Fatalf("garbled delta: code=%d, want 1", code)
+	}
+}

@@ -1,0 +1,301 @@
+package compile
+
+import (
+	"schemex/internal/graph"
+)
+
+// ApplyInfo describes how a delta-derived snapshot was built, in the terms
+// the incremental extraction layers need to decide whether warm starts are
+// sound.
+type ApplyInfo struct {
+	// Touched lists, in ascending ID order, every object whose incident edge
+	// set or atomic value the delta changed, including all objects it
+	// created. Only these objects' CSR rows and histogram rows differ from
+	// the parent's.
+	Touched []graph.ObjectID
+	// NewObjects is how many objects the delta created; their IDs are the
+	// top NewObjects of the new snapshot's ID space.
+	NewObjects int
+	// Shared reports that the snapshot was built incrementally with
+	// structural sharing. False means Apply fell back to a full Compile
+	// (label universe changed, or an existing object flipped between atomic
+	// and complex).
+	Shared bool
+	// PosStable reports that every pre-existing complex object kept its
+	// dense complex position (new complex objects are appended at the end).
+	// This is what makes the parent's positional Stage 1 state reusable; it
+	// is false only when an existing object flipped atomic↔complex.
+	PosStable bool
+}
+
+// Apply builds the snapshot of snap's database with delta applied, sharing
+// structure with snap wherever the delta permits, using one worker per CPU.
+//
+// The fast path rebuilds only what the delta touches: the label table and
+// its intern map are aliased outright, untouched histogram chunks are
+// aliased from the parent (only chunks holding a touched row are
+// re-accumulated), contiguous runs of untouched objects have their CSR
+// spans block-copied in one memmove per run, and the atomic/position/sort
+// tables are aliased when the delta creates no objects (extend-copied
+// otherwise). Object IDs are dense and append-only, so pre-existing complex
+// positions are stable and everything positional in the parent remains
+// meaningful against the child.
+//
+// Two delta shapes invalidate parent structure wholesale and fall back to a
+// full Compile of the mutated database (Shared=false in the returned info):
+// a change to the label universe — a label unseen by the parent, or the
+// removal of a label's last occurrence — renumbers the dense label IDs every
+// compiled array is expressed in; and an existing object flipping between
+// atomic and complex shifts the dense complex positions (PosStable=false).
+//
+// The receiver snapshot and its database are never mutated; extractions
+// holding them remain valid. Either way the result is semantically identical
+// to Compile over a scratch-built copy of the mutated database.
+func Apply(snap *Snapshot, delta *graph.Delta) (*Snapshot, *ApplyInfo, error) {
+	return ApplyCheck(snap, delta, 0, nil)
+}
+
+// ApplyCheck is Apply with an explicit worker count (<= 0 means one per CPU,
+// 1 runs serially) and a cooperative cancellation checkpoint (nil means
+// "never cancel"), mirroring CompileCheck. The incremental path is always
+// serial — it is memmove-bound, and deltas are small — so workers only
+// affects the full-recompile fallback.
+func ApplyCheck(snap *Snapshot, delta *graph.Delta, workers int, check func() error) (*Snapshot, *ApplyInfo, error) {
+	child, eff, err := snap.db.ApplyDelta(delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &ApplyInfo{
+		Touched:    eff.Touched,
+		NewObjects: child.NumObjects() - eff.OldObjects,
+		PosStable:  !eff.Flipped,
+	}
+	if eff.Flipped || labelUniverseChanged(snap, eff) {
+		ns, err := CompileCheck(child, workers, check)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ns, info, nil
+	}
+	ns, err := applyIncremental(snap, child, eff, check)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Shared = true
+	return ns, info, nil
+}
+
+// labelUniverseChanged reports whether the delta grew or shrank the set of
+// distinct edge labels. Growth is a map miss on the parent's intern table;
+// shrinkage needs the parent's occurrence count of each net-removed label,
+// which one pass over the parent's flat label array provides.
+func labelUniverseChanged(snap *Snapshot, eff *graph.DeltaEffect) bool {
+	var shrinkCand []int
+	for lab, d := range eff.LabelDelta {
+		id, known := snap.labelID[lab]
+		if !known {
+			return true // d > 0 here: a removal of an unknown label cannot apply
+		}
+		if d < 0 {
+			shrinkCand = append(shrinkCand, id)
+		}
+	}
+	if len(shrinkCand) == 0 {
+		return false
+	}
+	counts := make(map[int]int, len(shrinkCand))
+	for _, id := range shrinkCand {
+		counts[id] = 0
+	}
+	for _, lab := range snap.OutLab {
+		if _, ok := counts[int(lab)]; ok {
+			counts[int(lab)]++
+		}
+	}
+	for _, id := range shrinkCand {
+		if counts[id]+eff.LabelDelta[snap.Labels[id]] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIncremental compiles child against its parent snapshot. Preconditions
+// established by ApplyCheck: the label universe is unchanged and no existing
+// object flipped atomic↔complex, so parent label IDs, complex positions, and
+// every untouched object's CSR and histogram rows remain valid verbatim.
+//
+// It runs serially: the work is a handful of large memmoves over untouched
+// CSR runs plus per-edge scans of the (small) touched set, which parallel
+// shards would only slow down with fork/join overhead.
+func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect, check func() error) (*Snapshot, error) {
+	child.Freeze()
+	n := child.NumObjects()
+	oldN := eff.OldObjects
+
+	s := &Snapshot{
+		db:      child,
+		Labels:  parent.Labels, // universe unchanged: alias table and intern map
+		labelID: parent.labelID,
+	}
+	if n == oldN {
+		// No objects created, and none flipped on this path: the atomic
+		// bitset, sort table, and the whole complex-position mapping are the
+		// parent's verbatim. Alias them.
+		s.Atomic = parent.Atomic
+		s.Pos = parent.Pos
+		s.Sorts = parent.Sorts
+		s.Complex = parent.Complex
+	} else {
+		s.Atomic = parent.Atomic.Grown(n)
+		s.Pos = make([]int32, n)
+		s.Sorts = make([]uint8, n)
+		s.Complex = parent.Complex[:len(parent.Complex):len(parent.Complex)]
+		copy(s.Pos, parent.Pos)
+		copy(s.Sorts, parent.Sorts)
+		for i := oldN; i < n; i++ {
+			o := graph.ObjectID(i)
+			if v, ok := child.AtomicValue(o); ok {
+				s.Atomic.Set(i)
+				s.Sorts[i] = uint8(v.Sort)
+				s.Pos[i] = -1
+			} else {
+				s.Pos[i] = int32(len(s.Complex))
+				s.Complex = append(s.Complex, o)
+			}
+		}
+	}
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Touched objects (the delta's own list plus everything newly created)
+	// as a dense flag array: the loops below test it once per object, and a
+	// map lookup there would dominate the whole rebuild.
+	touched := make([]bool, n)
+	for _, o := range eff.Touched {
+		touched[o] = true
+	}
+	for i := oldN; i < n; i++ {
+		touched[i] = true
+	}
+
+	// Offsets: untouched objects keep their parent degree, touched ones use
+	// the child's edge lists. One serial prefix-sum pass, as in CompileCheck.
+	s.OutOff = make([]int32, n+1)
+	s.InOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		if !touched[i] {
+			s.OutOff[i+1] = s.OutOff[i] + (parent.OutOff[i+1] - parent.OutOff[i])
+			s.InOff[i+1] = s.InOff[i] + (parent.InOff[i+1] - parent.InOff[i])
+		} else {
+			o := graph.ObjectID(i)
+			s.OutOff[i+1] = s.OutOff[i] + int32(len(child.Out(o)))
+			s.InOff[i+1] = s.InOff[i] + int32(len(child.In(o)))
+		}
+	}
+	nE := int(s.OutOff[n])
+	s.OutTo = make([]int32, nE)
+	s.OutLab = make([]int32, nE)
+	s.InFrom = make([]int32, nE)
+	s.InLab = make([]int32, nE)
+
+	// Edge arrays: each maximal run of untouched objects shifts by a
+	// constant offset, so it moves as one block copy per array; only touched
+	// objects are re-scanned edge by edge. Runs never cross a touched or new
+	// object, so parent offsets are always in range.
+	copyRun := func(a, b int) {
+		if a >= b {
+			return
+		}
+		copy(s.OutTo[s.OutOff[a]:s.OutOff[b]], parent.OutTo[parent.OutOff[a]:parent.OutOff[b]])
+		copy(s.OutLab[s.OutOff[a]:s.OutOff[b]], parent.OutLab[parent.OutOff[a]:parent.OutOff[b]])
+		copy(s.InFrom[s.InOff[a]:s.InOff[b]], parent.InFrom[parent.InOff[a]:parent.InOff[b]])
+		copy(s.InLab[s.InOff[a]:s.InOff[b]], parent.InLab[parent.InOff[a]:parent.InOff[b]])
+	}
+	const checkEvery = 1024
+	run := 0
+	for i := 0; i < n; i++ {
+		if check != nil && i%checkEvery == 0 {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
+		if !touched[i] {
+			continue
+		}
+		copyRun(run, i)
+		run = i + 1
+		o := graph.ObjectID(i)
+		at := s.OutOff[i]
+		for _, e := range child.Out(o) {
+			s.OutTo[at] = int32(e.To)
+			s.OutLab[at] = int32(s.labelID[e.Label])
+			at++
+		}
+		at = s.InOff[i]
+		for _, e := range child.In(o) {
+			s.InFrom[at] = int32(e.From)
+			s.InLab[at] = int32(s.labelID[e.Label])
+			at++
+		}
+	}
+	copyRun(run, n)
+
+	// Histograms: alias every chunk whose rows are untouched; chunks holding
+	// a touched row — plus any chunk reaching past the parent's row count,
+	// whose parent backing is too short — are allocated fresh and
+	// re-accumulated from the child CSR built above. Re-deriving the
+	// untouched rows inside a dirty chunk is deterministic recounting, so
+	// the result is bit-identical to a scratch compile.
+	nC := len(s.Complex)
+	parentNC := len(parent.Complex)
+	nChunks := (nC + histChunkMask) >> histChunkShift
+	dirty := make([]bool, nChunks)
+	if nC > parentNC {
+		for c := parentNC >> histChunkShift; c < nChunks; c++ {
+			dirty[c] = true
+		}
+	}
+	for _, o := range eff.Touched {
+		if p := s.Pos[o]; p >= 0 {
+			dirty[int(p)>>histChunkShift] = true
+		}
+	}
+	s.OutComplex = deriveHist(parent.OutComplex, nC, dirty)
+	s.OutAtomic = deriveHist(parent.OutAtomic, nC, dirty)
+	s.InComplex = deriveHist(parent.InComplex, nC, dirty)
+	s.OutAtomicSort = deriveHist(parent.OutAtomicSort, nC, dirty)
+	for c, d := range dirty {
+		if !d {
+			continue
+		}
+		lo := c << histChunkShift
+		hi := lo + histChunkRows
+		if hi > nC {
+			hi = nC
+		}
+		for p := lo; p < hi; p++ {
+			o := int(s.Complex[p])
+			outC := s.OutComplex.row(p)
+			outA := s.OutAtomic.row(p)
+			outAS := s.OutAtomicSort.row(p)
+			inC := s.InComplex.row(p)
+			for k := s.OutOff[o]; k < s.OutOff[o+1]; k++ {
+				lab := s.OutLab[k]
+				if to := int(s.OutTo[k]); s.Atomic.Test(to) {
+					outA[lab]++
+					outAS[int(lab)*NumSorts+int(s.Sorts[to])]++
+				} else {
+					outC[lab]++
+				}
+			}
+			for k := s.InOff[o]; k < s.InOff[o+1]; k++ {
+				inC[s.InLab[k]]++
+			}
+		}
+	}
+	return s, nil
+}

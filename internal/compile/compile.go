@@ -28,6 +28,89 @@ import (
 // NumSorts is the number of atomic value sorts (graph.SortString..SortBool).
 const NumSorts = 4
 
+// Histogram rows are grouped into fixed-size chunks of complex positions so
+// Apply can alias the untouched chunks of the parent snapshot and rebuild
+// only the chunks a delta dirtied. 64 rows keeps a chunk around a few KB for
+// realistic label universes — big enough that chunk bookkeeping is noise,
+// small enough that a single-edge delta rebuilds a sliver of the matrix.
+const (
+	histChunkShift = 6
+	histChunkRows  = 1 << histChunkShift
+	histChunkMask  = histChunkRows - 1
+)
+
+// Hist is a (complex position × column) count matrix stored as fixed-size
+// row chunks: chunk c holds rows [c*64, (c+1)*64). Chunks are immutable
+// after compilation, so a delta-derived snapshot shares every chunk the
+// delta did not touch with its parent and allocates only the dirty ones.
+type Hist struct {
+	rowLen int
+	nRows  int
+	chunks [][]int32
+}
+
+// makeHist allocates a zeroed nRows×rowLen matrix. All chunks slice one
+// backing array; each is capped to its own range so it can never grow into
+// a neighbour.
+func makeHist(nRows, rowLen int) Hist {
+	h := Hist{rowLen: rowLen, nRows: nRows}
+	if nRows == 0 {
+		return h
+	}
+	nChunks := (nRows + histChunkMask) >> histChunkShift
+	h.chunks = make([][]int32, nChunks)
+	backing := make([]int32, nRows*rowLen)
+	for c := range h.chunks {
+		lo := c << histChunkShift
+		hi := lo + histChunkRows
+		if hi > nRows {
+			hi = nRows
+		}
+		h.chunks[c] = backing[lo*rowLen : hi*rowLen : hi*rowLen]
+	}
+	return h
+}
+
+// deriveHist builds an nRows-row matrix over the same row length as parent,
+// aliasing parent's chunk for every index where dirty is false and
+// allocating a zeroed chunk (to be re-accumulated by the caller) where it is
+// true. The caller must mark as dirty every chunk whose row range is not
+// bit-identical in the parent — touched rows, and any chunk extending past
+// the parent's last full row.
+func deriveHist(parent Hist, nRows int, dirty []bool) Hist {
+	h := Hist{rowLen: parent.rowLen, nRows: nRows}
+	if nRows == 0 {
+		return h
+	}
+	h.chunks = make([][]int32, len(dirty))
+	for c := range dirty {
+		if !dirty[c] {
+			h.chunks[c] = parent.chunks[c]
+			continue
+		}
+		lo := c << histChunkShift
+		hi := lo + histChunkRows
+		if hi > nRows {
+			hi = nRows
+		}
+		h.chunks[c] = make([]int32, (hi-lo)*h.rowLen)
+	}
+	return h
+}
+
+// At returns the count at (row, col). Columns are label IDs for the plain
+// degree histograms and labelID*NumSorts+sort for the sort-split one.
+func (h *Hist) At(row, col int) int32 {
+	return h.chunks[row>>histChunkShift][(row&histChunkMask)*h.rowLen+col]
+}
+
+// row returns the mutable backing slice of one row, for accumulation during
+// compilation. Never call it on a chunk shared with a parent snapshot.
+func (h *Hist) row(r int) []int32 {
+	off := (r & histChunkMask) * h.rowLen
+	return h.chunks[r>>histChunkShift][off : off+h.rowLen]
+}
+
 // Snapshot is the compiled, immutable view of a graph.DB.
 //
 // Layout invariants:
@@ -38,10 +121,11 @@ const NumSorts = 4
 //     object o's outgoing edges; InFrom/InLab mirror them for incoming edges.
 //   - Pos maps an ObjectID to its dense complex position (or -1 for atomic
 //     objects); Complex is the inverse, in ObjectID order.
-//   - The degree histograms are indexed by pos*NumLabels()+labelID and count
-//     o's ℓ-edges to complex targets, to atomic targets, and from complex
-//     sources; OutAtomicSort further splits the atomic counts by value sort
-//     ((pos*nL+lab)*NumSorts+sort).
+//   - The degree histograms are chunked (pos, column) matrices — see Hist —
+//     addressed At(pos, labelID) and counting o's ℓ-edges to complex
+//     targets, to atomic targets, and from complex sources; OutAtomicSort
+//     further splits the atomic counts by value sort, At(pos,
+//     labelID*NumSorts+sort).
 //
 // All fields are exported for the stage packages but must be treated as
 // read-only; mutating a Snapshot breaks every extraction sharing it.
@@ -70,8 +154,8 @@ type Snapshot struct {
 	// Degree histograms over (complex position, label ID); see the layout
 	// invariants above. They seed the GFP support counts, so the fixpoint
 	// evaluator never rebuilds them.
-	OutComplex, OutAtomic, InComplex []int32
-	OutAtomicSort                    []int32
+	OutComplex, OutAtomic, InComplex Hist
+	OutAtomicSort                    Hist
 
 	labelID map[string]int
 }
@@ -137,10 +221,10 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 
 	nC := len(s.Complex)
 	nL := len(s.Labels)
-	s.OutComplex = make([]int32, nC*nL)
-	s.OutAtomic = make([]int32, nC*nL)
-	s.InComplex = make([]int32, nC*nL)
-	s.OutAtomicSort = make([]int32, nC*nL*NumSorts)
+	s.OutComplex = makeHist(nC, nL)
+	s.OutAtomic = makeHist(nC, nL)
+	s.InComplex = makeHist(nC, nL)
+	s.OutAtomicSort = makeHist(nC, nL*NumSorts)
 
 	const checkEvery = 1024
 	if err := par.DoErr(workers, n, func(lo, hi int) error {
@@ -151,9 +235,12 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 				}
 			}
 			o := graph.ObjectID(i)
-			base := -1
+			var outC, outA, outAS, inC []int32
 			if p := s.Pos[i]; p >= 0 {
-				base = int(p) * nL
+				outC = s.OutComplex.row(int(p))
+				outA = s.OutAtomic.row(int(p))
+				outAS = s.OutAtomicSort.row(int(p))
+				inC = s.InComplex.row(int(p))
 			}
 			at := s.OutOff[i]
 			for _, e := range db.Out(o) {
@@ -161,12 +248,12 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 				s.OutTo[at] = int32(e.To)
 				s.OutLab[at] = lab
 				at++
-				if base >= 0 {
+				if outC != nil {
 					if s.Atomic.Test(int(e.To)) {
-						s.OutAtomic[base+int(lab)]++
-						s.OutAtomicSort[(base+int(lab))*NumSorts+int(s.Sorts[e.To])]++
+						outA[lab]++
+						outAS[int(lab)*NumSorts+int(s.Sorts[e.To])]++
 					} else {
-						s.OutComplex[base+int(lab)]++
+						outC[lab]++
 					}
 				}
 			}
@@ -176,8 +263,8 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 				s.InFrom[at] = int32(e.From)
 				s.InLab[at] = lab
 				at++
-				if base >= 0 {
-					s.InComplex[base+int(lab)]++
+				if inC != nil {
+					inC[lab]++
 				}
 			}
 		}

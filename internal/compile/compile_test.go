@@ -74,7 +74,6 @@ func TestSnapshotMirrorsDB(t *testing.T) {
 func TestSnapshotHistograms(t *testing.T) {
 	db, _ := dbg.Generate(dbg.Options{})
 	s := Compile(db)
-	nL := s.NumLabels()
 	for pi, o := range s.Complex {
 		wantOutC := make(map[string]int32)
 		wantOutA := make(map[string]int32)
@@ -90,18 +89,18 @@ func TestSnapshotHistograms(t *testing.T) {
 			wantIn[e.Label]++
 		}
 		for li, l := range s.Labels {
-			if got := s.OutComplex[pi*nL+li]; got != wantOutC[l] {
+			if got := s.OutComplex.At(pi, li); got != wantOutC[l] {
 				t.Fatalf("OutComplex[%v,%s] = %d, want %d", o, l, got, wantOutC[l])
 			}
-			if got := s.OutAtomic[pi*nL+li]; got != wantOutA[l] {
+			if got := s.OutAtomic.At(pi, li); got != wantOutA[l] {
 				t.Fatalf("OutAtomic[%v,%s] = %d, want %d", o, l, got, wantOutA[l])
 			}
-			if got := s.InComplex[pi*nL+li]; got != wantIn[l] {
+			if got := s.InComplex.At(pi, li); got != wantIn[l] {
 				t.Fatalf("InComplex[%v,%s] = %d, want %d", o, l, got, wantIn[l])
 			}
 			var sortSum int32
 			for si := 0; si < NumSorts; si++ {
-				sortSum += s.OutAtomicSort[(pi*nL+li)*NumSorts+si]
+				sortSum += s.OutAtomicSort.At(pi, li*NumSorts+si)
 			}
 			if sortSum != wantOutA[l] {
 				t.Fatalf("OutAtomicSort[%v,%s] sums to %d, want %d", o, l, sortSum, wantOutA[l])

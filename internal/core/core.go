@@ -66,6 +66,12 @@ type Options struct {
 	// per CPU, 1 runs the exact serial code paths. Every result is
 	// bit-identical at any setting.
 	Parallelism int
+	// MaxAffectedFrac tunes incremental Stage 1 maintenance on a Prepared
+	// derived via Apply: when the delta's affected (type, object) pairs
+	// exceed this fraction of the full matrix, the fixpoint is recomputed
+	// from scratch instead (typing.DefaultMaxAffectedFrac when zero). Purely
+	// a performance knob — results are bit-identical either way.
+	MaxAffectedFrac float64
 	// Limits bounds the resources an extraction may consume. Violations
 	// surface as *graph.LimitError. The zero value imposes no caps.
 	Limits Limits
@@ -221,12 +227,20 @@ type Result struct {
 // typing itself. A Prepared is safe for concurrent use; results are
 // bit-identical to the unprepared path.
 type Prepared struct {
-	db   *graph.DB
-	snap *compile.Snapshot
+	db      *graph.DB
+	snap    *compile.Snapshot
+	version uint64
 
 	mu    sync.Mutex
 	s1key stage1Key
 	s1    *perfect.Result
+	// warm is the Stage 1 warm-start hint installed by Apply: the parent
+	// session's Q_D fixpoint plus the accumulated touched set, valid for
+	// extractions whose Stage-1-relevant options match warmKey. The memo
+	// itself never crosses Apply — a delta invalidates it by construction
+	// (the child starts with s1 == nil).
+	warm    *perfect.Warm
+	warmKey stage1Key
 }
 
 // stage1Key identifies the options that influence the Stage 1 result
@@ -273,6 +287,75 @@ func (p *Prepared) DB() *graph.DB { return p.db }
 // Snapshot returns the compiled snapshot.
 func (p *Prepared) Snapshot() *compile.Snapshot { return p.snap }
 
+// Version counts the deltas applied since the root Prepare: 0 for a freshly
+// prepared context, parent+1 for each Apply. It distinguishes session states
+// that share a lineage.
+func (p *Prepared) Version() uint64 { return p.version }
+
+// Apply produces a new Prepared for the database obtained by applying delta
+// to p's database. Neither p, its database, nor any result extracted from it
+// is affected: the child shares untouched structure with the parent (graph
+// edge slices, snapshot CSR spans, histogram rows) and carries the parent's
+// Stage 1 fixpoint as a warm start, so extracting from the child after a
+// small delta costs work proportional to the delta's neighborhood, not the
+// database. Results are bit-identical to preparing the mutated database from
+// scratch.
+func (p *Prepared) Apply(delta *graph.Delta) (*Prepared, *compile.ApplyInfo, error) {
+	return p.ApplyContext(context.Background(), delta, 0)
+}
+
+// ApplyContext is Apply with cooperative cancellation and an explicit worker
+// bound for the incremental compilation (<= 0 means one per CPU).
+func (p *Prepared) ApplyContext(ctx context.Context, delta *graph.Delta, parallelism int) (*Prepared, *compile.ApplyInfo, error) {
+	snap, info, err := compile.ApplyCheck(p.snap, delta, par.Workers(parallelism), checkFunc(ctx))
+	if err != nil {
+		return nil, nil, err
+	}
+	child := &Prepared{db: snap.DB(), snap: snap, version: p.version + 1}
+	// A warm start needs stable complex positions; whether the snapshot
+	// itself was rebuilt incrementally does not matter (Q_D rules name
+	// labels by string, so a renumbered label table is harmless).
+	if info.PosStable {
+		p.mu.Lock()
+		if p.s1 != nil && p.s1.QD != nil {
+			child.warm = &perfect.Warm{QD: p.s1.QD, QDExtent: p.s1.QDExtent, Touched: info.Touched}
+			child.warmKey = p.s1key
+		} else if p.warm != nil {
+			// No extraction ran between two applies: chain the grandparent's
+			// fixpoint, accumulating the touched sets of both hops.
+			child.warm = &perfect.Warm{
+				QD:       p.warm.QD,
+				QDExtent: p.warm.QDExtent,
+				Touched:  mergeTouched(p.warm.Touched, info.Touched),
+			}
+			child.warmKey = p.warmKey
+		}
+		p.mu.Unlock()
+	}
+	return child, info, nil
+}
+
+// mergeTouched merges two ascending ObjectID slices, deduplicating.
+func mergeTouched(a, b []graph.ObjectID) []graph.ObjectID {
+	out := make([]graph.ObjectID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // stage1 computes (or replays) the Stage 1 minimal perfect typing. The memo
 // holds the single most recent result: repeated extractions with the same
 // Stage-1-relevant options — the serving pattern the snapshot cache exists
@@ -280,16 +363,23 @@ func (p *Prepared) Snapshot() *compile.Snapshot { return p.snap }
 // downstream (every stage clones before mutating), so sharing is safe.
 func (p *Prepared) stage1(opts Options, check func() error) (*perfect.Result, error) {
 	key, cacheable := stage1KeyOf(opts)
+	var warm *perfect.Warm
 	if cacheable {
 		p.mu.Lock()
 		s1 := p.s1
 		hit := s1 != nil && p.s1key == key
+		if !hit && p.warm != nil && p.warmKey == key {
+			// Copy the shared hint so the per-call threshold never races.
+			w := *p.warm
+			w.MaxAffectedFrac = opts.MaxAffectedFrac
+			warm = &w
+		}
 		p.mu.Unlock()
 		if hit {
 			return s1, nil
 		}
 	}
-	res, err := perfect.MinimalSnap(p.snap, opts.perfectOptions(check))
+	res, err := perfect.MinimalSnapWarm(p.snap, opts.perfectOptions(check), warm)
 	if err != nil {
 		return nil, err
 	}

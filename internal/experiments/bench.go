@@ -45,7 +45,9 @@ type BenchResult struct {
 	// ColdNsPerOp and WarmNsPerOp contrast one-shot extraction (a snapshot
 	// compiled inside every call) with extraction over a prepared context
 	// (Prepare once, ExtractPrepared per op, sharing the snapshot and the
-	// Stage 1 memo). Present only for the prepared/* workloads.
+	// Stage 1 memo). The delta/* workloads reuse the pair for incremental
+	// snapshot derivation (warm = Prepared.Apply, cold = mutate + Prepare
+	// from scratch). Present only for the prepared/* and delta/* workloads.
 	ColdNsPerOp int64 `json:"cold_ns_per_op,omitempty"`
 	WarmNsPerOp int64 `json:"warm_ns_per_op,omitempty"`
 	// WarmSpeedup is cold / warm.
@@ -188,6 +190,59 @@ func RunBench() (*BenchReport, error) {
 		rep.Results = append(rep.Results, r)
 	}
 
+	// Delta sessions: deriving the next prepared context with Prepared.Apply
+	// (structural sharing over the parent snapshot) against mutating the
+	// graph and re-preparing from scratch, for a single-edge delta and a
+	// 1%-of-edges delta per Table 1 shape. Cold includes the same ApplyDelta
+	// call, so the pair isolates snapshot derivation cost.
+	for _, p := range synth.Presets() {
+		db, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		prep, err := core.Prepare(db)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range []struct {
+			name string
+			frac float64
+		}{{"1edge", 0}, {"1pct", 0.01}} {
+			d := benchDelta(db, size.frac)
+			if d == nil {
+				continue
+			}
+			cold := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					child, _, err := db.ApplyDelta(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := core.Prepare(child); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			warm := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := prep.Apply(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r := BenchResult{
+				Name:        fmt.Sprintf("delta/apply-%s/db%d", size.name, p.DBNo),
+				ColdNsPerOp: cold.NsPerOp(),
+				WarmNsPerOp: warm.NsPerOp(),
+				AllocsPerOp: warm.AllocsPerOp(),
+			}
+			if warm.NsPerOp() > 0 {
+				r.WarmSpeedup = float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+
 	for _, scale := range []int{1, 4, 16} {
 		db, roles := dbg.Generate(dbg.Options{Scale: scale})
 		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]
@@ -200,6 +255,68 @@ func RunBench() (*BenchReport, error) {
 		})
 	}
 	return rep, nil
+}
+
+// benchDelta builds a deterministic delta over db that stays on the
+// incremental path: existing labels only, no atomic/complex flips. frac = 0
+// yields a single added edge; otherwise max(1, frac*NumLinks) removals of
+// evenly spaced existing edges plus one added edge. Returns nil if db has no
+// room for such a delta.
+func benchDelta(db *graph.DB, frac float64) *graph.Delta {
+	complexObjs := db.ComplexObjects()
+	labels := db.Labels()
+	if len(complexObjs) == 0 || len(labels) == 0 {
+		return nil
+	}
+	d := &graph.Delta{}
+	var added bool
+	for _, from := range complexObjs {
+		outs := db.Out(from)
+		if len(outs) == 0 {
+			continue
+		}
+		lab := outs[0].Label
+		db.Objects(func(o graph.ObjectID) {
+			if !added && o != from && !db.HasEdge(from, o, lab) {
+				d.AddLink(db.Name(from), db.Name(o), lab)
+				added = true
+			}
+		})
+		if added {
+			break
+		}
+	}
+	if !added {
+		return nil
+	}
+	if frac > 0 {
+		n := int(frac * float64(db.NumLinks()))
+		if n < 1 {
+			n = 1
+		}
+		var edges []graph.Edge
+		db.Links(func(e graph.Edge) { edges = append(edges, e) })
+		// Count label occurrences so a removal never zeroes a label (which
+		// would force the full-recompile fallback and muddy the comparison).
+		occ := make(map[string]int, len(labels))
+		for _, e := range edges {
+			occ[e.Label]++
+		}
+		stride := len(edges) / n
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(edges) && n > 0; i += stride {
+			e := edges[i]
+			if occ[e.Label] <= 1 {
+				continue
+			}
+			occ[e.Label]--
+			d.RemoveLink(db.Name(e.From), db.Name(e.To), e.Label)
+			n--
+		}
+	}
+	return d
 }
 
 // WriteBenchJSON renders the report as indented JSON.

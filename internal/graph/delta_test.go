@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func deltaBase(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	link := func(from, to, label string) {
+		if err := db.AddLink(db.Intern(from), db.Intern(to), label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("r", "x", "member")
+	link("r", "y", "member")
+	if err := db.SetAtomic(db.Intern("x.v"), Value{Sort: SortInt, Text: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	link("x", "x.v", "val")
+	return db
+}
+
+func edgeStrings(db *DB) string {
+	var b strings.Builder
+	db.Links(func(e Edge) {
+		b.WriteString(db.Name(e.From) + "-" + e.Label + "->" + db.Name(e.To) + "\n")
+	})
+	return b.String()
+}
+
+// TestApplyDeltaCopyOnWrite checks the parent is byte-for-byte untouched by a
+// child's delta, and that two siblings mutating the same object's edge lists
+// do not corrupt each other (each owns exact-capacity copies).
+func TestApplyDeltaCopyOnWrite(t *testing.T) {
+	db := deltaBase(t)
+	before := edgeStrings(db)
+	stats := db.Stats()
+
+	var d1, d2 Delta
+	d1.AddLink("r", "z1", "member")
+	d2.AddLink("r", "z2", "member")
+	c1, eff1, err := db.ApplyDelta(&d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := db.ApplyDelta(&d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := edgeStrings(db); got != before {
+		t.Fatalf("parent edges changed:\n%s\nvs\n%s", got, before)
+	}
+	if db.Stats() != stats {
+		t.Fatal("parent stats changed")
+	}
+	if strings.Contains(edgeStrings(c1), "z2") || strings.Contains(edgeStrings(c2), "z1") {
+		t.Fatal("sibling edits leaked across children")
+	}
+	if len(eff1.Touched) != 2 || eff1.OldObjects != db.NumObjects() {
+		t.Fatalf("effect = %+v", eff1)
+	}
+	if eff1.LabelDelta["member"] != 1 {
+		t.Fatalf("label delta = %v", eff1.LabelDelta)
+	}
+}
+
+// TestApplyDeltaSemantics covers the documented edge semantics: idempotent
+// re-adds, error on removing missing links, atomic conflicts, and object
+// detachment flipping atomics to isolated complex objects.
+func TestApplyDeltaSemantics(t *testing.T) {
+	db := deltaBase(t)
+
+	var reAdd Delta
+	reAdd.AddLink("r", "x", "member")
+	c, eff, err := db.ApplyDelta(&reAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLinks() != db.NumLinks() || len(eff.Touched) != 0 || eff.AddedLinks != 0 {
+		t.Fatalf("idempotent re-add not a no-op: links %d->%d, eff %+v",
+			db.NumLinks(), c.NumLinks(), eff)
+	}
+
+	for name, bad := range map[string]func(d *Delta){
+		"remove-missing-link": func(d *Delta) { d.RemoveLink("r", "x", "nope") },
+		"remove-unknown-obj":  func(d *Delta) { d.RemoveObject("ghost") },
+		"atomic-conflict":     func(d *Delta) { d.AddAtomic("x.v", Value{Sort: SortInt, Text: "2"}) },
+		"atomic-on-complex":   func(d *Delta) { d.AddAtomic("x", Value{Sort: SortInt, Text: "2"}) },
+	} {
+		var d Delta
+		bad(&d)
+		if _, _, err := db.ApplyDelta(&d); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	var same Delta
+	same.AddAtomic("x.v", Value{Sort: SortInt, Text: "1"})
+	if _, _, err := db.ApplyDelta(&same); err != nil {
+		t.Fatalf("re-declaring identical atomic value: %v", err)
+	}
+
+	var detach Delta
+	detach.RemoveObject("x.v")
+	c, eff, err = db.ApplyDelta(&detach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.Intern("x.v")
+	if c.IsAtomic(o) || len(c.In(o)) != 0 || len(c.Out(o)) != 0 {
+		t.Fatal("detached atomic should be an isolated complex object")
+	}
+	if !eff.Flipped {
+		t.Fatal("effect did not report the atomic→complex flip")
+	}
+	if !db.IsAtomic(db.Intern("x.v")) {
+		t.Fatal("parent lost its atomic")
+	}
+}
+
+// TestParseDeltaErrors checks malformed delta text is rejected with the line
+// context, and comments/blank lines are skipped.
+func TestParseDeltaErrors(t *testing.T) {
+	good := "# comment\n\nlink a b l\nunlink a b l\natomic v int 3\nremove a\n"
+	d, err := ParseDeltaString(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("len = %d, want 4", d.Len())
+	}
+	for _, bad := range []string{
+		"link a b",           // missing label
+		"atomic v wat 3",     // unknown sort
+		"explode a",          // unknown verb
+		"remove",             // missing operand
+		"link a b l extra",   // trailing field
+		"atomic v int",       // missing value
+		"unlink a b l extra", // trailing field
+	} {
+		if _, err := ParseDeltaString(bad); err == nil {
+			t.Errorf("%q: expected parse error", bad)
+		}
+	}
+}

@@ -10,6 +10,14 @@
 //	POST /v1/query    {data, format, path, guided}   -> matching objects
 //	GET  /v1/healthz                                 -> 200 ok
 //
+// Delta sessions expose extraction over evolving data (see session.go):
+//
+//	POST   /v1/session                    {data, format}  -> session id
+//	GET    /v1/session/{id}                               -> session info
+//	DELETE /v1/session/{id}                               -> drop the session
+//	POST   /v1/session/{id}/mutate        {delta}         -> apply edits
+//	POST   /v1/session/{id}/extract       {options}       -> schema + defects
+//
 // "format" is "text" (the link/atomic line format, default), "oem", or
 // "json". Errors come back as {"error": "..."} with a 4xx status.
 package httpapi
@@ -140,19 +148,78 @@ type queryResponse struct {
 	Count   int      `json:"count"`
 }
 
-// Handler returns the API handler.
-func Handler() http.Handler {
+// DefaultCacheEntries is the prepared-snapshot LRU capacity when Config
+// leaves it unset. Entries hold a full graph plus its compiled snapshot, so
+// the default is kept small; repeated traffic over a handful of datasets is
+// the pattern the cache serves.
+const DefaultCacheEntries = 8
+
+// DefaultSessionEntries bounds live delta sessions when Config leaves it
+// unset. Sessions pin a graph and snapshot each, like cache entries, but are
+// addressed by id and mutated in place, so idle ones are evicted LRU.
+const DefaultSessionEntries = 64
+
+// Config sizes a handler's server-side state.
+type Config struct {
+	// CacheEntries is the prepared-snapshot LRU capacity (default
+	// DefaultCacheEntries). It must be positive: a server that cannot hold
+	// even one snapshot would silently recompile on every request, so
+	// NewHandler panics rather than accepting zero or less (flag validation
+	// belongs in the caller, e.g. cmd/schemex-server).
+	CacheEntries int
+	// SessionEntries caps concurrent delta sessions (default
+	// DefaultSessionEntries); the least recently used session is dropped
+	// when a new one would exceed the cap.
+	SessionEntries int
+}
+
+// api is one handler instance's state: the snapshot cache and the session
+// store. All handlers hang off it so separate handlers (tests, embedders)
+// never share caches through package globals.
+type api struct {
+	snapshots prepCache
+	sessions  sessionStore
+}
+
+func newAPI(cfg Config) *api {
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.SessionEntries == 0 {
+		cfg.SessionEntries = DefaultSessionEntries
+	}
+	if cfg.CacheEntries < 0 || cfg.SessionEntries < 0 {
+		panic(fmt.Sprintf("httpapi: non-positive capacities in %+v", cfg))
+	}
+	return &api{
+		snapshots: prepCache{max: cfg.CacheEntries},
+		sessions:  sessionStore{max: cfg.SessionEntries},
+	}
+}
+
+func (a *api) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/v1/extract", handleExtract)
-	mux.HandleFunc("/v1/sweep", handleSweep)
+	mux.HandleFunc("/v1/extract", a.handleExtract)
+	mux.HandleFunc("/v1/sweep", a.handleSweep)
 	mux.HandleFunc("/v1/check", handleCheck)
-	mux.HandleFunc("/v1/query", handleQuery)
+	mux.HandleFunc("/v1/query", a.handleQuery)
+	mux.HandleFunc("POST /v1/session", a.handleSessionCreate)
+	mux.HandleFunc("GET /v1/session/{id}", a.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/session/{id}", a.handleSessionDelete)
+	mux.HandleFunc("POST /v1/session/{id}/mutate", a.handleSessionMutate)
+	mux.HandleFunc("POST /v1/session/{id}/extract", a.handleSessionExtract)
 	return mux
 }
+
+// NewHandler returns an API handler with its own caches, sized by cfg.
+func NewHandler(cfg Config) http.Handler { return newAPI(cfg).routes() }
+
+// Handler returns an API handler with default capacities.
+func Handler() http.Handler { return NewHandler(Config{}) }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
@@ -193,17 +260,13 @@ func decode(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	return true
 }
 
-// prepCacheSize bounds the prepared-snapshot LRU. Entries hold a full graph
-// plus its compiled snapshot, so the cache is kept small; repeated traffic
-// over a handful of datasets is the pattern it serves.
-const prepCacheSize = 8
-
 // prepCache is a content-hash-keyed LRU of prepared extraction contexts:
 // repeated /v1/extract, /v1/sweep, and /v1/query requests carrying the same
 // (format, data) pair skip the parse and the snapshot compilation entirely.
 // Entries are immutable once stored, so concurrent readers can share them.
 type prepCache struct {
 	mu      sync.Mutex
+	max     int              // capacity; 0 means DefaultCacheEntries
 	entries []prepCacheEntry // front = most recently used
 }
 
@@ -235,7 +298,11 @@ func (c *prepCache) put(key [sha256.Size]byte, prep *schemex.Prepared) {
 			return
 		}
 	}
-	if len(c.entries) < prepCacheSize {
+	max := c.max
+	if max == 0 {
+		max = DefaultCacheEntries
+	}
+	if len(c.entries) < max {
 		c.entries = append(c.entries, prepCacheEntry{})
 	}
 	copy(c.entries[1:], c.entries)
@@ -247,8 +314,6 @@ func (c *prepCache) len() int {
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
-
-var snapshots prepCache
 
 func prepKey(data, format string) [sha256.Size]byte {
 	h := sha256.New()
@@ -264,9 +329,9 @@ func prepKey(data, format string) [sha256.Size]byte {
 // hitting the snapshot cache when the same dataset was served before. On
 // error the returned status is the HTTP code to report (load failures are
 // the client's fault; preparation failures follow extractStatus).
-func loadPrepared(ctx context.Context, data, format string) (*schemex.Prepared, int, error) {
+func (a *api) loadPrepared(ctx context.Context, data, format string) (*schemex.Prepared, int, error) {
 	key := prepKey(data, format)
-	if prep, ok := snapshots.get(key); ok {
+	if prep, ok := a.snapshots.get(key); ok {
 		return prep, 0, nil
 	}
 	g, err := loadData(data, format)
@@ -277,7 +342,7 @@ func loadPrepared(ctx context.Context, data, format string) (*schemex.Prepared, 
 	if err != nil {
 		return nil, extractStatus(err), err
 	}
-	snapshots.put(key, prep)
+	a.snapshots.put(key, prep)
 	return prep, 0, nil
 }
 
@@ -297,17 +362,10 @@ func loadData(data, format string) (*schemex.Graph, error) {
 	}
 }
 
-func handleExtract(w http.ResponseWriter, r *http.Request) {
-	var req extractRequest
-	if !decode(w, r, &req) {
-		return
-	}
-	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
-	if err != nil {
-		writeError(w, status, err)
-		return
-	}
-	opts := req.Options.toLib()
+// extractOver runs one bounded extraction against prep and writes the JSON
+// response (or the mapped error); shared by /v1/extract and session extract.
+func extractOver(w http.ResponseWriter, r *http.Request, prep *schemex.Prepared, o Options) {
+	opts := o.toLib()
 	opts.Limits = ExtractLimits
 	res, err := schemex.ExtractPreparedContext(r.Context(), prep, opts)
 	if err != nil {
@@ -332,12 +390,25 @@ func handleExtract(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func handleSweep(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleExtract(w http.ResponseWriter, r *http.Request) {
 	var req extractRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
+	prep, status, err := a.loadPrepared(r.Context(), req.Data, req.Format)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	extractOver(w, r, prep, req.Options)
+}
+
+func (a *api) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	prep, status, err := a.loadPrepared(r.Context(), req.Data, req.Format)
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -375,12 +446,12 @@ func handleCheck(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleQuery(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	prep, status, err := loadPrepared(r.Context(), req.Data, req.Format)
+	prep, status, err := a.loadPrepared(r.Context(), req.Data, req.Format)
 	if err != nil {
 		writeError(w, status, err)
 		return

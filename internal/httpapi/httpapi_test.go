@@ -230,19 +230,20 @@ func TestPrepCacheLRU(t *testing.T) {
 		k[0] = byte(i)
 		return k
 	}
-	// Fill beyond capacity; the oldest keys must be evicted.
-	for i := 0; i < prepCacheSize+3; i++ {
+	// Fill beyond capacity; the oldest keys must be evicted. The zero-value
+	// cache must behave as if sized DefaultCacheEntries.
+	for i := 0; i < DefaultCacheEntries+3; i++ {
 		c.put(key(i), nil)
 	}
-	if c.len() != prepCacheSize {
-		t.Fatalf("cache holds %d entries, want %d", c.len(), prepCacheSize)
+	if c.len() != DefaultCacheEntries {
+		t.Fatalf("cache holds %d entries, want %d", c.len(), DefaultCacheEntries)
 	}
 	for i := 0; i < 3; i++ {
 		if _, ok := c.get(key(i)); ok {
 			t.Fatalf("key %d should have been evicted", i)
 		}
 	}
-	for i := 3; i < prepCacheSize+3; i++ {
+	for i := 3; i < DefaultCacheEntries+3; i++ {
 		if _, ok := c.get(key(i)); !ok {
 			t.Fatalf("key %d should be cached", i)
 		}
@@ -260,7 +261,8 @@ func TestPrepCacheLRU(t *testing.T) {
 }
 
 func TestSnapshotCacheServesRepeatTraffic(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	a := newAPI(Config{})
+	srv := httptest.NewServer(a.routes())
 	defer srv.Close()
 	data := sampleText + "link gates pets has-pet\nlink pets gates owned-by\n"
 	body := mustJSON(t, map[string]interface{}{
@@ -271,13 +273,13 @@ func TestSnapshotCacheServesRepeatTraffic(t *testing.T) {
 	if status != 200 {
 		t.Fatalf("cold status %d: %v", status, first)
 	}
-	before := snapshots.len()
+	before := a.snapshots.len()
 	status, second := post(t, srv, "/v1/extract", body)
 	if status != 200 {
 		t.Fatalf("warm status %d: %v", status, second)
 	}
-	if snapshots.len() != before {
-		t.Fatalf("repeat request grew the cache: %d -> %d", before, snapshots.len())
+	if a.snapshots.len() != before {
+		t.Fatalf("repeat request grew the cache: %d -> %d", before, a.snapshots.len())
 	}
 	if first["schema"] != second["schema"] {
 		t.Fatalf("cached snapshot changed the result:\n%v\n%v", first["schema"], second["schema"])
@@ -305,7 +307,7 @@ func TestSnapshotCacheServesRepeatTraffic(t *testing.T) {
 	if status != 200 || q["count"].(float64) != 2 {
 		t.Fatalf("query status %d: %v", status, q)
 	}
-	if snapshots.len() != before {
-		t.Fatalf("same-data sweep/query grew the cache: %d -> %d", before, snapshots.len())
+	if a.snapshots.len() != before {
+		t.Fatalf("same-data sweep/query grew the cache: %d -> %d", before, a.snapshots.len())
 	}
 }

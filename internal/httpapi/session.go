@@ -1,0 +1,226 @@
+// Delta sessions over HTTP: a session pins one prepared extraction context
+// server-side and lets clients evolve it with textual deltas. Each mutation
+// branches the prepared context through schemex.Prepared.Apply, so the
+// snapshot cache's invariant — entries are immutable — carries over: the
+// session variable advances to the new Prepared, but any extraction already
+// running against the old one finishes safely on the old state.
+package httpapi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"schemex"
+)
+
+// session is one server-side delta session. mu serializes mutations — Apply
+// itself is non-destructive, but two concurrent mutates must not both branch
+// from the same parent and silently drop one of the edits.
+type session struct {
+	id string
+
+	mu   sync.Mutex
+	prep *schemex.Prepared
+}
+
+// current returns the session's prepared context for read-only use.
+func (s *session) current() *schemex.Prepared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prep
+}
+
+// sessionStore is an id-keyed LRU of live sessions, same recency discipline
+// as prepCache: the front is the most recently used, and creating past the
+// cap drops the back.
+type sessionStore struct {
+	mu      sync.Mutex
+	max     int        // capacity; 0 means DefaultSessionEntries
+	entries []*session // front = most recently used
+}
+
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, s := range st.entries {
+		if s.id == id {
+			copy(st.entries[1:], st.entries[:i])
+			st.entries[0] = s
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func (st *sessionStore) add(s *session) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	max := st.max
+	if max == 0 {
+		max = DefaultSessionEntries
+	}
+	if len(st.entries) < max {
+		st.entries = append(st.entries, nil)
+	}
+	copy(st.entries[1:], st.entries)
+	st.entries[0] = s
+}
+
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, s := range st.entries {
+		if s.id == id {
+			st.entries = append(st.entries[:i], st.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("httpapi: reading session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type sessionCreateRequest struct {
+	Data   string `json:"data"`
+	Format string `json:"format,omitempty"`
+}
+
+// sessionInfo describes a session's current state on the wire.
+type sessionInfo struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	Objects int    `json:"objects"`
+	Links   int    `json:"links"`
+}
+
+func infoOf(s *session, prep *schemex.Prepared) sessionInfo {
+	g := prep.Graph()
+	return sessionInfo{ID: s.id, Version: prep.Version(), Objects: g.NumObjects(), Links: g.NumLinks()}
+}
+
+type mutateRequest struct {
+	// Delta is the line-oriented edit format schemex.ParseDelta reads
+	// (link/unlink/atomic/remove).
+	Delta string `json:"delta"`
+}
+
+type mutateResponse struct {
+	sessionInfo
+	// Incremental reports whether the snapshot was rebuilt with structural
+	// sharing (false on full-recompile fallbacks; results are identical).
+	Incremental    bool `json:"incremental"`
+	TouchedObjects int  `json:"touchedObjects"`
+	NewObjects     int  `json:"newObjects"`
+}
+
+type sessionExtractRequest struct {
+	Options Options `json:"options,omitempty"`
+}
+
+func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := loadData(req.Data, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prep, err := schemex.PrepareContext(r.Context(), g)
+	if err != nil {
+		writeError(w, extractStatus(err), err)
+		return
+	}
+	s := &session{id: newSessionID(), prep: prep}
+	a.sessions.add(s)
+	writeJSON(w, infoOf(s, prep))
+}
+
+// lookupSession resolves the {id} path segment, replying 404 on a miss (the
+// id never existed, or the LRU cap evicted it).
+func (a *api) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	s, ok := a.sessions.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired or never created)", id))
+	}
+	return s, ok
+}
+
+func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if s, ok := a.lookupSession(w, r); ok {
+		writeJSON(w, infoOf(s, s.current()))
+	}
+}
+
+func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !a.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": id})
+}
+
+func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s, ok := a.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	d, err := schemex.ParseDelta(strings.NewReader(req.Delta))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, info, err := s.prep.ApplyContext(r.Context(), d)
+	if err != nil {
+		// The session is untouched: a bad delta (e.g. unlinking a missing
+		// edge) rejects atomically.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.prep = next
+	writeJSON(w, mutateResponse{
+		sessionInfo:    infoOf(s, next),
+		Incremental:    info.Incremental,
+		TouchedObjects: info.TouchedObjects,
+		NewObjects:     info.NewObjects,
+	})
+}
+
+func (a *api) handleSessionExtract(w http.ResponseWriter, r *http.Request) {
+	var req sessionExtractRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s, ok := a.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	// Extraction runs against an immutable Prepared outside the session
+	// lock: concurrent mutates branch away without disturbing it.
+	extractOver(w, r, s.current(), req.Options)
+}

@@ -36,6 +36,14 @@ type Result struct {
 	// also in that type (§4.2).
 	Extent *typing.Extent
 
+	// QD and QDExtent retain the per-object program Q_D and its greatest
+	// fixpoint when Stage 1 went through the general GFP route — the state
+	// MinimalSnapWarm needs to maintain the fixpoint incrementally across a
+	// delta. They are nil on the bipartite, bisimulation, and naive-GFP
+	// paths, which compute no reusable fixpoint.
+	QD       *typing.Program
+	QDExtent *typing.Extent
+
 	db *graph.DB
 }
 
@@ -212,6 +220,36 @@ func Minimal(db *graph.DB, opts Options) (*Result, error) {
 // both greatest-fixpoint evaluations, and the bisimulation position lookups
 // all read the snapshot's shared positions and label table.
 func MinimalSnap(snap *compile.Snapshot, opts Options) (*Result, error) {
+	return MinimalSnapWarm(snap, opts, nil)
+}
+
+// Warm carries a parent extraction's Stage 1 state for reuse against a
+// snapshot derived from it by compile.Apply. It is only sound when the apply
+// reported Shared and PosStable: dense complex positions must be stable so
+// that the parent's positional Q_D types and extents line up with the
+// child's (core.Prepared enforces this before handing a Warm down).
+type Warm struct {
+	// QD and QDExtent are the parent Result's retained Q_D program and
+	// fixpoint (Result.QD / Result.QDExtent).
+	QD       *typing.Program
+	QDExtent *typing.Extent
+	// Touched lists the delta-touched objects (compile.ApplyInfo.Touched).
+	Touched []graph.ObjectID
+	// MaxAffectedFrac overrides typing.DefaultMaxAffectedFrac when positive.
+	MaxAffectedFrac float64
+}
+
+// MinimalSnapWarm is MinimalSnap with an optional warm start (nil warm is
+// exactly MinimalSnap). On the general GFP route the Q_D fixpoint is
+// maintained incrementally from warm's parent state via
+// typing.EvalGFPSnapIncr: only types whose rules differ from the parent's
+// Q_D and objects the delta touched are re-derived. Changed rules are
+// detected by positional comparison against warm.QD, so a warm start never
+// trusts the delta description for type changes — a mismatched rule simply
+// joins the affected set. The bipartite, bisimulation, and naive-GFP routes
+// ignore warm (they run no general fixpoint to warm up). Results are
+// bit-identical with and without warm.
+func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result, error) {
 	db := snap.DB()
 	workers := par.Workers(opts.Parallelism)
 	check := opts.Check
@@ -249,16 +287,39 @@ func MinimalSnap(snap *compile.Snapshot, opts Options) (*Result, error) {
 	if !grouped && !opts.UseNaiveGFP { // the naive flag doubles as "reference path" for tests
 		classOf, classes, grouped = bipartiteClasses(qd)
 	}
+	var qdExtent *typing.Extent // retained for Result.QDExtent on the GFP route
 	if !grouped {
 		var extent *typing.Extent
 		if opts.UseNaiveGFP {
 			extent = typing.EvalGFPNaive(qd, db)
+		} else if warm != nil && warm.QD != nil && warm.QDExtent != nil {
+			// Positions of rules that differ from the parent's Q_D (including
+			// everything past its end) are the changed types; touched objects
+			// supply the affected columns.
+			var changedTypes []int
+			for ti, t := range qd.Types {
+				if ti >= len(warm.QD.Types) || !rulesEqual(t.Links, warm.QD.Types[ti].Links) {
+					changedTypes = append(changedTypes, ti)
+				}
+			}
+			var err error
+			extent, _, err = typing.EvalGFPSnapIncr(qd, snap, warm.QDExtent, changedTypes, warm.Touched, typing.IncrOptions{
+				Workers:         workers,
+				Check:           check,
+				MaxAffectedFrac: warm.MaxAffectedFrac,
+			})
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			var err error
 			extent, err = typing.EvalGFPSnapCheck(qd, snap, workers, check)
 			if err != nil {
 				return nil, err
 			}
+		}
+		if !opts.UseNaiveGFP {
+			qdExtent = extent
 		}
 
 		// Group types with equal extents. Types are in bijection with
@@ -350,7 +411,24 @@ func MinimalSnap(snap *compile.Snapshot, opts Options) (*Result, error) {
 		}
 		result.Extent = ext
 	}
+	if qdExtent != nil {
+		result.QD = qd
+		result.QDExtent = qdExtent
+	}
 	return result, nil
+}
+
+// rulesEqual reports whether two canonical link lists are identical.
+func rulesEqual(a, b []typing.TypedLink) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // bipartiteClasses groups Q_D types by their canonical link sets when every

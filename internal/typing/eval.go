@@ -229,7 +229,6 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 	complexObjs := snap.Complex
 	nC := len(complexObjs)
 	pos := snap.Pos
-	nL := snap.NumLabels()
 	const nSorts = compile.NumSorts
 
 	// counts[t] is indexed by linkIdx*nC + position(obj).
@@ -326,8 +325,9 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 			}
 			if l.Dir == Out && l.Target == AtomicTarget && l.Sort != AnySort {
 				si := int(l.Sort) - 1
+				col := lid*nSorts + si
 				for i, o := range complexObjs {
-					c := snap.OutAtomicSort[(i*nL+lid)*nSorts+si]
+					c := snap.OutAtomicSort.At(i, col)
 					row[i] = c
 					if c == 0 {
 						rm(o)
@@ -335,17 +335,17 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 				}
 				continue
 			}
-			var hist []int32
+			var hist *compile.Hist
 			switch {
 			case l.Dir == Out && l.Target == AtomicTarget:
-				hist = snap.OutAtomic
+				hist = &snap.OutAtomic
 			case l.Dir == Out:
-				hist = snap.OutComplex
+				hist = &snap.OutComplex
 			default:
-				hist = snap.InComplex
+				hist = &snap.InComplex
 			}
 			for i, o := range complexObjs {
-				c := hist[i*nL+lid]
+				c := hist.At(i, lid)
 				row[i] = c
 				if c == 0 {
 					rm(o)

@@ -1,0 +1,353 @@
+package typing
+
+import (
+	"schemex/internal/bitset"
+	"schemex/internal/compile"
+	"schemex/internal/graph"
+)
+
+// DefaultMaxAffectedFrac is the fallback threshold of EvalGFPSnapIncr: when
+// the delta's affected (type, object) pairs exceed this fraction of the full
+// type × complex-object matrix, incremental maintenance has lost its edge
+// over re-seeding every pair and the evaluator recomputes from scratch.
+const DefaultMaxAffectedFrac = 0.25
+
+// IncrOptions configure incremental greatest-fixpoint maintenance.
+type IncrOptions struct {
+	// Workers bounds parallelism of the full-recompute fallback (<= 0 means
+	// one per CPU, 1 serial). The incremental path itself is serial: its
+	// work is proportional to the delta's affected neighborhood, which is
+	// small by construction whenever the path is taken at all.
+	Workers int
+	// Check is the cooperative cancellation checkpoint (nil: never cancel).
+	Check func() error
+	// MaxAffectedFrac overrides DefaultMaxAffectedFrac when positive.
+	MaxAffectedFrac float64
+}
+
+// EvalGFPSnapIncr maintains a greatest fixpoint across a delta: given the
+// parent database's fixpoint and a description of what changed — the type
+// indices whose definitions differ from the parent program's, and the
+// objects whose incident edges or atomic value changed — it computes the
+// greatest fixpoint of p over snap by re-deriving only the delta's affected
+// neighborhood, warm-starting everything else from the parent.
+//
+// Caller contract (what perfect.MinimalSnapWarm guarantees for Q_D over a
+// compile.Apply-derived snapshot):
+//   - len(p.Types) >= len(parent.Program.Types), and every type index not in
+//     changedTypes and below the parent length has an identical definition in
+//     both programs (indexes at or above the parent length are implicitly
+//     changed);
+//   - snap's object IDs extend the parent database's (IDs are append-only),
+//     and every object outside touched has identical incident edges and
+//     atomic status in both;
+//   - changedTypes covers every type whose definition differs.
+//
+// Soundness. The affected set is the least set of (type, object) pairs
+// containing every changed type's full row and every touched object's full
+// column, closed under reverse dependency: if (t', x) is affected and some
+// link of type t targets t' with label ℓ, then (t, o) is affected for every
+// o adjacent to x over an ℓ-edge in the appropriate direction. By induction
+// over the fixpoint iterations, membership of every unaffected pair is
+// unchanged from the parent (its rule, its edges, and — by closure — every
+// pair its satisfaction reads are all unchanged). Starting the support-
+// counting descent from M₀ = parent membership ∪ affected pairs therefore
+// starts above the new fixpoint and below M_all, and the descent converges
+// to exactly the fixpoint EvalGFPSnapCheck computes — bit-identical extents.
+// Support counts are needed only for affected pairs (a removal can only
+// propagate into the affected set), so they are kept sparsely; all counts
+// are computed against the frozen M₀ before the first removal is applied,
+// which keeps removal propagation's single-decrement invariant.
+//
+// The second return value reports whether the incremental path was used;
+// false means the evaluator fell back to EvalGFPSnapCheck (nil parent, or
+// affected pairs exceeding MaxAffectedFrac of the type × object matrix).
+// Either way the returned extent is the unique greatest fixpoint.
+func EvalGFPSnapIncr(p *Program, snap *compile.Snapshot, parent *Extent, changedTypes []int, touched []graph.ObjectID, opts IncrOptions) (*Extent, bool, error) {
+	if parent == nil {
+		ext, err := EvalGFPSnapCheck(p, snap, opts.Workers, opts.Check)
+		return ext, false, err
+	}
+	n := snap.NumObjects()
+	nT := len(p.Types)
+	nTOld := len(parent.Member)
+	nC := snap.NumComplex()
+	frac := opts.MaxAffectedFrac
+	if frac <= 0 {
+		frac = DefaultMaxAffectedFrac
+	}
+	budget := int(frac * float64(nT) * float64(nC))
+	if budget < 1 {
+		budget = 1
+	}
+	check := opts.Check
+	fallback := func() (*Extent, bool, error) {
+		ext, err := EvalGFPSnapCheck(p, snap, opts.Workers, opts.Check)
+		return ext, false, err
+	}
+
+	changed := make([]bool, nT)
+	for _, t := range changedTypes {
+		changed[t] = true
+	}
+	for t := nTOld; t < nT; t++ {
+		changed[t] = true
+	}
+
+	// refs[j] lists the (type, link) positions targeting type j, exactly as
+	// in the full evaluator; the affected closure and removal propagation
+	// both walk dependencies through it.
+	type ref struct {
+		t, li int
+		lab   int32
+		dir   Dir
+	}
+	refs := make([][]ref, nT)
+	for ti, t := range p.Types {
+		for li, l := range t.Links {
+			if l.Target == AtomicTarget {
+				continue
+			}
+			lab := int32(-1)
+			if lid, ok := snap.LabelID(l.Label); ok {
+				lab = int32(lid)
+			}
+			refs[l.Target] = append(refs[l.Target], ref{ti, li, lab, l.Dir})
+		}
+	}
+
+	// Phase 1: affected-pair closure. aff maps (type, object) to its sparse
+	// support-count row; presence alone marks the pair affected during this
+	// phase (rows are filled in phase 3).
+	type pair struct {
+		t int
+		o graph.ObjectID
+	}
+	key := func(t int, o graph.ObjectID) int64 { return int64(t)*int64(n) + int64(o) }
+	aff := make(map[int64][]int32)
+	var work []pair
+	overBudget := false
+	add := func(t int, o graph.ObjectID) {
+		k := key(t, o)
+		if _, ok := aff[k]; ok {
+			return
+		}
+		aff[k] = nil
+		work = append(work, pair{t, o})
+		if len(aff) > budget {
+			overBudget = true
+		}
+	}
+	for t := 0; t < nT && !overBudget; t++ {
+		if changed[t] {
+			for _, o := range snap.Complex {
+				add(t, o)
+			}
+		}
+	}
+	for _, o := range touched {
+		if overBudget {
+			break
+		}
+		if snap.Pos[o] < 0 {
+			continue // atomic objects are never members; their sources are touched too
+		}
+		for t := 0; t < nT; t++ {
+			add(t, o)
+		}
+	}
+	steps := 0
+	for len(work) > 0 && !overBudget {
+		if check != nil {
+			if steps++; steps%checkEvery == 0 {
+				if err := check(); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		pr := work[len(work)-1]
+		work = work[:len(work)-1]
+		x := pr.o
+		for _, rf := range refs[pr.t] {
+			if rf.dir == Out {
+				from, lab := snap.In(x)
+				for k := range from {
+					if lab[k] == rf.lab {
+						add(rf.t, graph.ObjectID(from[k]))
+					}
+				}
+			} else {
+				to, lab := snap.Out(x)
+				for k := range to {
+					if lab[k] == rf.lab && !snap.IsAtomic(graph.ObjectID(to[k])) {
+						add(rf.t, graph.ObjectID(to[k]))
+					}
+				}
+			}
+		}
+	}
+	if overBudget {
+		return fallback()
+	}
+
+	// Phase 2: warm-start membership M₀ = parent extents (grown to the new
+	// object universe) with every affected pair raised to candidate status.
+	// Changed and new types get their full complex row from the closure, so
+	// their stale or missing parent state never shows through.
+	member := make([]*bitset.Set, nT)
+	for t := range member {
+		if t < nTOld {
+			member[t] = parent.Member[t].Grown(n)
+		} else {
+			member[t] = bitset.New(n)
+		}
+	}
+	for k := range aff {
+		member[int(k/int64(n))].Set(int(k % int64(n)))
+	}
+
+	// Phase 3: support counts for affected pairs only, all computed against
+	// the frozen M₀. No member bit may be cleared before every count is in
+	// place: clearing early would make removal propagation decrement a
+	// support twice (once by the recount, once by the queued removal).
+	type removal struct {
+		t int
+		o graph.ObjectID
+	}
+	var queue []removal
+	steps = 0
+	for k := range aff {
+		if check != nil {
+			if steps++; steps%checkEvery == 0 {
+				if err := check(); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		t := int(k / int64(n))
+		o := graph.ObjectID(k % int64(n))
+		links := p.Types[t].Links
+		row := make([]int32, len(links))
+		dead := false
+		for li, l := range links {
+			c := countWitnessesSnap(snap, l, o, member)
+			row[li] = c
+			if c == 0 {
+				dead = true
+			}
+		}
+		aff[k] = row
+		if dead {
+			queue = append(queue, removal{t, o})
+		}
+	}
+	for _, rm := range queue {
+		member[rm.t].Clear(int(rm.o))
+	}
+
+	// Phase 4: removal propagation, as in the full evaluator but with the
+	// sparse count rows. Every pair a removal can reach is affected (that is
+	// what the closure closed over), so a missing row would indicate a
+	// violated caller contract; it is skipped defensively, which at worst
+	// leaves the extent above the fixpoint of a mis-declared program.
+	pops := 0
+	for len(queue) > 0 {
+		if check != nil {
+			if pops++; pops%checkEvery == 0 {
+				if err := check(); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x := rm.o
+		for _, rf := range refs[rm.t] {
+			if rf.dir == Out {
+				from, lab := snap.In(x)
+				for k := range from {
+					if lab[k] != rf.lab {
+						continue
+					}
+					o := graph.ObjectID(from[k])
+					if !member[rf.t].Test(int(o)) {
+						continue
+					}
+					row := aff[key(rf.t, o)]
+					if row == nil {
+						continue
+					}
+					row[rf.li]--
+					if row[rf.li] == 0 {
+						member[rf.t].Clear(int(o))
+						queue = append(queue, removal{rf.t, o})
+					}
+				}
+			} else {
+				to, lab := snap.Out(x)
+				for k := range to {
+					if lab[k] != rf.lab {
+						continue
+					}
+					o := graph.ObjectID(to[k])
+					if snap.IsAtomic(o) || !member[rf.t].Test(int(o)) {
+						continue
+					}
+					row := aff[key(rf.t, o)]
+					if row == nil {
+						continue
+					}
+					row[rf.li]--
+					if row[rf.li] == 0 {
+						member[rf.t].Clear(int(o))
+						queue = append(queue, removal{rf.t, o})
+					}
+				}
+			}
+		}
+	}
+	return &Extent{Program: p, DB: snap.DB(), Member: member}, true, nil
+}
+
+// countWitnessesSnap counts the witnesses of typed link l for object o under
+// the given membership by scanning o's CSR edges. Unlike the histogram
+// seeding of the full evaluator — which is valid only under the everything-
+// is-a-member start — this respects arbitrary membership, as required by
+// warm starts. An In link with an atomic target mirrors the full
+// evaluator's histogram semantics (every in-edge counts; edge sources are
+// complex by the data model).
+func countWitnessesSnap(snap *compile.Snapshot, l TypedLink, o graph.ObjectID, member []*bitset.Set) int32 {
+	lid, known := snap.LabelID(l.Label)
+	if !known {
+		return 0
+	}
+	lid32 := int32(lid)
+	var c int32
+	if l.Dir == Out {
+		to, lab := snap.Out(o)
+		for k := range to {
+			if lab[k] != lid32 {
+				continue
+			}
+			tgt := graph.ObjectID(to[k])
+			if l.Target == AtomicTarget {
+				if atomicWitnessSnap(snap, tgt, l) {
+					c++
+				}
+			} else if member[l.Target].Test(int(tgt)) {
+				c++
+			}
+		}
+		return c
+	}
+	from, lab := snap.In(o)
+	for k := range from {
+		if lab[k] != lid32 {
+			continue
+		}
+		if l.Target == AtomicTarget || member[l.Target].Test(int(from[k])) {
+			c++
+		}
+	}
+	return c
+}

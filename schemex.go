@@ -198,6 +198,12 @@ type Options struct {
 	// type counts and wall-clock time; the loader-side caps apply to the
 	// *Limits loader functions). Violations surface as *LimitError.
 	Limits Limits
+	// MaxAffectedFrac tunes incremental re-extraction after Prepared.Apply:
+	// when a delta's affected region of the Stage 1 fixpoint exceeds this
+	// fraction of the (types × objects) space, the evaluator falls back to
+	// a full recompute. <= 0 uses the default (0.25). Purely a performance
+	// knob — results are bit-identical on either path.
+	MaxAffectedFrac float64
 }
 
 func (o Options) toCore() (core.Options, error) {
@@ -210,6 +216,7 @@ func (o Options) toCore() (core.Options, error) {
 		UseBisimulation: o.UseBisimulation,
 		Parallelism:     o.Parallelism,
 		Limits:          o.Limits.pipeline(),
+		MaxAffectedFrac: o.MaxAffectedFrac,
 	}
 	if o.Delta != "" {
 		d, ok := cluster.DeltaByName(o.Delta)
