@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race check bench bench-json experiments examples fuzz fuzz-short cover fmt vet clean
+.PHONY: all build test race test-race check bench bench-json bench-smoke experiments examples fuzz fuzz-short cover fmt vet clean
 
 all: build test
 
@@ -27,6 +27,12 @@ bench-json:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# One iteration of each warm-extraction benchmark under the race detector:
+# keeps the incremental Stage 1–3 paths exercised with concurrency checking
+# on without paying for a full benchmark run.
+bench-smoke:
+	$(GO) test -race -run='^$$' -bench='^BenchmarkWarmExtract' -benchtime=1x ./internal/experiments/
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -101,6 +101,21 @@ var (
 	WeightedManhattan = Delta2
 )
 
+// CacheKey returns a stable identity for memoizing work computed with this
+// distance function, and whether one exists. The zero Delta (the δ2 default)
+// and every registry function keyed by its name are cacheable; an anonymous
+// Func, or a name the registry does not know, is not — func values cannot be
+// compared, so reuse across calls would be unsound.
+func (f Delta) CacheKey() (string, bool) {
+	if f.Func == nil {
+		return "", true
+	}
+	if _, ok := DeltaByName(f.Name); !ok {
+		return "", false
+	}
+	return f.Name, true
+}
+
 // Deltas lists the five candidate functions by paper index.
 var Deltas = []Delta{Delta1, Delta2, Delta3, Delta4, Delta5}
 

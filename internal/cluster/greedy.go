@@ -114,9 +114,17 @@ type Greedy struct {
 
 	slotOf []int    // original type index -> current slot, or EmptySlot
 	dist   []uint32 // strict upper triangle of the n×n distance matrix, row-major
-	n      int      // original slot count (fixed)
-	nAct   int
-	L      int
+	// distShared marks dist as aliased by a captured State (or by the parent
+	// State a fully-clean warm start aliased): the first mutating move clones
+	// it, so captures stay immutable and clean reuse never copies up front.
+	distShared bool
+	prog       *typing.Program // the pre-clustering program the engine was seeded from
+	warmState  *State          // parent state when seeding aliased it wholesale
+	seedCopied int             // matrix cells copied from a parent State
+	seedCount  int             // matrix cells popcounted at seeding time
+	n          int             // original slot count (fixed)
+	nAct       int
+	L          int
 
 	totalDistance  float64
 	defectEstimate int
@@ -148,11 +156,24 @@ func NewGreedy(p *typing.Program, cfg Config) *Greedy {
 // identical either way (base IDs only index hypercube columns; distances
 // and the merge sequence do not depend on their order).
 func NewGreedySnap(p *typing.Program, snap *compile.Snapshot, cfg Config) *Greedy {
+	return NewGreedySnapWarm(p, snap, cfg, nil)
+}
+
+// NewGreedySnapWarm is NewGreedySnap with an optional warm start: matrix
+// cells between two slots that w maps onto a parent State are copied from the
+// captured triangle instead of popcounted (see the package comment of
+// state.go for why the copy is exact). When every slot maps identically the
+// parent triangle is aliased outright — no cells are copied or counted until
+// the first merge clones it. A nil or unusable w is exactly NewGreedySnap;
+// the seeded matrix, the merge sequence, and every reported cost are
+// bit-identical either way, at any Parallelism.
+func NewGreedySnapWarm(p *typing.Program, snap *compile.Snapshot, cfg Config, w *Warm) *Greedy {
 	n := len(p.Types)
 	g := &Greedy{
 		cfg:         cfg,
 		workers:     par.Workers(cfg.Parallelism),
 		snap:        snap,
+		prog:        p,
 		stride:      n + 1,
 		weight:      make([]int, n),
 		name:        make([]string, n),
@@ -197,21 +218,63 @@ func NewGreedySnap(p *typing.Program, snap *compile.Snapshot, cfg Config) *Greed
 	// strict upper triangle is stored flat (half the memory of a square
 	// matrix, contiguous rows) and seeded with the popcount kernel. Rows
 	// shrink toward the end of the triangle, so they are scheduled
-	// dynamically; each row has a single writer.
-	g.dist = make([]uint32, n*(n-1)/2)
-	g.err = par.DoItemsErr(g.workers, n-1, func(i int) error {
-		if cfg.Check != nil {
-			if err := cfg.Check(); err != nil {
-				return err
+	// dynamically; each row has a single writer. A warm start replaces the
+	// popcount with a copy for every clean-clean cell (identical by the
+	// renaming argument in state.go), or aliases the parent triangle outright
+	// when the mapping is the identity.
+	tri := n * (n - 1) / 2
+	switch {
+	case w.usable(n) && w.isIdentity(n):
+		g.dist = w.State.dist
+		g.distShared = true
+		g.warmState = w.State
+		g.seedCopied = tri
+	case w.usable(n):
+		st, m := w.State, w.Map
+		clean := 0
+		for _, p := range m {
+			if p != DirtySlot {
+				clean++
 			}
 		}
-		row := g.dist[g.rowOffset(i):]
-		si := g.set[i]
-		for j := i + 1; j < n; j++ {
-			row[j-i-1] = uint32(si.XorCount(g.set[j]))
-		}
-		return nil
-	})
+		g.seedCopied = clean * (clean - 1) / 2
+		g.seedCount = tri - g.seedCopied
+		g.dist = make([]uint32, tri)
+		g.err = par.DoItemsErr(g.workers, n-1, func(i int) error {
+			if cfg.Check != nil {
+				if err := cfg.Check(); err != nil {
+					return err
+				}
+			}
+			row := g.dist[g.rowOffset(i):]
+			si := g.set[i]
+			pi := m[i]
+			for j := i + 1; j < n; j++ {
+				if pi != DirtySlot && m[j] != DirtySlot {
+					row[j-i-1] = st.at(pi, m[j])
+				} else {
+					row[j-i-1] = uint32(si.XorCount(g.set[j]))
+				}
+			}
+			return nil
+		})
+	default:
+		g.seedCount = tri
+		g.dist = make([]uint32, tri)
+		g.err = par.DoItemsErr(g.workers, n-1, func(i int) error {
+			if cfg.Check != nil {
+				if err := cfg.Check(); err != nil {
+					return err
+				}
+			}
+			row := g.dist[g.rowOffset(i):]
+			si := g.set[i]
+			for j := i + 1; j < n; j++ {
+				row[j-i-1] = uint32(si.XorCount(g.set[j]))
+			}
+			return nil
+		})
+	}
 	g.bestCost = make([]float64, n)
 	g.bestTo = make([]int, n)
 	g.rowValid = make([]bool, n)
@@ -295,6 +358,39 @@ func (g *Greedy) setDist(i, j int, d uint32) {
 		i, j = j, i
 	}
 	g.dist[g.rowOffset(i)+j-i-1] = d
+}
+
+// State captures the engine's seeded pre-merge matrix for warm re-entry into
+// a later engine (NewGreedySnapWarm). It must be called before the first
+// Step — the matrix is mutated by moves — and returns nil afterwards (or
+// after a cancellation). Capturing is O(1): the triangle is aliased and the
+// engine clones it lazily on its first move, so a capture never copies; when
+// the engine was itself warm-started through the identity mapping, the
+// parent's State is returned unchanged.
+func (g *Greedy) State() *State {
+	if len(g.trace) > 0 || g.err != nil {
+		return nil
+	}
+	if g.warmState != nil {
+		return g.warmState
+	}
+	g.distShared = true
+	return &State{prog: g.prog, n: g.n, dist: g.dist}
+}
+
+// SeedStats reports how the distance matrix was seeded: cells copied from a
+// parent State (or aliased wholesale, for an identity warm start) versus
+// cells popcounted from the definitions.
+func (g *Greedy) SeedStats() (copied, counted int) { return g.seedCopied, g.seedCount }
+
+// ensureDistOwned clones the triangle before the first mutating move when it
+// is aliased by a captured (or parent) State.
+func (g *Greedy) ensureDistOwned() {
+	if g.distShared {
+		g.dist = append([]uint32(nil), g.dist...)
+		g.distShared = false
+		g.warmState = nil
+	}
 }
 
 // NumActive returns the number of active (non-coalesced) types.
@@ -421,6 +517,7 @@ func (g *Greedy) computeRow(k int) {
 // referenced class j is rewritten to reference class i (the hypercube
 // projection of §5.1).
 func (g *Greedy) merge(i, j int) {
+	g.ensureDistOwned()
 	g.movedWeight = g.weight[j]
 	g.weight[i] += g.weight[j]
 	g.members[i] = append(g.members[i], g.members[j]...)
@@ -481,6 +578,7 @@ func (g *Greedy) repairRows(touched []int, j, i int) {
 // unclassified, and links referencing class i are dropped from the remaining
 // definitions (nothing can witness a link to an unclassified class).
 func (g *Greedy) moveToEmpty(i int) {
+	g.ensureDistOwned()
 	g.movedWeight = g.weight[i]
 	g.inEmpty = append(g.inEmpty, g.members[i]...)
 	for _, orig := range g.members[i] {

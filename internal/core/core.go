@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemex/internal/cluster"
@@ -72,6 +73,15 @@ type Options struct {
 	// from scratch instead (typing.DefaultMaxAffectedFrac when zero). Purely
 	// a performance knob — results are bit-identical either way.
 	MaxAffectedFrac float64
+	// MaxDirtyTypesFrac tunes incremental Stages 2–3, mirroring
+	// MaxAffectedFrac: when a delta leaves more than this fraction of the
+	// Stage 1 classes dirty (members or definition changed), warm clustering
+	// falls back to a full matrix seeding; the same budget caps the fraction
+	// of objects the warm recast may reclassify before it, too, falls back.
+	// DefaultMaxDirtyTypesFrac when zero; a negative value disables warm
+	// Stages 2–3 outright (every extraction falls back). Purely a
+	// performance knob — results are bit-identical on either path.
+	MaxDirtyTypesFrac float64
 	// Limits bounds the resources an extraction may consume. Violations
 	// surface as *graph.LimitError. The zero value imposes no caps.
 	Limits Limits
@@ -217,6 +227,109 @@ type Result struct {
 	TotalDistance float64
 	// AutoK reports the automatically selected K when Options.K <= 0.
 	AutoK int
+	// Incr reports which stages ran incrementally for this extraction.
+	Incr IncrInfo
+	// Timing records the wall-clock spent per stage.
+	Timing Timing
+}
+
+// IncrInfo describes how much of one extraction was derived incrementally
+// from retained state rather than recomputed. Observability only: every
+// combination of flags yields bit-identical results.
+type IncrInfo struct {
+	// Stage1Warm: the minimal perfect typing in this result was produced by
+	// the incremental fixpoint evaluator (warm start within budget).
+	Stage1Warm bool
+	// Stage2Warm: the clustering distance matrix was seeded from the parent
+	// extraction's captured state instead of popcounted from scratch.
+	Stage2Warm bool
+	// Stage3Warm: the recast reclassified only the delta's dirty objects,
+	// copying every other assignment row from the parent.
+	Stage3Warm bool
+	// FastPath: the whole result was replayed from the retained state of an
+	// identical earlier extraction (same options, nothing touched since).
+	FastPath bool
+	// DirtyTypes is the number of Stage 1 classes the warm clustering had to
+	// reseed (-1 when no parent state was available to diff against).
+	DirtyTypes int
+	// DirtyObjects is the number of objects the warm recast reclassified
+	// (-1 when the recast ran cold).
+	DirtyObjects int
+}
+
+// Timing is the per-stage wall clock of one extraction. Stage2 includes the
+// auto-K sweep when one ran; FastPath results carry only Total.
+type Timing struct {
+	Stage1 time.Duration
+	Stage2 time.Duration
+	Stage3 time.Duration
+	Total  time.Duration
+}
+
+// DefaultMaxDirtyTypesFrac is the fallback threshold of warm Stages 2–3:
+// past this dirty fraction, incremental maintenance has lost its edge over
+// recomputing and the pipeline reseeds from scratch.
+const DefaultMaxDirtyTypesFrac = 0.25
+
+// IncrStats counts incremental-versus-fallback decisions across a session
+// lineage: one instance is shared by a root Prepared and every descendant
+// derived through Apply, so the observable speedup of delta extraction can
+// be monitored per session. All counters are atomic; read them with
+// Snapshot.
+type IncrStats struct {
+	stage2Warm, stage2Full uint64
+	stage3Warm, stage3Full uint64
+	fastPath               uint64
+}
+
+// IncrStatsSnapshot is a point-in-time copy of IncrStats.
+type IncrStatsSnapshot struct {
+	// Stage2Warm / Stage2Full count extractions whose clustering matrix was
+	// warm-seeded versus fully popcounted (cold runs, missing or mismatched
+	// state, and MaxDirtyTypesFrac fallbacks all count as full).
+	Stage2Warm, Stage2Full uint64
+	// Stage3Warm / Stage3Full count recasts that reclassified only dirty
+	// objects versus everything.
+	Stage3Warm, Stage3Full uint64
+	// FastPath counts whole-result replays (repeat extraction with identical
+	// options and no intervening changes).
+	FastPath uint64
+}
+
+// record tallies one extraction's incremental decisions.
+func (s *IncrStats) record(in IncrInfo) {
+	if s == nil {
+		return
+	}
+	if in.FastPath {
+		atomic.AddUint64(&s.fastPath, 1)
+		return
+	}
+	if in.Stage2Warm {
+		atomic.AddUint64(&s.stage2Warm, 1)
+	} else {
+		atomic.AddUint64(&s.stage2Full, 1)
+	}
+	if in.Stage3Warm {
+		atomic.AddUint64(&s.stage3Warm, 1)
+	} else {
+		atomic.AddUint64(&s.stage3Full, 1)
+	}
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each counter is
+// read atomically; the set is not a single linearization point).
+func (s *IncrStats) Snapshot() IncrStatsSnapshot {
+	if s == nil {
+		return IncrStatsSnapshot{}
+	}
+	return IncrStatsSnapshot{
+		Stage2Warm: atomic.LoadUint64(&s.stage2Warm),
+		Stage2Full: atomic.LoadUint64(&s.stage2Full),
+		Stage3Warm: atomic.LoadUint64(&s.stage3Warm),
+		Stage3Full: atomic.LoadUint64(&s.stage3Full),
+		FastPath:   atomic.LoadUint64(&s.fastPath),
+	}
 }
 
 // Prepared is a compiled, reusable extraction context for one database: the
@@ -231,6 +344,10 @@ type Prepared struct {
 	snap    *compile.Snapshot
 	version uint64
 
+	// stats is shared by the whole session lineage (root and every child
+	// derived through Apply); nil only for a zero-value Prepared.
+	stats *IncrStats
+
 	mu    sync.Mutex
 	s1key stage1Key
 	s1    *perfect.Result
@@ -241,6 +358,81 @@ type Prepared struct {
 	// (the child starts with s1 == nil).
 	warm    *perfect.Warm
 	warmKey stage1Key
+	// s23 retains the Stage 2/3 state of the most recent eligible
+	// extraction. Unlike s1 it does cross Apply — the captured distance
+	// matrix is keyed by class membership and the assignment by ObjectID,
+	// both of which survive a delta — accumulating the touched sets of every
+	// hop so warm extraction knows what to re-derive.
+	s23 *stage23
+}
+
+// stage23 is the warm-start state for Stages 2 and 3.
+type stage23 struct {
+	// matrixKey guards the captured clustering state: it is valid for
+	// extractions whose Stage-1-relevant options match (the matrix is a pure
+	// function of the Stage 1 program).
+	matrixKey stage1Key
+	// state is the pre-merge seeded distance matrix plus the program it was
+	// seeded from.
+	state *cluster.State
+	// classes are the parent extraction's Stage 1 classes (sorted member
+	// lists), diffed against a child's to propose the slot mapping.
+	classes [][]graph.ObjectID
+	// res is the parent's full result, retained when the full option set is
+	// memoizable (resOK): it feeds the whole-result fast path and the warm
+	// recast. resKey guards both.
+	resOK  bool
+	resKey stage23Key
+	res    *Result
+	// touched accumulates the delta-touched objects of every Apply since the
+	// state was captured.
+	touched []graph.ObjectID
+}
+
+// stage23Key identifies every option that influences Stages 2 and 3 given a
+// fixed Stage 1 result (parallelism, budgets, and limits never do).
+type stage23Key struct {
+	s1          stage1Key
+	k           int
+	deltaName   string
+	allowEmpty  bool
+	emptyBias   float64
+	keepHome    bool
+	noClosest   bool
+	maxDistance int
+	rcUseSorts  bool
+	rcValues    string
+}
+
+// stage23KeyOf derives the Stage 2/3 memo key, reporting false when the
+// options are not memoizable (uncacheable Stage 1, multi-role or seeded
+// clustering — whose pre-clustering program is not the Stage 1 program the
+// captured state describes — or an anonymous distance function).
+func stage23KeyOf(opts Options) (stage23Key, bool) {
+	s1, ok := stage1KeyOf(opts)
+	if !ok || opts.MultiRole || opts.Seed != nil {
+		return stage23Key{}, false
+	}
+	dn, ok := opts.Delta.CacheKey()
+	if !ok {
+		return stage23Key{}, false
+	}
+	rc := recast.DefaultOptions()
+	if opts.Recast != nil {
+		rc = *opts.Recast
+	}
+	return stage23Key{
+		s1:          s1,
+		k:           opts.K,
+		deltaName:   dn,
+		allowEmpty:  opts.AllowEmpty,
+		emptyBias:   opts.EmptyBias,
+		keepHome:    rc.KeepHome,
+		noClosest:   rc.NoClosest,
+		maxDistance: rc.MaxDistance,
+		rcUseSorts:  rc.UseSorts,
+		rcValues:    strings.Join(rc.ValueLabels, "\x00"),
+	}, true
 }
 
 // stage1Key identifies the options that influence the Stage 1 result
@@ -277,8 +469,13 @@ func PrepareContext(ctx context.Context, db *graph.DB, parallelism int) (*Prepar
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, snap: snap}, nil
+	return &Prepared{db: db, snap: snap, stats: &IncrStats{}}, nil
 }
+
+// Stats returns the incremental-extraction counters accumulated across this
+// Prepared's whole session lineage (the root and every descendant derived
+// through Apply share one set).
+func (p *Prepared) Stats() IncrStatsSnapshot { return p.stats.Snapshot() }
 
 // DB returns the database the context was prepared from. It must not be
 // mutated while the Prepared is in use.
@@ -311,24 +508,32 @@ func (p *Prepared) ApplyContext(ctx context.Context, delta *graph.Delta, paralle
 	if err != nil {
 		return nil, nil, err
 	}
-	child := &Prepared{db: snap.DB(), snap: snap, version: p.version + 1}
+	child := &Prepared{db: snap.DB(), snap: snap, version: p.version + 1, stats: p.stats}
 	// A warm start needs stable complex positions; whether the snapshot
 	// itself was rebuilt incrementally does not matter (Q_D rules name
 	// labels by string, so a renumbered label table is harmless).
 	if info.PosStable {
 		p.mu.Lock()
-		if p.s1 != nil && p.s1.QD != nil {
-			child.warm = &perfect.Warm{QD: p.s1.QD, QDExtent: p.s1.QDExtent, Touched: info.Touched}
+		if p.s1 != nil {
+			child.warm = &perfect.Warm{Parent: p.s1, Touched: info.Touched}
 			child.warmKey = p.s1key
 		} else if p.warm != nil {
 			// No extraction ran between two applies: chain the grandparent's
-			// fixpoint, accumulating the touched sets of both hops.
+			// state, accumulating the touched sets of both hops.
 			child.warm = &perfect.Warm{
-				QD:       p.warm.QD,
-				QDExtent: p.warm.QDExtent,
-				Touched:  mergeTouched(p.warm.Touched, info.Touched),
+				Parent:  p.warm.Parent,
+				Touched: mergeTouched(p.warm.Touched, info.Touched),
 			}
 			child.warmKey = p.warmKey
+		}
+		// The Stage 2/3 state survives the delta — its matrix is keyed by
+		// class membership and its assignment by ObjectID, both stable across
+		// Apply — with this hop's touched objects folded into the debt the
+		// next extraction must re-derive.
+		if p.s23 != nil {
+			s := *p.s23
+			s.touched = mergeTouched(s.touched, info.Touched)
+			child.s23 = &s
 		}
 		p.mu.Unlock()
 	}
@@ -444,11 +649,41 @@ func extract(ctx context.Context, prep *Prepared, opts Options) (*Result, error)
 		return nil, err
 	}
 	check := checkFunc(ctx)
+	tTotal := time.Now()
+
+	matrixKey, matrixOK := stage1KeyOf(opts)
+	// The captured clustering state describes the plain Stage 1 program;
+	// multi-role decomposition and seeding change the pre-clustering program,
+	// so those runs neither consume nor produce it.
+	useS23 := matrixOK && !opts.MultiRole && opts.Seed == nil
+	resKey, resOK := stage23KeyOf(opts)
+	var s23 *stage23
+	if useS23 {
+		prep.mu.Lock()
+		s23 = prep.s23
+		prep.mu.Unlock()
+	}
+
+	// Whole-result fast path: an identical extraction already ran in this
+	// lineage and no delta has touched anything since (a repeat on the same
+	// Prepared, or a chain of empty deltas). The retained result is returned
+	// as-is — the snapshots are content-identical — under fresh flags.
+	if resOK && s23 != nil && s23.resOK && s23.resKey == resKey && len(s23.touched) == 0 {
+		out := *s23.res
+		out.Incr = IncrInfo{FastPath: true, DirtyTypes: -1, DirtyObjects: -1}
+		out.Timing = Timing{Total: time.Since(tTotal)}
+		prep.stats.record(out.Incr)
+		return &out, nil
+	}
+
+	t0 := time.Now()
 	stage1, err := prep.stage1(opts, check)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Stage1: stage1, PerfectTypes: stage1.Program.Len()}
+	res.Incr = IncrInfo{Stage1Warm: stage1.WarmUsed, DirtyTypes: -1, DirtyObjects: -1}
+	res.Timing.Stage1 = time.Since(t0)
 
 	baseProg := stage1.Program
 	baseHomes := make(map[graph.ObjectID][]int, len(stage1.Home))
@@ -470,9 +705,17 @@ func extract(ctx context.Context, prep *Prepared, opts Options) (*Result, error)
 		return nil, err
 	}
 
+	// Warm Stage 2: diff the child classes against the retained state and
+	// seed the distance matrix by copy instead of popcount where provable.
+	var warm *cluster.Warm
+	if useS23 && s23 != nil && s23.state != nil && s23.matrixKey == matrixKey {
+		warm = planWarm(stage1, s23, opts, res)
+	}
+
+	t0 = time.Now()
 	k := opts.K
 	if k <= 0 {
-		sweep, err := sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts)
+		sweep, err := sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -486,25 +729,227 @@ func extract(ctx context.Context, prep *Prepared, opts Options) (*Result, error)
 		k = nPinned
 	}
 
-	g := cluster.NewGreedySnap(baseProg.Clone(), prep.snap, opts.clusterConfig(pinned, check))
-	g.RunTo(k)
-	if err := g.Err(); err != nil {
-		return nil, err
+	var capture *cluster.State
+	var prog *typing.Program
+	// Whole-Stage-2 reuse: the greedy coalescing is a pure function of the
+	// pre-clustering program (links, weights, names) and the clustering
+	// options — it never reads the database. When the child's Stage 1 program
+	// is positionally identical to the one the retained state was seeded from
+	// and the full option key matches, the parent's merge sequence is the
+	// child's by determinism, so its clustering result is returned verbatim
+	// and the merge loop is skipped entirely. A delta that perturbs any
+	// class — membership, weight, rule, or name — fails the comparison and
+	// falls through to the matrix-copying warm path below. opts.K > 0 is
+	// required because the auto-K sweep consults the database for its knee,
+	// and a negative MaxDirtyTypesFrac — the forced-full-fallback setting —
+	// disables this path like every other reuse.
+	if resOK && s23 != nil && s23.resOK && s23.resKey == resKey && s23.state != nil &&
+		opts.K > 0 && dirtyBudget(opts) >= 0 && programEqual(baseProg, s23.state.Program()) {
+		prog = s23.res.Program
+		res.Program = prog
+		res.Mapping = s23.res.Mapping
+		res.TotalDistance = s23.res.TotalDistance
+		res.AutoK = s23.res.AutoK
+		res.Incr.Stage2Warm = true
+		res.Incr.DirtyTypes = 0
+		// Re-retain the parent's seeded matrix unchanged: it still describes
+		// this exact pre-clustering program.
+		capture = s23.state
+	} else {
+		g := cluster.NewGreedySnapWarm(baseProg.Clone(), prep.snap, opts.clusterConfig(pinned, check), warm)
+		// Capture the seeded pre-merge matrix before any move mutates it; the
+		// capture aliases the triangle (the engine clones lazily on its first
+		// move), so retaining state costs nothing when no merges follow.
+		if useS23 {
+			capture = g.State()
+		}
+		g.RunTo(k)
+		if err := g.Err(); err != nil {
+			return nil, err
+		}
+		var mapping []int
+		prog, mapping = g.Program()
+		res.Program = prog
+		res.Mapping = mapping
+		res.TotalDistance = g.TotalDistance()
+		if copied, _ := g.SeedStats(); copied > 0 {
+			res.Incr.Stage2Warm = true
+		}
 	}
-	prog, mapping := g.Program()
-	res.Program = prog
-	res.Mapping = mapping
-	res.TotalDistance = g.TotalDistance()
+	res.Timing.Stage2 = time.Since(t0)
 
-	res.Homes = mapHomes(baseHomes, mapping)
-	rc, err := recast.RecastSnapErr(prep.snap, prog, res.Homes, opts.recastOptions(check))
+	res.Homes = mapHomes(baseHomes, res.Mapping)
+
+	// Warm Stage 3: when the full option set matches the retained result and
+	// clustering landed on the same final program, reclassify only the dirty
+	// closure of the accumulated delta and copy every other assignment row.
+	t0 = time.Now()
+	var rcWarm *recast.Warm
+	if resOK && s23 != nil && s23.resOK && s23.resKey == resKey && programsAgree(prog, s23.res.Program) {
+		rcWarm = planRecastWarm(prep.snap, s23, res, opts)
+	}
+	rc, classified, err := recast.RecastSnapWarm(prep.snap, prog, res.Homes, opts.recastOptions(check), rcWarm)
 	if err != nil {
 		return nil, err
+	}
+	if rcWarm != nil {
+		res.Incr.Stage3Warm = true
+		res.Incr.DirtyObjects = classified
 	}
 	res.Assignment = rc.Assignment
 	res.Defect = rc.Defect
 	res.Unclassified = rc.Unclassified
+	res.Timing.Stage3 = time.Since(t0)
+	res.Timing.Total = time.Since(tTotal)
+	prep.stats.record(res.Incr)
+
+	// Retain this extraction's state for the next one in the lineage. The
+	// full result rides along only when the whole option set is memoizable.
+	if capture != nil {
+		ns := &stage23{matrixKey: matrixKey, state: capture, classes: stage1.Classes}
+		if resOK {
+			ns.resOK, ns.resKey, ns.res = true, resKey, res
+		}
+		prep.mu.Lock()
+		prep.s23 = ns
+		prep.mu.Unlock()
+	}
 	return res, nil
+}
+
+// dirtyBudget resolves the MaxDirtyTypesFrac option.
+func dirtyBudget(opts Options) float64 {
+	if opts.MaxDirtyTypesFrac != 0 {
+		return opts.MaxDirtyTypesFrac
+	}
+	return DefaultMaxDirtyTypesFrac
+}
+
+// planWarm diffs the child's Stage 1 classes against the retained parent
+// state and builds the matrix-seeding plan: classes with identical members
+// whose definitions provably mirror a parent slot keep their matrix cells.
+// It records the dirty-type count on res and returns nil — a full seeding —
+// when the dirty fraction exceeds the MaxDirtyTypesFrac budget.
+func planWarm(stage1 *perfect.Result, s23 *stage23, opts Options, res *Result) *cluster.Warm {
+	proposal := perfect.MatchClasses(stage1.Classes, s23.classes)
+	m, clean := cluster.MatchDefinitions(stage1.Program, s23.state, proposal)
+	n := stage1.Program.Len()
+	dirty := n - clean
+	res.Incr.DirtyTypes = dirty
+	if float64(dirty) > dirtyBudget(opts)*float64(n) {
+		return nil
+	}
+	return &cluster.Warm{State: s23.state, Map: m}
+}
+
+// programsAgree reports whether two programs carry identical link lists at
+// every type index — the only program inputs Stage 3 classification reads
+// (names and weights feed neither pictures nor distances).
+func programsAgree(a, b *typing.Program) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Types {
+		la, lb := a.Types[i].Links, b.Types[i].Links
+		if len(la) != len(lb) {
+			return false
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// programEqual reports whether two programs are identical in every input the
+// greedy coalescing reads: positionally equal link lists, weights, and names
+// (names do not steer merges but are carried into the output program, so
+// reusing a result requires them equal too).
+func programEqual(a, b *typing.Program) bool {
+	if !programsAgree(a, b) {
+		return false
+	}
+	for i := range a.Types {
+		if a.Types[i].Weight != b.Types[i].Weight || a.Types[i].Name != b.Types[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// planRecastWarm computes the dirty-object closure of the accumulated delta
+// and builds the warm recast plan. An object must be reclassified when its
+// own edge set changed, its homes changed, or a neighbour in either direction
+// did either of those — local pictures read the homes of both out-targets and
+// in-sources, and a touched atomic value surfaces through its sources'
+// pictures. Returns nil — a full recast — when the dirty fraction exceeds the
+// MaxDirtyTypesFrac budget.
+func planRecastWarm(snap *compile.Snapshot, s23 *stage23, res *Result, opts Options) *recast.Warm {
+	parent := s23.res
+	nC := len(snap.Complex)
+	seed := make([]bool, nC)
+	dirty := make([]bool, nC)
+	markNeighbors := func(o graph.ObjectID) {
+		to, _ := snap.Out(o)
+		for _, t := range to {
+			if p := snap.Pos[t]; p >= 0 {
+				dirty[p] = true
+			}
+		}
+		from, _ := snap.In(o)
+		for _, f := range from {
+			if p := snap.Pos[f]; p >= 0 {
+				dirty[p] = true
+			}
+		}
+	}
+	for _, o := range s23.touched {
+		if int(o) >= len(snap.Pos) {
+			continue
+		}
+		if p := snap.Pos[o]; p >= 0 {
+			seed[p] = true
+		} else {
+			// Atomic: its value feeds the pictures of its sources.
+			markNeighbors(o)
+		}
+	}
+	for i, o := range snap.Complex {
+		if !intsEqual(res.Homes[o], parent.Homes[o]) {
+			seed[i] = true
+		}
+	}
+	for i, o := range snap.Complex {
+		if !seed[i] {
+			continue
+		}
+		dirty[i] = true
+		markNeighbors(o)
+	}
+	count := 0
+	for _, d := range dirty {
+		if d {
+			count++
+		}
+	}
+	if float64(count) > dirtyBudget(opts)*float64(nC) {
+		return nil
+	}
+	return &recast.Warm{Assignment: parent.Assignment, Dirty: dirty}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // withSeeds appends the seed types of a-priori knowledge to the
@@ -669,11 +1114,11 @@ func sweep(ctx context.Context, prep *Prepared, opts Options) (*SweepResult, err
 	if err := opts.Limits.checkTypes(baseProg); err != nil {
 		return nil, err
 	}
-	return sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts)
+	return sweepFrom(check, prep.snap, baseProg, baseHomes, pinned, opts, nil)
 }
 
-func sweepFrom(check func() error, snap *compile.Snapshot, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options) (*SweepResult, error) {
-	g := cluster.NewGreedySnap(baseProg.Clone(), snap, opts.clusterConfig(pinned, check))
+func sweepFrom(check func() error, snap *compile.Snapshot, baseProg *typing.Program, baseHomes map[graph.ObjectID][]int, pinned []bool, opts Options, warm *cluster.Warm) (*SweepResult, error) {
+	g := cluster.NewGreedySnapWarm(baseProg.Clone(), snap, opts.clusterConfig(pinned, check), warm)
 	if err := g.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"schemex/internal/graph"
+)
+
+// assertSameResult fails unless warm and cold are bit-identical extractions:
+// same program, mapping, homes, per-object assignment, defect accounting and
+// Stage 2 cost.
+func assertSameResult(t *testing.T, db *graph.DB, warm, cold *Result, label string) {
+	t.Helper()
+	if warm.Program.String() != cold.Program.String() {
+		t.Fatalf("%s: programs differ:\nwarm:\n%s\ncold:\n%s", label, warm.Program, cold.Program)
+	}
+	if !reflect.DeepEqual(warm.Mapping, cold.Mapping) {
+		t.Fatalf("%s: mappings differ: %v vs %v", label, warm.Mapping, cold.Mapping)
+	}
+	if !reflect.DeepEqual(warm.Homes, cold.Homes) {
+		t.Fatalf("%s: homes differ", label)
+	}
+	if warm.TotalDistance != cold.TotalDistance {
+		t.Fatalf("%s: total distance %v vs %v", label, warm.TotalDistance, cold.TotalDistance)
+	}
+	if !reflect.DeepEqual(warm.Defect, cold.Defect) || warm.Unclassified != cold.Unclassified {
+		t.Fatalf("%s: defect %+v/%d vs %+v/%d",
+			label, warm.Defect, warm.Unclassified, cold.Defect, cold.Unclassified)
+	}
+	for _, o := range db.ComplexObjects() {
+		w, c := warm.Assignment.Of(o), cold.Assignment.Of(o)
+		if len(w) == 0 && len(c) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(w, c) {
+			t.Fatalf("%s: assignment of %s differs: %v vs %v", label, db.Name(o), w, c)
+		}
+	}
+}
+
+var atomV = graph.Value{Sort: graph.InferSort("v"), Text: "v"}
+
+// addRecord appends a record object with the given attributes to a delta.
+func addRecord(d *graph.Delta, name string, attrs ...string) {
+	for _, a := range attrs {
+		d.AddAtomic(name+"."+a, atomV)
+		d.AddLink(name, name+"."+a, a)
+	}
+}
+
+// TestWarmExtractFastPathAndStats: repeating an extraction on the same
+// Prepared — or across a chain of empty deltas — replays the retained result
+// without running any stage, and the lineage counters record it.
+func TestWarmExtractFastPathAndStats(t *testing.T) {
+	prep, err := Prepare(recordsDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 2, Parallelism: 1}
+	r1, err := ExtractPrepared(prep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Incr.FastPath || r1.Incr.Stage2Warm || r1.Incr.Stage3Warm {
+		t.Fatalf("cold extraction reported incremental flags: %+v", r1.Incr)
+	}
+	r2, err := ExtractPrepared(prep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Incr.FastPath {
+		t.Fatalf("repeat extraction did not take the fast path: %+v", r2.Incr)
+	}
+	assertSameResult(t, prep.DB(), r2, r1, "repeat")
+
+	// Budgets and parallelism are not part of the result identity: changing
+	// them alone still replays.
+	r3, err := ExtractPrepared(prep, Options{K: 2, Parallelism: 0, MaxDirtyTypesFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Incr.FastPath {
+		t.Fatalf("parallelism/budget change broke the fast path: %+v", r3.Incr)
+	}
+
+	// An empty delta touches nothing; the child replays too.
+	child, info, err := prep.Apply(&graph.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Touched) != 0 {
+		t.Fatalf("empty delta touched %d objects", len(info.Touched))
+	}
+	r4, err := ExtractPrepared(child, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Incr.FastPath {
+		t.Fatalf("empty-delta child did not take the fast path: %+v", r4.Incr)
+	}
+	assertSameResult(t, child.DB(), r4, r1, "empty delta")
+	if r4.Timing.Total <= 0 || r4.Timing.Stage1 != 0 {
+		t.Fatalf("fast-path timing = %+v, want only Total set", r4.Timing)
+	}
+
+	// A K change misses the retained result but is served by the same
+	// matrix: no fast path, but Stage 2 warm-seeds.
+	r5, err := ExtractPrepared(child, Options{K: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Incr.FastPath || !r5.Incr.Stage2Warm || r5.Incr.Stage3Warm {
+		t.Fatalf("K change: Incr = %+v, want matrix reuse only", r5.Incr)
+	}
+	cold5, err := Extract(child.DB().Clone(), Options{K: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, child.DB(), r5, cold5, "K change")
+
+	s := child.Stats()
+	if s.FastPath != 3 {
+		t.Fatalf("FastPath counter = %d, want 3", s.FastPath)
+	}
+	if s.Stage2Full != 1 || s.Stage2Warm != 1 {
+		t.Fatalf("Stage2 counters = %d warm / %d full, want 1 / 1", s.Stage2Warm, s.Stage2Full)
+	}
+	if s.Stage3Full != 2 || s.Stage3Warm != 0 {
+		t.Fatalf("Stage3 counters = %d warm / %d full, want 0 / 2", s.Stage3Warm, s.Stage3Full)
+	}
+}
+
+// TestWarmExtractAfterDelta: after a one-record delta the next extraction
+// warm-starts Stages 2 and 3 within the default budget and stays
+// bit-identical to extracting the mutated graph from scratch, at serial and
+// parallel settings.
+func TestWarmExtractAfterDelta(t *testing.T) {
+	prep, err := Prepare(recordsDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 2, Parallelism: 1}
+	if _, err := ExtractPrepared(prep, opts); err != nil {
+		t.Fatal(err)
+	}
+	// A new emp record joins an existing class: exactly one Stage 1 class
+	// changes membership, well inside the 0.25 default budget.
+	d := &graph.Delta{}
+	addRecord(d, "empA", "name", "salary", "dept")
+
+	for _, par := range []int{1, 0} {
+		child, info, err := prep.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.PosStable {
+			t.Fatal("record delta was expected to keep complex positions stable")
+		}
+		o := opts
+		o.Parallelism = par
+		warm, err := ExtractPrepared(child, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Incr.Stage2Warm {
+			t.Fatalf("par=%d: Stage 2 did not warm-start: %+v", par, warm.Incr)
+		}
+		if !warm.Incr.Stage3Warm {
+			t.Fatalf("par=%d: Stage 3 did not warm-start: %+v", par, warm.Incr)
+		}
+		if warm.Incr.DirtyTypes != 1 {
+			t.Fatalf("par=%d: DirtyTypes = %d, want 1", par, warm.Incr.DirtyTypes)
+		}
+		if warm.Incr.DirtyObjects <= 0 || warm.Incr.DirtyObjects >= child.Snapshot().NumComplex() {
+			t.Fatalf("par=%d: DirtyObjects = %d, want a strict subset of %d",
+				par, warm.Incr.DirtyObjects, child.Snapshot().NumComplex())
+		}
+		cold, err := Extract(child.DB().Clone(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, child.DB(), warm, cold, fmt.Sprintf("par=%d", par))
+	}
+}
+
+// TestWarmBudgetFallback: a delta that dirties too many classes for the
+// budget — or a negative budget that disables warm starts outright — falls
+// back to the full Stages 2–3 with identical results.
+func TestWarmBudgetFallback(t *testing.T) {
+	// book0 gains an edition attribute: it migrates between classes, so two
+	// of the four classes change membership (0.5 > the 0.25 default).
+	d := &graph.Delta{}
+	d.AddAtomic("book0.edition", atomV)
+	d.AddLink("book0", "book0.edition", "edition")
+
+	cases := []struct {
+		name     string
+		frac     float64
+		wantWarm bool
+	}{
+		{"default budget exceeded", 0, false},
+		{"forced off", -1, false},
+		{"budget covers", 1, true},
+	}
+	for _, c := range cases {
+		prep, err := Prepare(recordsDB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{K: 2, Parallelism: 1, MaxDirtyTypesFrac: c.frac}
+		if _, err := ExtractPrepared(prep, opts); err != nil {
+			t.Fatal(err)
+		}
+		child, _, err := prep.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := ExtractPrepared(child, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Incr.Stage2Warm != c.wantWarm {
+			t.Fatalf("%s: Stage2Warm = %v, want %v (Incr %+v)",
+				c.name, warm.Incr.Stage2Warm, c.wantWarm, warm.Incr)
+		}
+		// The stage budgets are independent: Stage 3 may still warm-start
+		// after a Stage 2 fallback (few dirty objects, many dirty types) —
+		// but a negative budget disables both.
+		if c.frac < 0 && warm.Incr.Stage3Warm {
+			t.Fatalf("%s: Stage 3 warm-started despite the fallback", c.name)
+		}
+		if c.frac >= 0 && warm.Incr.DirtyTypes != 2 {
+			t.Fatalf("%s: DirtyTypes = %d, want 2", c.name, warm.Incr.DirtyTypes)
+		}
+		cold, err := Extract(child.DB().Clone(), Options{K: 2, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, child.DB(), warm, cold, c.name)
+		s := child.Stats()
+		if c.wantWarm && s.Stage2Warm != 1 {
+			t.Fatalf("%s: Stage2Warm counter = %d, want 1", c.name, s.Stage2Warm)
+		}
+		if !c.wantWarm && s.Stage2Full != 2 {
+			t.Fatalf("%s: Stage2Full counter = %d, want 2", c.name, s.Stage2Full)
+		}
+	}
+}
+
+// TestWarmStateOptionKeying pins the memo keys of the retained Stage 2/3
+// state: a stage-defining option change must never reuse state captured
+// under different options, and non-memoizable runs must neither store nor
+// replay results.
+func TestWarmStateOptionKeying(t *testing.T) {
+	d := &graph.Delta{}
+	addRecord(d, "empA", "name", "salary", "dept")
+
+	// Stage 1 options key the matrix: state captured with UseSorts must not
+	// seed a run without it.
+	prep, err := Prepare(recordsDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractPrepared(prep, Options{K: 2, Parallelism: 1, UseSorts: true}); err != nil {
+		t.Fatal(err)
+	}
+	child, _, err := prep.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractPrepared(child, Options{K: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incr.FastPath || res.Incr.Stage2Warm || res.Incr.Stage3Warm {
+		t.Fatalf("UseSorts mismatch still reused state: %+v", res.Incr)
+	}
+	cold, err := Extract(child.DB().Clone(), Options{K: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, child.DB(), res, cold, "UseSorts mismatch")
+
+	// Same key, same options: the reuse the mismatch above suppressed.
+	if _, err := ExtractPrepared(child, Options{K: 2, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	grand, _, err := child.Apply(d2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ExtractPrepared(grand, Options{K: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incr.Stage2Warm {
+		t.Fatalf("matched options did not warm-start: %+v", res.Incr)
+	}
+
+	// MultiRole reshapes the pre-clustering program: such runs are excluded
+	// from capture and replay entirely.
+	prep2, err := Prepare(recordsDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := Options{K: 2, Parallelism: 1, MultiRole: true}
+	if _, err := ExtractPrepared(prep2, mr); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ExtractPrepared(prep2, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Incr.FastPath || again.Incr.Stage2Warm || again.Incr.Stage3Warm {
+		t.Fatalf("MultiRole run reused state: %+v", again.Incr)
+	}
+	if s := prep2.Stats(); s.FastPath != 0 || s.Stage2Warm != 0 {
+		t.Fatalf("MultiRole lineage counters = %+v, want all-cold", s)
+	}
+}
+
+// d2 is a second small record delta, distinct from the empA one.
+func d2() *graph.Delta {
+	d := &graph.Delta{}
+	addRecord(d, "empB", "name", "salary", "dept")
+	return d
+}
+
+// TestWarmExtractRandomStream drives a random delta stream through a session
+// chain, extracting after every step at alternating parallelism and — every
+// third step — under a forced fallback, asserting each result bit-identical
+// to a from-scratch extraction of the mutated graph.
+func TestWarmExtractRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	prep, err := Prepare(recordsDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 2, MaxDirtyTypesFrac: 1}
+	if _, err := ExtractPrepared(prep, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Optional attributes this stream adds and may later remove; the core
+	// name/salary and title/isbn links are never touched, so the two record
+	// families stay separable at every step.
+	type edge struct{ from, to, label string }
+	var removable []edge
+	db := prep.DB()
+	db.Links(func(e graph.Edge) {
+		if e.Label == "dept" || e.Label == "edition" {
+			removable = append(removable, edge{db.Name(e.From), db.Name(e.To), e.Label})
+		}
+	})
+
+	cur := prep
+	for step := 0; step < 9; step++ {
+		d := &graph.Delta{}
+		switch op := rng.Intn(3); {
+		case op == 2 && len(removable) > 0:
+			i := rng.Intn(len(removable))
+			e := removable[i]
+			removable = append(removable[:i], removable[i+1:]...)
+			d.RemoveLink(e.from, e.to, e.label)
+		case op == 1:
+			// Grow an existing record by an optional attribute.
+			name := fmt.Sprintf("emp%d", rng.Intn(6))
+			attr := fmt.Sprintf("%s.x%d", name, step)
+			d.AddAtomic(attr, atomV)
+			d.AddLink(name, attr, "dept")
+			removable = append(removable, edge{name, attr, "dept"})
+		default:
+			name := fmt.Sprintf("book%c", 'A'+rune(step))
+			addRecord(d, name, "title", "isbn")
+			removable = append(removable,
+				edge{name, name + ".isbn", "isbn"})
+		}
+
+		child, _, err := cur.Apply(d)
+		if err != nil {
+			t.Fatalf("step %d: apply: %v", step, err)
+		}
+		o := opts
+		o.Parallelism = 1 - step%2 // alternate 1 and 0
+		if step%3 == 2 {
+			o.MaxDirtyTypesFrac = -1 // forced full fallback
+		}
+		warm, err := ExtractPrepared(child, o)
+		if err != nil {
+			t.Fatalf("step %d: warm extract: %v", step, err)
+		}
+		if step%3 == 2 && (warm.Incr.Stage2Warm || warm.Incr.Stage3Warm) {
+			t.Fatalf("step %d: forced fallback still warm-started: %+v", step, warm.Incr)
+		}
+		cold, err := Extract(child.DB().Clone(), o)
+		if err != nil {
+			t.Fatalf("step %d: cold extract: %v", step, err)
+		}
+		assertSameResult(t, child.DB(), warm, cold, fmt.Sprintf("step %d", step))
+		cur = child
+	}
+
+	s := cur.Stats()
+	if s.Stage2Warm == 0 || s.Stage3Warm == 0 {
+		t.Fatalf("stream never warm-started: %+v", s)
+	}
+	if s.Stage2Full < 4 { // the seed run plus the three forced fallbacks
+		t.Fatalf("Stage2Full = %d, want >= 4", s.Stage2Full)
+	}
+	if total := s.Stage2Warm + s.Stage2Full + s.FastPath; total != 10 {
+		t.Fatalf("counters cover %d extractions, want 10", total)
+	}
+}

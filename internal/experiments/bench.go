@@ -52,6 +52,12 @@ type BenchResult struct {
 	WarmNsPerOp int64 `json:"warm_ns_per_op,omitempty"`
 	// WarmSpeedup is cold / warm.
 	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
+	// Stage1/2/3NsPerOp split one instrumented warm extraction by pipeline
+	// stage (Result.Timing). Present only for the delta/warm-extract-*
+	// workloads.
+	Stage1NsPerOp int64 `json:"stage1_ns_per_op,omitempty"`
+	Stage2NsPerOp int64 `json:"stage2_ns_per_op,omitempty"`
+	Stage3NsPerOp int64 `json:"stage3_ns_per_op,omitempty"`
 	// SpeedupVsSeed is seed / min(serial, parallel).
 	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
@@ -153,7 +159,10 @@ func RunBench() (*BenchReport, error) {
 		}
 	})
 	// Warm-vs-cold serving: Prepare once then ExtractPrepared per request,
-	// against Extract recompiling per request, on the Table 1 shapes.
+	// against Extract recompiling per request, on the Table 1 shapes. With
+	// retained Stage 2/3 state, repeat identical requests replay the whole
+	// result (the fast path), so this workload now measures served-from-state
+	// latency rather than snapshot reuse alone.
 	for _, p := range synth.Presets() {
 		db, err := p.Build()
 		if err != nil {
@@ -243,6 +252,82 @@ func RunBench() (*BenchReport, error) {
 		}
 	}
 
+	// Warm whole-schema updates: apply a delta to a session whose previous
+	// extraction left retained Stage 1–3 state, then re-extract (Stages 2–3
+	// warm-start from the captured distance triangle and assignment), against
+	// re-preparing the mutated graph and extracting from scratch. The
+	// instrumented per-stage split shows where the remaining time goes.
+	for _, p := range synth.Presets() {
+		db, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{K: p.Intended()}
+		prep, err := core.Prepare(db)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.ExtractPrepared(prep, opts); err != nil {
+			return nil, err
+		}
+		for _, size := range []struct {
+			name string
+			frac float64
+		}{{"1edge", 0}, {"1pct", 0.01}} {
+			d := benchDelta(db, size.frac)
+			if d == nil {
+				continue
+			}
+			childDB, _, err := db.ApplyDelta(d)
+			if err != nil {
+				return nil, err
+			}
+			cold := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cp, err := core.Prepare(childDB)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := core.ExtractPrepared(cp, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			warm := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					child, _, err := prep.Apply(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := core.ExtractPrepared(child, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			child, _, err := prep.Apply(d)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := core.ExtractPrepared(child, opts)
+			if err != nil {
+				return nil, err
+			}
+			r := BenchResult{
+				Name:          fmt.Sprintf("delta/warm-extract-%s/db%d", size.name, p.DBNo),
+				ColdNsPerOp:   cold.NsPerOp(),
+				WarmNsPerOp:   warm.NsPerOp(),
+				Stage1NsPerOp: inst.Timing.Stage1.Nanoseconds(),
+				Stage2NsPerOp: inst.Timing.Stage2.Nanoseconds(),
+				Stage3NsPerOp: inst.Timing.Stage3.Nanoseconds(),
+				AllocsPerOp:   warm.AllocsPerOp(),
+			}
+			if warm.NsPerOp() > 0 {
+				r.WarmSpeedup = float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+
 	for _, scale := range []int{1, 4, 16} {
 		db, roles := dbg.Generate(dbg.Options{Scale: scale})
 		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]
@@ -258,10 +343,14 @@ func RunBench() (*BenchReport, error) {
 }
 
 // benchDelta builds a deterministic delta over db that stays on the
-// incremental path: existing labels only, no atomic/complex flips. frac = 0
-// yields a single added edge; otherwise max(1, frac*NumLinks) removals of
-// evenly spaced existing edges plus one added edge. Returns nil if db has no
-// room for such a delta.
+// incremental path: existing labels only, no atomic/complex flips, and an
+// added edge that mirrors an existing one — an extra attribute edge when the
+// template edge targets an atomic, an extra reference to an object already
+// receiving that label when it targets a complex object — so the delta never
+// changes the database's structural character (a bipartite shape stays
+// bipartite). frac = 0 yields just that single added edge; otherwise
+// max(1, frac*NumLinks) removals of evenly spaced existing edges ride along.
+// Returns nil if db has no room for such a delta.
 func benchDelta(db *graph.DB, frac float64) *graph.Delta {
 	complexObjs := db.ComplexObjects()
 	labels := db.Labels()
@@ -275,13 +364,38 @@ func benchDelta(db *graph.DB, frac float64) *graph.Delta {
 		if len(outs) == 0 {
 			continue
 		}
-		lab := outs[0].Label
-		db.Objects(func(o graph.ObjectID) {
-			if !added && o != from && !db.HasEdge(from, o, lab) {
-				d.AddLink(db.Name(from), db.Name(o), lab)
-				added = true
+		e := outs[0]
+		if v, isAtomic := db.AtomicValue(e.To); isAtomic {
+			// Mirror an attribute edge: one more e.Label attribute on from,
+			// carried by a fresh atomic with the same value (hence sort).
+			name := "bench_delta_atom"
+			for n := 2; db.Lookup(name) != graph.NoObject; n++ {
+				name = fmt.Sprintf("bench_delta_atom%d", n)
 			}
-		})
+			d.AddAtomic(name, v)
+			d.AddLink(db.Name(from), name, e.Label)
+			added = true
+			break
+		}
+		// Mirror a reference edge: link from to another complex object that
+		// already receives e.Label, so the edge fits the existing pattern.
+		for _, o := range complexObjs {
+			if o == from || o == e.To || db.HasEdge(from, o, e.Label) {
+				continue
+			}
+			receives := false
+			for _, in := range db.In(o) {
+				if in.Label == e.Label {
+					receives = true
+					break
+				}
+			}
+			if receives {
+				d.AddLink(db.Name(from), db.Name(o), e.Label)
+				added = true
+				break
+			}
+		}
 		if added {
 			break
 		}

@@ -68,26 +68,28 @@ func extractStatus(err error) int {
 
 // Options mirrors schemex.Options for the wire.
 type Options struct {
-	K           int      `json:"k,omitempty"`
-	Delta       string   `json:"delta,omitempty"`
-	AllowEmpty  bool     `json:"allowEmpty,omitempty"`
-	MultiRole   bool     `json:"multiRole,omitempty"`
-	UseSorts    bool     `json:"useSorts,omitempty"`
-	SeedSchema  string   `json:"seedSchema,omitempty"`
-	ValueLabels []string `json:"valueLabels,omitempty"`
-	MaxDistance int      `json:"maxDistance,omitempty"`
+	K                 int      `json:"k,omitempty"`
+	Delta             string   `json:"delta,omitempty"`
+	AllowEmpty        bool     `json:"allowEmpty,omitempty"`
+	MultiRole         bool     `json:"multiRole,omitempty"`
+	UseSorts          bool     `json:"useSorts,omitempty"`
+	SeedSchema        string   `json:"seedSchema,omitempty"`
+	ValueLabels       []string `json:"valueLabels,omitempty"`
+	MaxDistance       int      `json:"maxDistance,omitempty"`
+	MaxDirtyTypesFrac float64  `json:"maxDirtyTypesFrac,omitempty"`
 }
 
 func (o Options) toLib() schemex.Options {
 	return schemex.Options{
-		K:           o.K,
-		Delta:       o.Delta,
-		AllowEmpty:  o.AllowEmpty,
-		MultiRole:   o.MultiRole,
-		UseSorts:    o.UseSorts,
-		SeedSchema:  o.SeedSchema,
-		ValueLabels: o.ValueLabels,
-		MaxDistance: o.MaxDistance,
+		K:                 o.K,
+		Delta:             o.Delta,
+		AllowEmpty:        o.AllowEmpty,
+		MultiRole:         o.MultiRole,
+		UseSorts:          o.UseSorts,
+		SeedSchema:        o.SeedSchema,
+		ValueLabels:       o.ValueLabels,
+		MaxDistance:       o.MaxDistance,
+		MaxDirtyTypesFrac: o.MaxDirtyTypesFrac,
 	}
 }
 
@@ -105,16 +107,33 @@ type TypeJSON struct {
 	Size       int    `json:"size"`
 }
 
+// IncrementalJSON reports which stages of one extraction warm-started from
+// retained session state, with the per-stage wall clock in milliseconds.
+// Observability only: warm and cold responses carry identical schemas.
+type IncrementalJSON struct {
+	Stage1Warm   bool    `json:"stage1Warm"`
+	Stage2Warm   bool    `json:"stage2Warm"`
+	Stage3Warm   bool    `json:"stage3Warm"`
+	FastPath     bool    `json:"fastPath"`
+	DirtyTypes   int     `json:"dirtyTypes"`
+	DirtyObjects int     `json:"dirtyObjects"`
+	Stage1Ms     float64 `json:"stage1Ms"`
+	Stage2Ms     float64 `json:"stage2Ms"`
+	Stage3Ms     float64 `json:"stage3Ms"`
+	TotalMs      float64 `json:"totalMs"`
+}
+
 type extractResponse struct {
-	Schema       string     `json:"schema"`
-	PerfectTypes int        `json:"perfectTypes"`
-	NumTypes     int        `json:"numTypes"`
-	AutoK        int        `json:"autoK,omitempty"`
-	Defect       int        `json:"defect"`
-	Excess       int        `json:"excess"`
-	Deficit      int        `json:"deficit"`
-	Unclassified int        `json:"unclassified"`
-	Types        []TypeJSON `json:"types"`
+	Schema       string           `json:"schema"`
+	PerfectTypes int              `json:"perfectTypes"`
+	NumTypes     int              `json:"numTypes"`
+	AutoK        int              `json:"autoK,omitempty"`
+	Defect       int              `json:"defect"`
+	Excess       int              `json:"excess"`
+	Deficit      int              `json:"deficit"`
+	Unclassified int              `json:"unclassified"`
+	Types        []TypeJSON       `json:"types"`
+	Incremental  *IncrementalJSON `json:"incremental,omitempty"`
 }
 
 type sweepResponse struct {
@@ -386,6 +405,19 @@ func extractOver(w http.ResponseWriter, r *http.Request, prep *schemex.Prepared,
 		resp.Types = append(resp.Types, TypeJSON{
 			Name: ti.Name, Definition: ti.Definition, Weight: ti.Weight, Size: ti.Size,
 		})
+	}
+	in, tm := res.Incremental(), res.Timing()
+	resp.Incremental = &IncrementalJSON{
+		Stage1Warm:   in.Stage1Warm,
+		Stage2Warm:   in.Stage2Warm,
+		Stage3Warm:   in.Stage3Warm,
+		FastPath:     in.FastPath,
+		DirtyTypes:   in.DirtyTypes,
+		DirtyObjects: in.DirtyObjects,
+		Stage1Ms:     tm.Stage1.Seconds() * 1e3,
+		Stage2Ms:     tm.Stage2.Seconds() * 1e3,
+		Stage3Ms:     tm.Stage3.Seconds() * 1e3,
+		TotalMs:      tm.Total.Seconds() * 1e3,
 	}
 	writeJSON(w, resp)
 }

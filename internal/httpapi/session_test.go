@@ -129,6 +129,76 @@ func TestSessionErrors(t *testing.T) {
 	}
 }
 
+// sessionRecordsText builds three record families so a one-record delta
+// dirties exactly one of three Stage 1 classes.
+func sessionRecordsText() string {
+	var b strings.Builder
+	rec := func(name string, attrs ...string) {
+		for _, a := range attrs {
+			at := name + "_" + a
+			fmt.Fprintf(&b, "link %s %s %s\natomic %s string v\n", name, at, a, at)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rec(fmt.Sprintf("emp%d", i), "name", "salary", "dept")
+		rec(fmt.Sprintf("book%d", i), "title", "isbn")
+		rec(fmt.Sprintf("city%d", i), "zip")
+	}
+	return b.String()
+}
+
+func TestSessionIncrementalBlock(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	id := createSession(t, srv, sessionRecordsText())
+	body := mustJSON(t, map[string]interface{}{
+		"options": map[string]interface{}{"k": 3, "maxDirtyTypesFrac": 1},
+	})
+
+	status, out := post(t, srv, "/v1/session/"+id+"/extract", body)
+	if status != 200 {
+		t.Fatalf("extract status %d: %v", status, out)
+	}
+	inc, ok := out["incremental"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("response has no incremental block: %v", out)
+	}
+	if inc["stage2Warm"] == true || inc["stage3Warm"] == true || inc["fastPath"] == true {
+		t.Fatalf("cold extraction reported warm flags: %v", inc)
+	}
+	if inc["totalMs"].(float64) <= 0 {
+		t.Fatalf("cold extraction reported no wall clock: %v", inc)
+	}
+
+	// A repeat with identical options replays the retained result.
+	status, out = post(t, srv, "/v1/session/"+id+"/extract", body)
+	inc, _ = out["incremental"].(map[string]interface{})
+	if status != 200 || inc == nil || inc["fastPath"] != true {
+		t.Fatalf("repeat extract (%d): %v", status, out)
+	}
+
+	// One new record dirties one class; the next extraction warm-starts
+	// Stages 2 and 3 and reports the dirty counts.
+	delta := "link emp9 e9n name\natomic e9n string v\n" +
+		"link emp9 e9s salary\natomic e9s string v\n" +
+		"link emp9 e9d dept\natomic e9d string v\n"
+	status, out = post(t, srv, "/v1/session/"+id+"/mutate", mustJSON(t, map[string]interface{}{"delta": delta}))
+	if status != 200 || out["incremental"] != true {
+		t.Fatalf("mutate (%d): %v", status, out)
+	}
+	status, out = post(t, srv, "/v1/session/"+id+"/extract", body)
+	if status != 200 {
+		t.Fatalf("post-mutate extract status %d: %v", status, out)
+	}
+	inc, _ = out["incremental"].(map[string]interface{})
+	if inc == nil || inc["stage2Warm"] != true || inc["stage3Warm"] != true {
+		t.Fatalf("post-mutate extraction did not warm-start: %v", inc)
+	}
+	if inc["dirtyTypes"].(float64) != 1 || inc["dirtyObjects"].(float64) < 1 {
+		t.Fatalf("dirty counts: %v", inc)
+	}
+}
+
 func TestSessionStoreLRU(t *testing.T) {
 	a := newAPI(Config{SessionEntries: 2})
 	srv := httptest.NewServer(a.routes())

@@ -1,0 +1,60 @@
+package perfect
+
+import (
+	"schemex/internal/graph"
+)
+
+// MatchClasses proposes, for each child Stage 1 class, the parent class with
+// the identical member list (classes are sorted ObjectID slices, as
+// Result.Classes stores them), or -1 when none exists. Classes partition the
+// complex objects on each side, so member-list equality is automatically
+// injective: no two child classes can claim the same parent class.
+//
+// This is the extent-diff step of warm Stage 2: two classes with identical
+// members across a delta are candidates for reusing the parent's clustering
+// distances, pending the definition check (cluster.MatchDefinitions). The
+// proposal is pure set comparison — it never trusts the delta description.
+func MatchClasses(child, parent [][]graph.ObjectID) []int {
+	byHash := make(map[uint64][]int, len(parent))
+	for pi, members := range parent {
+		h := hashMembers(members)
+		byHash[h] = append(byHash[h], pi)
+	}
+	out := make([]int, len(child))
+	for ci, members := range child {
+		out[ci] = -1
+		for _, pi := range byHash[hashMembers(members)] {
+			if membersEqual(members, parent[pi]) {
+				out[ci] = pi
+				break
+			}
+		}
+	}
+	return out
+}
+
+// hashMembers is FNV-1a over the IDs of a sorted member list.
+func hashMembers(members []graph.ObjectID) uint64 {
+	h := uint64(14695981039346656037)
+	for _, o := range members {
+		v := uint64(o)
+		for k := 0; k < 8; k++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}
+
+func membersEqual(a, b []graph.ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -36,13 +36,22 @@ type Result struct {
 	// also in that type (§4.2).
 	Extent *typing.Extent
 
-	// QD and QDExtent retain the per-object program Q_D and its greatest
-	// fixpoint when Stage 1 went through the general GFP route — the state
-	// MinimalSnapWarm needs to maintain the fixpoint incrementally across a
-	// delta. They are nil on the bipartite, bisimulation, and naive-GFP
-	// paths, which compute no reusable fixpoint.
+	// QD retains the per-object program Q_D on every route: a warm restart
+	// against a delta reuses its canonical per-object rules for positions the
+	// delta did not touch, skipping their reconstruction entirely. QDExtent
+	// additionally retains the Q_D greatest fixpoint when Stage 1 went
+	// through the general GFP route — the state needed to maintain that
+	// fixpoint incrementally. QDExtent is nil on the bipartite,
+	// bisimulation, and naive-GFP paths, which compute no reusable fixpoint.
 	QD       *typing.Program
 	QDExtent *typing.Extent
+	// WarmUsed reports that at least one of the Stage 1 fixpoints (Q_D or
+	// P_D) was maintained incrementally from a parent extraction's state (a
+	// MinimalSnapWarm warm start that stayed within its affected-fraction
+	// budget). False for cold runs and for warm starts whose fixpoint
+	// evaluations all fell back to the full evaluation. Observability only —
+	// the result is bit-identical either way.
+	WarmUsed bool
 
 	db *graph.DB
 }
@@ -150,7 +159,6 @@ func BuildQDOptsCheck(db *graph.DB, opts typing.PictureOpts, workers int, check 
 // snap.Pos, and each object's edges are walked in CSR form, so no position
 // map is built and no per-edge map lookups occur.
 func BuildQDSnapCheck(snap *compile.Snapshot, opts typing.PictureOpts, workers int, check func() error) (*typing.Program, []graph.ObjectID, error) {
-	db := snap.DB()
 	objs := snap.Complex
 	types := make([]*typing.Type, len(objs))
 	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
@@ -160,50 +168,107 @@ func BuildQDSnapCheck(snap *compile.Snapshot, opts typing.PictureOpts, workers i
 					return err
 				}
 			}
-			o := objs[i]
-			t := &typing.Type{Name: db.Name(o), Weight: 1}
-			to, lab := snap.Out(o)
-			for k := range to {
-				tgt := graph.ObjectID(to[k])
-				label := snap.Labels[lab[k]]
-				if snap.IsAtomic(tgt) {
-					l := typing.TypedLink{Dir: typing.Out, Label: label, Target: typing.AtomicTarget}
-					if v, ok := snap.Value(tgt); ok {
-						if opts.UseSorts {
-							l.Sort = typing.SortConstraint(v.Sort) + 1
-						}
-						if opts.ValueLabels[label] {
-							l.Value, l.HasValue = v.Text, true
-						}
-					}
-					t.Links = append(t.Links, l)
-				} else {
-					t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: label, Target: int(snap.Pos[tgt])})
-				}
-			}
-			from, lab := snap.In(o)
-			for k := range from {
-				t.Links = append(t.Links, typing.TypedLink{
-					Dir: typing.In, Label: snap.Labels[lab[k]], Target: int(snap.Pos[from[k]]),
-				})
-			}
-			types[i] = t
+			types[i] = qdTypeFor(snap, opts, objs[i])
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	p := typing.NewProgram()
-	for _, t := range types {
-		p.Add(t)
+	return &typing.Program{Types: types}, objs, nil
+}
+
+// qdTypeFor builds the canonical Q_D type of one complex object: a rule
+// mirroring the object's local picture exactly (§4.1), with whatever sort
+// and value refinements the options enable.
+func qdTypeFor(snap *compile.Snapshot, opts typing.PictureOpts, o graph.ObjectID) *typing.Type {
+	t := &typing.Type{Name: snap.DB().Name(o), Weight: 1}
+	to, lab := snap.Out(o)
+	for k := range to {
+		tgt := graph.ObjectID(to[k])
+		label := snap.Labels[lab[k]]
+		if snap.IsAtomic(tgt) {
+			l := typing.TypedLink{Dir: typing.Out, Label: label, Target: typing.AtomicTarget}
+			if v, ok := snap.Value(tgt); ok {
+				if opts.UseSorts {
+					l.Sort = typing.SortConstraint(v.Sort) + 1
+				}
+				if opts.ValueLabels[label] {
+					l.Value, l.HasValue = v.Text, true
+				}
+			}
+			t.Links = append(t.Links, l)
+		} else {
+			t.Links = append(t.Links, typing.TypedLink{Dir: typing.Out, Label: label, Target: int(snap.Pos[tgt])})
+		}
 	}
-	return p, objs, nil
+	from, lab := snap.In(o)
+	for k := range from {
+		t.Links = append(t.Links, typing.TypedLink{
+			Dir: typing.In, Label: snap.Labels[lab[k]], Target: int(snap.Pos[from[k]]),
+		})
+	}
+	t.Canonicalize()
+	return t
 }
 
 // checkEvery is the checkpoint stride inside sharded loops: frequent enough
 // to bound cancel latency to microseconds, rare enough to be unmeasurable.
 const checkEvery = 1024
+
+// buildQDWarm rebuilds Q_D after a delta, reusing the parent result's
+// canonical per-object types for every complex position the delta cannot
+// have affected. Positions are stable under the apply (core gates warm
+// starts on PosStable), so position i names the same object in parent and
+// child. A position must be rebuilt when its object was touched, when the
+// object reaches a touched atomic (sort/value refinements leak atomic state
+// into the source rule), or when it is new; everything else reuses the
+// parent's *Type pointer unmodified — reused types are shared and must not
+// be mutated. changed lists the positions whose rebuilt rule differs from
+// the parent's, plus all new positions: exactly the changed-type set the
+// incremental fixpoint evaluation needs.
+func buildQDWarm(snap *compile.Snapshot, opts typing.PictureOpts, warm *Warm, check func() error) (*typing.Program, []graph.ObjectID, []int, error) {
+	objs := snap.Complex
+	parentQD := warm.Parent.QD
+	nOld := len(parentQD.Types)
+	rebuild := make(map[int]bool, len(warm.Touched))
+	for _, o := range warm.Touched {
+		if int(o) >= len(snap.Pos) {
+			continue // beyond this snapshot; no position to rebuild
+		}
+		if snap.Pos[o] >= 0 {
+			rebuild[int(snap.Pos[o])] = true
+			continue
+		}
+		// Touched atomic: its sort or value can appear in source rules.
+		from, _ := snap.In(o)
+		for k := range from {
+			src := graph.ObjectID(from[k])
+			if int(src) < len(snap.Pos) && snap.Pos[src] >= 0 {
+				rebuild[int(snap.Pos[src])] = true
+			}
+		}
+	}
+	types := make([]*typing.Type, len(objs))
+	var changed []int
+	for i, o := range objs {
+		if check != nil && i%checkEvery == 0 {
+			if err := check(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if i < nOld && !rebuild[i] {
+			types[i] = parentQD.Types[i]
+			continue
+		}
+		t := qdTypeFor(snap, opts, o)
+		types[i] = t
+		if i >= nOld || !rulesEqual(t.Links, parentQD.Types[i].Links) {
+			changed = append(changed, i)
+		}
+	}
+	return &typing.Program{Types: types}, objs, changed, nil
+}
 
 // Minimal computes the minimal perfect typing of db (the full Stage 1
 // algorithm of §4.1). It compiles a throwaway snapshot and delegates to
@@ -229,31 +294,45 @@ func MinimalSnap(snap *compile.Snapshot, opts Options) (*Result, error) {
 // that the parent's positional Q_D types and extents line up with the
 // child's (core.Prepared enforces this before handing a Warm down).
 type Warm struct {
-	// QD and QDExtent are the parent Result's retained Q_D program and
-	// fixpoint (Result.QD / Result.QDExtent).
-	QD       *typing.Program
-	QDExtent *typing.Extent
-	// Touched lists the delta-touched objects (compile.ApplyInfo.Touched).
+	// Parent is the parent extraction's full Stage 1 result, computed with
+	// the same Stage 1 options. Its retained Q_D supplies per-object rules
+	// for untouched positions, its classes and names seed the grouping and
+	// naming passes, and its extents warm both fixpoint evaluations.
+	Parent *Result
+	// Touched lists the delta-touched objects (compile.ApplyInfo.Touched):
+	// every object whose local picture — edges, or an atomic's sort/value —
+	// may differ from the parent's. Warm reuse of per-object state is only
+	// sound when this list is complete.
 	Touched []graph.ObjectID
 	// MaxAffectedFrac overrides typing.DefaultMaxAffectedFrac when positive.
 	MaxAffectedFrac float64
 }
 
 // MinimalSnapWarm is MinimalSnap with an optional warm start (nil warm is
-// exactly MinimalSnap). On the general GFP route the Q_D fixpoint is
-// maintained incrementally from warm's parent state via
-// typing.EvalGFPSnapIncr: only types whose rules differ from the parent's
-// Q_D and objects the delta touched are re-derived. Changed rules are
-// detected by positional comparison against warm.QD, so a warm start never
-// trusts the delta description for type changes — a mismatched rule simply
-// joins the affected set. The bipartite, bisimulation, and naive-GFP routes
-// ignore warm (they run no general fixpoint to warm up). Results are
-// bit-identical with and without warm.
+// exactly MinimalSnap). Against a parent extraction's retained state, every
+// pass reuses what the delta provably left alone: Q_D construction reuses
+// the parent's per-object rules for untouched positions, the Q_D and P_D
+// fixpoints are maintained incrementally via typing.EvalGFPSnapIncr, the
+// bipartite grouping inherits parent class identities for unchanged rules,
+// and class names are reused while the class prefix is undisturbed. The
+// bisimulation and naive-GFP routes ignore warm (they are the reference
+// paths and run no reusable fixpoint). Results are bit-identical with and
+// without warm, at any Parallelism.
 func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result, error) {
 	db := snap.DB()
 	workers := par.Workers(opts.Parallelism)
 	check := opts.Check
-	qd, objs, err := BuildQDSnapCheck(snap, opts.pictureOpts(), workers, check)
+	warmOK := warm != nil && warm.Parent != nil && warm.Parent.QD != nil &&
+		!opts.UseNaiveGFP && !opts.UseBisimulation
+	var qd *typing.Program
+	var objs []graph.ObjectID
+	var qdChanged []int // positions whose rules differ from the parent's (warm only)
+	var err error
+	if warmOK {
+		qd, objs, qdChanged, err = buildQDWarm(snap, opts.pictureOpts(), warm, check)
+	} else {
+		qd, objs, err = BuildQDSnapCheck(snap, opts.pictureOpts(), workers, check)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -285,25 +364,29 @@ func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result,
 		grouped = true
 	}
 	if !grouped && !opts.UseNaiveGFP { // the naive flag doubles as "reference path" for tests
-		classOf, classes, grouped = bipartiteClasses(qd)
+		if warmOK && warm.Parent.QDExtent == nil {
+			// The parent grouped on the bipartite fast path (it retained no
+			// fixpoint); inherit its class identities for unchanged rules.
+			classOf, classes, grouped = bipartiteClassesWarm(qd, snap, warm.Parent, qdChanged)
+		}
+		if !grouped {
+			classOf, classes, grouped = bipartiteClasses(qd)
+		}
+		if grouped {
+		}
 	}
 	var qdExtent *typing.Extent // retained for Result.QDExtent on the GFP route
+	warmUsed := false
 	if !grouped {
 		var extent *typing.Extent
 		if opts.UseNaiveGFP {
 			extent = typing.EvalGFPNaive(qd, db)
-		} else if warm != nil && warm.QD != nil && warm.QDExtent != nil {
-			// Positions of rules that differ from the parent's Q_D (including
-			// everything past its end) are the changed types; touched objects
-			// supply the affected columns.
-			var changedTypes []int
-			for ti, t := range qd.Types {
-				if ti >= len(warm.QD.Types) || !rulesEqual(t.Links, warm.QD.Types[ti].Links) {
-					changedTypes = append(changedTypes, ti)
-				}
-			}
+		} else if warmOK && warm.Parent.QDExtent != nil {
+			// buildQDWarm already diffed every rebuilt rule against the
+			// parent's Q_D, so qdChanged is the changed-type set; touched
+			// objects supply the affected columns.
 			var err error
-			extent, _, err = typing.EvalGFPSnapIncr(qd, snap, warm.QDExtent, changedTypes, warm.Touched, typing.IncrOptions{
+			extent, warmUsed, err = typing.EvalGFPSnapIncr(qd, snap, warm.Parent.QDExtent, qdChanged, warm.Touched, typing.IncrOptions{
 				Workers:         workers,
 				Check:           check,
 				MaxAffectedFrac: warm.MaxAffectedFrac,
@@ -386,7 +469,42 @@ func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result,
 		nameFor = DefaultClassName
 	}
 	used := map[string]bool{"0": true} // "0" is reserved for the atomic type
-	for ci := range classes {
+	firstCold := 0
+	if warmOK && opts.NameFor == nil {
+		// Reuse parent class names while the class prefix is undisturbed: a
+		// class whose member list is identical to the parent's and contains
+		// no touched object gets the same DefaultClassName (it reads only the
+		// members' incoming edges, and an in-edge change touches its
+		// endpoint), and the dedup state accumulated over an identical prefix
+		// is identical, so the names match the cold run by induction. The
+		// first class that fails the test ends the prefix; everything after
+		// it is named cold against the accumulated dedup state.
+		touchedSet := make(map[graph.ObjectID]bool, len(warm.Touched))
+		for _, o := range warm.Touched {
+			touchedSet[o] = true
+		}
+		parent := warm.Parent
+		for ci := range classes {
+			if ci >= len(parent.Classes) || len(result.Classes[ci]) != len(parent.Classes[ci]) {
+				break
+			}
+			same := true
+			for k, o := range result.Classes[ci] {
+				if o != parent.Classes[ci][k] || touchedSet[o] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+			name := parent.Program.Types[ci].Name
+			used[name] = true
+			pd.Types[ci].Name = name
+			firstCold = ci + 1
+		}
+	}
+	for ci := firstCold; ci < len(classes); ci++ {
 		name := nameFor(db, result.Classes[ci], ci)
 		if name == "" || name == "0" {
 			name = fmt.Sprintf("class%d", ci)
@@ -404,6 +522,30 @@ func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result,
 	result.Program = pd
 	if opts.UseNaiveGFP {
 		result.Extent = typing.EvalGFPNaive(pd, db)
+	} else if warmOK && warm.Parent.Extent != nil {
+		// Warm the P_D fixpoint from the parent's. The changed-type set is a
+		// full positional diff against the parent's P_D rules, so it is sound
+		// regardless of how classes were renumbered — a renumbering just
+		// shows up as many changed rules and trips the budget fallback. A
+		// type's extent depends only on its rule and the database, never on
+		// class membership, so positionally identical rules keep their rows.
+		parentPD := warm.Parent.Program
+		var changedPD []int
+		for ci, t := range pd.Types {
+			if ci >= len(parentPD.Types) || !rulesEqual(t.Links, parentPD.Types[ci].Links) {
+				changedPD = append(changedPD, ci)
+			}
+		}
+		ext, pdWarm, err := typing.EvalGFPSnapIncr(pd, snap, warm.Parent.Extent, changedPD, warm.Touched, typing.IncrOptions{
+			Workers:         workers,
+			Check:           check,
+			MaxAffectedFrac: warm.MaxAffectedFrac,
+		})
+		if err != nil {
+			return nil, err
+		}
+		result.Extent = ext
+		warmUsed = warmUsed || pdWarm
 	} else {
 		ext, err := typing.EvalGFPSnapCheck(pd, snap, workers, check)
 		if err != nil {
@@ -411,10 +553,9 @@ func MinimalSnapWarm(snap *compile.Snapshot, opts Options, warm *Warm) (*Result,
 		}
 		result.Extent = ext
 	}
-	if qdExtent != nil {
-		result.QD = qd
-		result.QDExtent = qdExtent
-	}
+	result.QD = qd
+	result.QDExtent = qdExtent
+	result.WarmUsed = warmUsed
 	return result, nil
 }
 
@@ -445,23 +586,102 @@ func bipartiteClasses(qd *typing.Program) (classOf []int, classes [][]int, group
 	classOf = make([]int, len(qd.Types))
 	byKey := make(map[string]int)
 	for ti, t := range qd.Types {
-		var sb strings.Builder
-		for _, l := range t.Links {
-			sb.WriteString(l.Label)
-			sb.WriteByte(0)
-			sb.WriteByte(byte(l.Sort))
-			if l.HasValue {
-				sb.WriteByte(1)
-				sb.WriteString(l.Value)
-			}
-			sb.WriteByte(2)
-		}
-		key := sb.String()
+		key := ruleKey(t.Links)
 		ci, ok := byKey[key]
 		if !ok {
 			ci = len(classes)
 			byKey[key] = ci
 			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], ti)
+		classOf[ti] = ci
+	}
+	return classOf, classes, true
+}
+
+// ruleKey is the canonical grouping key of a bipartite (all-atomic-target)
+// rule: the label sequence with any sort/value refinements. Canonical link
+// order makes it a faithful identity for rule equality on this route.
+func ruleKey(links []typing.TypedLink) string {
+	var sb strings.Builder
+	for _, l := range links {
+		sb.WriteString(l.Label)
+		sb.WriteByte(0)
+		sb.WriteByte(byte(l.Sort))
+		if l.HasValue {
+			sb.WriteByte(1)
+			sb.WriteString(l.Value)
+		}
+		sb.WriteByte(2)
+	}
+	return sb.String()
+}
+
+// bipartiteClassesWarm reproduces bipartiteClasses for a child Q_D whose
+// unchanged positions reuse a bipartite parent's grouping. Unchanged rules
+// were atomic-only in the parent, so only the changed positions need the
+// bipartiteness check; each unchanged position inherits its parent class
+// identity through parent.Home, and each changed position groups by its
+// canonical rule key, matched against the parent class keys so it can join
+// an existing identity. Distinct parent classes have distinct keys (the
+// parent grouped by exactly this key), so identities correspond one-to-one
+// with keys and numbering classes by first occurrence in position order
+// reproduces the cold numbering bit for bit. grouped=false falls back to
+// the cold path (a changed rule has a complex target, or the parent state
+// does not line up).
+func bipartiteClassesWarm(qd *typing.Program, snap *compile.Snapshot, parent *Result, changed []int) (classOf []int, classes [][]int, grouped bool) {
+	isChanged := make(map[int]bool, len(changed))
+	for _, ti := range changed {
+		isChanged[ti] = true
+		for _, l := range qd.Types[ti].Links {
+			if l.Target != typing.AtomicTarget {
+				return nil, nil, false
+			}
+		}
+	}
+	// On the bipartite route P_D rules are the representative Q_D rules
+	// unmodified (no complex targets to renumber), so they key the classes.
+	parentKey := make(map[string]int, len(parent.Classes))
+	for pc := range parent.Classes {
+		parentKey[ruleKey(parent.Program.Types[pc].Links)] = pc
+	}
+	classOf = make([]int, len(qd.Types))
+	fromParent := make([]int, len(parent.Classes))
+	for i := range fromParent {
+		fromParent[i] = -1
+	}
+	fromKey := make(map[string]int)
+	objs := snap.Complex
+	for ti := range qd.Types {
+		pc := -1
+		var key string
+		if !isChanged[ti] {
+			var ok bool
+			pc, ok = parent.Home[objs[ti]]
+			if !ok {
+				return nil, nil, false // position not in the parent: state mismatch
+			}
+		} else {
+			key = ruleKey(qd.Types[ti].Links)
+			if p, ok := parentKey[key]; ok {
+				pc = p
+			}
+		}
+		var ci int
+		if pc >= 0 {
+			if fromParent[pc] < 0 {
+				fromParent[pc] = len(classes)
+				classes = append(classes, nil)
+			}
+			ci = fromParent[pc]
+		} else {
+			c, ok := fromKey[key]
+			if !ok {
+				c = len(classes)
+				fromKey[key] = c
+				classes = append(classes, nil)
+			}
+			ci = c
 		}
 		classes[ci] = append(classes[ci], ti)
 		classOf[ti] = ci

@@ -110,6 +110,38 @@ func RecastErr(db *graph.DB, prog *typing.Program, homes map[graph.ObjectID][]in
 // are computed in CSR form through the snapshot's label table, and the
 // defect measurement reuses the same snapshot.
 func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options) (*Result, error) {
+	res, _, err := RecastSnapWarm(snap, prog, homes, opts, nil)
+	return res, err
+}
+
+// Warm carries a parent recast for dirty-object re-entry. It is sound only
+// when the parent assignment was produced over an equivalent input: the same
+// program (per-index identical link lists — names and weights do not feed
+// classification), the same Options, and homes that agree with the current
+// ones on every clean object and its neighbours. The caller establishes
+// those invariants (core does, by diffing homes and closing over the delta's
+// touched objects); RecastSnapWarm only consumes them.
+type Warm struct {
+	// Assignment is the parent extraction's final assignment, keyed by
+	// ObjectID, so it remains addressable across snapshots.
+	Assignment *typing.Assignment
+	// Dirty marks positions in snap.Complex whose object must be
+	// reclassified; clean positions copy the parent's row verbatim. An
+	// object is dirty when its own edges, its homes, or a neighbour's homes
+	// (either direction — local pictures read both) changed, or when it did
+	// not exist in the parent.
+	Dirty []bool
+}
+
+// RecastSnapWarm is RecastSnapErr with an optional warm start: only objects
+// w marks dirty are classified, every other object reuses its parent row.
+// The second return value counts the objects actually classified. Because a
+// clean object's local picture and the type definitions are unchanged, the
+// copied rows equal what classification would have produced, and the result
+// is bit-identical to a cold recast at any Parallelism; the defect is always
+// measured in full against the fresh assignment. A nil w classifies
+// everything (exactly RecastSnapErr).
+func RecastSnapWarm(snap *compile.Snapshot, prog *typing.Program, homes map[graph.ObjectID][]int, opts Options, w *Warm) (*Result, int, error) {
 	db := snap.DB()
 	a := typing.NewAssignment(prog, db)
 	classesOf := func(x graph.ObjectID) []int { return homes[x] }
@@ -142,10 +174,23 @@ func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph
 
 	// Classify objects in parallel chunks; each slot of assigned is written
 	// only by its owner. Assignments are applied serially afterwards, in
-	// object order, exactly as the serial loop would issue them.
+	// object order, exactly as the serial loop would issue them. A warm
+	// start skips clean positions inside the same chunk schedule, so the
+	// work drops to the dirty set while the per-object decisions (and their
+	// application order) stay untouched.
 	objs := snap.Complex
 	po := opts.pictureOpts()
 	assigned := make([][]int, len(objs))
+	classified := 0
+	if w != nil {
+		for _, d := range w.Dirty {
+			if d {
+				classified++
+			}
+		}
+	} else {
+		classified = len(objs)
+	}
 	err := par.DoErr(workers, len(objs), func(lo, hi int) error {
 		local := bitset.New(len(linkID)) // per-chunk scratch
 		for i := lo; i < hi; i++ {
@@ -153,6 +198,9 @@ func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph
 				if err := opts.Check(); err != nil {
 					return err
 				}
+			}
+			if w != nil && !w.Dirty[i] {
+				continue
 			}
 			o := objs[i]
 			picture := typing.LocalLinksSnapOpts(snap, o, classesOf, po)
@@ -196,9 +244,13 @@ func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i, out := range assigned {
+		if w != nil && !w.Dirty[i] {
+			a.Reuse(objs[i], w.Assignment.Types[objs[i]])
+			continue
+		}
 		for _, ti := range out {
 			a.Assign(objs[i], ti)
 		}
@@ -207,7 +259,7 @@ func RecastSnapErr(snap *compile.Snapshot, prog *typing.Program, homes map[graph
 	res := &Result{Assignment: a}
 	res.Defect = defect.MeasureSnap(a, snap)
 	res.Unclassified = len(a.Unclassified())
-	return res, nil
+	return res, classified, nil
 }
 
 func containsAll(set typing.LinkSet, links []typing.TypedLink) bool {

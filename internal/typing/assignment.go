@@ -33,6 +33,18 @@ func (a *Assignment) Assign(o graph.ObjectID, t int) {
 	sort.Ints(a.Types[o])
 }
 
+// Reuse installs a known-valid row for o — sorted, deduplicated type
+// indices, as a completed Assignment stores them — copying the slice so the
+// source row stays independent. An empty row installs nothing, matching the
+// classification loops, which never create empty entries. Warm recasting
+// uses this to replay a parent assignment's rows for unaffected objects.
+func (a *Assignment) Reuse(o graph.ObjectID, row []int) {
+	if len(row) == 0 {
+		return
+	}
+	a.Types[o] = append([]int(nil), row...)
+}
+
 // Has reports whether o is assigned type t.
 func (a *Assignment) Has(o graph.ObjectID, t int) bool {
 	for _, x := range a.Types[o] {

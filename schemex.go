@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"schemex/internal/cluster"
 	"schemex/internal/core"
@@ -204,19 +205,30 @@ type Options struct {
 	// a full recompute. <= 0 uses the default (0.25). Purely a performance
 	// knob — results are bit-identical on either path.
 	MaxAffectedFrac float64
+	// MaxDirtyTypesFrac tunes incremental Stages 2–3 the same way: when a
+	// delta leaves more than this fraction of the Stage 1 types dirty, warm
+	// clustering falls back to a full distance-matrix seeding, and the same
+	// budget caps the fraction of objects the warm recast may reclassify.
+	// <= 0 uses the default (0.25). Purely a performance knob — results are
+	// bit-identical on either path.
+	MaxDirtyTypesFrac float64
 }
 
 func (o Options) toCore() (core.Options, error) {
 	co := core.Options{
-		K:               o.K,
-		AllowEmpty:      o.AllowEmpty,
-		MultiRole:       o.MultiRole,
-		UseSorts:        o.UseSorts,
-		ValueLabels:     o.ValueLabels,
-		UseBisimulation: o.UseBisimulation,
-		Parallelism:     o.Parallelism,
-		Limits:          o.Limits.pipeline(),
-		MaxAffectedFrac: o.MaxAffectedFrac,
+		K:                 o.K,
+		AllowEmpty:        o.AllowEmpty,
+		MultiRole:         o.MultiRole,
+		UseSorts:          o.UseSorts,
+		ValueLabels:       o.ValueLabels,
+		UseBisimulation:   o.UseBisimulation,
+		Parallelism:       o.Parallelism,
+		Limits:            o.Limits.pipeline(),
+		MaxAffectedFrac:   o.MaxAffectedFrac,
+		MaxDirtyTypesFrac: o.MaxDirtyTypesFrac,
+	}
+	if co.MaxDirtyTypesFrac < 0 {
+		co.MaxDirtyTypesFrac = 0
 	}
 	if o.Delta != "" {
 		d, ok := cluster.DeltaByName(o.Delta)
@@ -363,6 +375,52 @@ func (r *Result) ClassifyNew(object string, maxDistance int) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// IncrementalInfo describes how much of one extraction was derived from
+// retained session state rather than recomputed. Observability only: every
+// combination yields bit-identical results.
+type IncrementalInfo struct {
+	// Stage1Warm / Stage2Warm / Stage3Warm report that the perfect typing
+	// was maintained incrementally, the clustering matrix was seeded from
+	// the previous extraction, and the recast reclassified only the delta's
+	// dirty objects, respectively.
+	Stage1Warm bool
+	Stage2Warm bool
+	Stage3Warm bool
+	// FastPath reports that the whole result was replayed from an identical
+	// earlier extraction (same options, nothing changed since).
+	FastPath bool
+	// DirtyTypes / DirtyObjects count the Stage 1 types reseeded by warm
+	// clustering and the objects reclassified by the warm recast (-1 when
+	// the corresponding stage ran cold).
+	DirtyTypes   int
+	DirtyObjects int
+}
+
+// Incremental reports which stages of this extraction ran incrementally.
+func (r *Result) Incremental() IncrementalInfo {
+	in := r.res.Incr
+	return IncrementalInfo{
+		Stage1Warm:   in.Stage1Warm,
+		Stage2Warm:   in.Stage2Warm,
+		Stage3Warm:   in.Stage3Warm,
+		FastPath:     in.FastPath,
+		DirtyTypes:   in.DirtyTypes,
+		DirtyObjects: in.DirtyObjects,
+	}
+}
+
+// StageTiming is the per-stage wall clock of one extraction. Stage2 includes
+// the auto-K sweep when one ran; fast-path results carry only Total.
+type StageTiming struct {
+	Stage1, Stage2, Stage3, Total time.Duration
+}
+
+// Timing returns the wall-clock time this extraction spent per stage.
+func (r *Result) Timing() StageTiming {
+	t := r.res.Timing
+	return StageTiming{Stage1: t.Stage1, Stage2: t.Stage2, Stage3: t.Stage3, Total: t.Total}
 }
 
 // Internal exposes the full pipeline result for advanced use (cmd tools,

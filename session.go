@@ -119,3 +119,24 @@ func (p *Prepared) ApplyContext(ctx context.Context, d *Delta) (np *Prepared, in
 // Version counts the deltas applied since the session's root Prepare: 0 for
 // a freshly prepared context, parent+1 after each Apply.
 func (p *Prepared) Version() uint64 { return p.prep.Version() }
+
+// IncrStats is a point-in-time snapshot of the incremental-versus-fallback
+// counters of a session lineage: how many extractions warm-started each stage
+// versus recomputing it, and how many replayed a whole retained result.
+type IncrStats struct {
+	Stage2Warm, Stage2Full uint64
+	Stage3Warm, Stage3Full uint64
+	FastPath               uint64
+}
+
+// IncrStats reports the incremental-extraction counters accumulated across
+// this session's whole lineage (the root Prepare and every session derived
+// from it through Apply share one set).
+func (p *Prepared) IncrStats() IncrStats {
+	s := p.prep.Stats()
+	return IncrStats{
+		Stage2Warm: s.Stage2Warm, Stage2Full: s.Stage2Full,
+		Stage3Warm: s.Stage3Warm, Stage3Full: s.Stage3Full,
+		FastPath: s.FastPath,
+	}
+}
