@@ -30,9 +30,11 @@ bench:
 
 # One iteration of each warm-extraction benchmark under the race detector:
 # keeps the incremental Stage 1–3 paths exercised with concurrency checking
-# on without paying for a full benchmark run.
+# on without paying for a full benchmark run. The WAL rides along so its
+# group-commit ticker and append path stay race-clean.
 bench-smoke:
 	$(GO) test -race -run='^$$' -bench='^BenchmarkWarmExtract' -benchtime=1x ./internal/experiments/
+	$(GO) test -race ./internal/wal/
 
 experiments:
 	$(GO) run ./cmd/experiments -all
@@ -49,6 +51,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/typing/
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/datalog/
 	$(GO) test -fuzz='^FuzzParsePath$$' -fuzztime $(FUZZTIME) ./internal/query/
+	$(GO) test -fuzz='^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal/
 
 # 30 seconds per fuzzer; part of `make check`.
 fuzz-short:

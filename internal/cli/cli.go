@@ -21,6 +21,7 @@ import (
 	"schemex/internal/graph"
 	"schemex/internal/perfect"
 	"schemex/internal/synth"
+	"schemex/internal/wal"
 )
 
 // Env carries the command environment (streams and a file opener), so tests
@@ -274,11 +275,12 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 	parallel := fs.Int("p", 0, "worker goroutines per stage (0 = one per CPU, 1 = serial)")
 	verbose := fs.Bool("v", false, "report each delta's apply path on stderr")
 	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no limit)")
+	logPath := fs.String("log", "", "write-ahead log: replay its deltas first, then append each -d delta (created if missing)")
 	if err := fs.Parse(args); err != nil {
 		return usageErr(err)
 	}
-	if len(deltas) == 0 {
-		return usageErr(fmt.Errorf("apply needs at least one -d delta file"))
+	if len(deltas) == 0 && *logPath == "" {
+		return usageErr(fmt.Errorf("apply needs at least one -d delta file (or -log)"))
 	}
 	path, err := fileArg(fs)
 	if err != nil {
@@ -293,6 +295,13 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 	sess, err := schemex.PrepareContext(ctx, g)
 	if err != nil {
 		return reportPartial(env, g, err)
+	}
+	var wlog *wal.Log
+	if *logPath != "" {
+		if sess, wlog, err = openApplyLog(ctx, *logPath, sess, *verbose, env); err != nil {
+			return err
+		}
+		defer wlog.Close()
 	}
 	for _, dpath := range deltas {
 		var r io.Reader
@@ -324,6 +333,11 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 			fmt.Fprintf(env.Stderr, "# %s: %d ops, %s, touched %d objects (%d new)\n",
 				dpath, d.Len(), path, info.TouchedObjects, info.NewObjects)
 		}
+		if wlog != nil {
+			if _, err := wlog.Append(wal.KindDelta, []byte(d.String())); err != nil {
+				return fmt.Errorf("logging %s: %w", dpath, err)
+			}
+		}
 		sess = next
 	}
 	if !*extract {
@@ -337,6 +351,80 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 	fmt.Fprintf(env.Stdout, "# defect: %d; unclassified objects: %d\n\n", res.Defect(), res.Unclassified())
 	fmt.Fprint(env.Stdout, res.Schema())
 	return nil
+}
+
+// openApplyLog wires cmdApply's -log flag: an existing log is replayed on top
+// of the freshly prepared session (a base record replaces the state outright,
+// delta records apply in order), then reopened for appending — a torn final
+// frame from an interrupted earlier run is dropped with a warning. A missing
+// log is created, seeded with the session's graph as its base record so the
+// log replays standalone next time.
+func openApplyLog(ctx context.Context, path string, sess *schemex.Prepared, verbose bool, env *Env) (*schemex.Prepared, *wal.Log, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		l, err := wal.Create(path, wal.SyncPolicy{})
+		if err != nil {
+			return nil, nil, err
+		}
+		var base strings.Builder
+		if err := sess.Graph().Write(&base); err != nil {
+			l.Close()
+			return nil, nil, err
+		}
+		if _, err := l.Append(wal.KindBase, []byte(base.String())); err != nil {
+			l.Close()
+			return nil, nil, err
+		}
+		if verbose {
+			fmt.Fprintf(env.Stderr, "# %s: created, base %d objects\n", path, sess.Graph().NumObjects())
+		}
+		return sess, l, nil
+	}
+	replayed := 0
+	_, torn, err := wal.Replay(path, 0, func(r wal.Record) error {
+		switch r.Kind {
+		case wal.KindBase:
+			g, err := schemex.ReadGraph(strings.NewReader(string(r.Payload)))
+			if err != nil {
+				return fmt.Errorf("base record at offset %d: %w", r.Offset, err)
+			}
+			p, err := schemex.PrepareContext(ctx, g)
+			if err != nil {
+				return err
+			}
+			sess = p
+		case wal.KindDelta:
+			d, err := schemex.ParseDelta(strings.NewReader(string(r.Payload)))
+			if err != nil {
+				return fmt.Errorf("delta record at offset %d: %w", r.Offset, err)
+			}
+			next, _, err := sess.ApplyContext(ctx, d)
+			if err != nil {
+				return fmt.Errorf("replaying delta at offset %d: %w", r.Offset, err)
+			}
+			sess = next
+			replayed++
+		}
+		return nil
+	})
+	if err != nil {
+		// *wal.CorruptError already names the file and offset.
+		var ce *wal.CorruptError
+		if errors.As(err, &ce) {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if torn {
+		fmt.Fprintf(env.Stderr, "# %s: dropped torn final record (interrupted write)\n", path)
+	}
+	if verbose {
+		fmt.Fprintf(env.Stderr, "# %s: replayed %d logged deltas\n", path, replayed)
+	}
+	l, err := wal.Open(path, wal.SyncPolicy{})
+	if err != nil {
+		return nil, nil, err // wal errors name the file
+	}
+	return sess, l, nil
 }
 
 // deltaFiles collects repeated -d flags in order.

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"schemex/internal/wal"
 )
 
 // run executes a command line with captured streams.
@@ -406,6 +408,63 @@ func TestApplyDeltaFromStdin(t *testing.T) {
 	}
 	if strings.Contains(stdout, "link gates microsoft is-manager-of") {
 		t.Errorf("detached object still linked:\n%s", stdout)
+	}
+}
+
+func TestApplyLogReplaysAcrossRuns(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	logPath := filepath.Join(t.TempDir(), "apply.wal")
+
+	// First run creates the log and appends one delta.
+	code, _, stderr := run(t, "", "apply", "-log", logPath,
+		"-d", writeTemp(t, "d1.txt", "link gates jobs knows\n"), data)
+	if code != 0 {
+		t.Fatalf("first run: code=%d stderr=%q", code, stderr)
+	}
+	// Second run replays it — no -d needed — so the earlier edit shows in
+	// the printed graph alongside the new one.
+	code, stdout, stderr := run(t, "", "apply", "-log", logPath, "-v",
+		"-d", writeTemp(t, "d2.txt", "link jobs gates knows\n"), data)
+	if code != 0 {
+		t.Fatalf("second run: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "link gates jobs knows") || !strings.Contains(stdout, "link jobs gates knows") {
+		t.Errorf("logged delta not replayed:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "replayed 1 logged deltas") {
+		t.Errorf("verbose replay note missing: %q", stderr)
+	}
+	// Third run with only -log (no -d) replays both.
+	code, stdout, _ = run(t, "", "apply", "-log", logPath, data)
+	if code != 0 || !strings.Contains(stdout, "link jobs gates knows") {
+		t.Fatalf("log-only run: code=%d\n%s", code, stdout)
+	}
+}
+
+func TestApplyLogTornTailWarning(t *testing.T) {
+	data := writeTemp(t, "data.txt", sampleData)
+	logPath := filepath.Join(t.TempDir(), "apply.wal")
+	if code, _, stderr := run(t, "", "apply", "-log", logPath,
+		"-d", writeTemp(t, "d.txt", "link gates jobs knows\n"), data); code != 0 {
+		t.Fatalf("seed run: code=%d stderr=%q", code, stderr)
+	}
+	st, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.TruncateAt(logPath, st.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := run(t, "", "apply", "-log", logPath, data)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stderr, "torn final record") {
+		t.Errorf("no torn-tail warning: %q", stderr)
+	}
+	// The torn delta dropped; the graph is the base state.
+	if strings.Contains(stdout, "link gates jobs knows") {
+		t.Errorf("torn delta applied anyway:\n%s", stdout)
 	}
 }
 

@@ -489,6 +489,13 @@ func (p *Prepared) Snapshot() *compile.Snapshot { return p.snap }
 // that share a lineage.
 func (p *Prepared) Version() uint64 { return p.version }
 
+// SetBaseVersion stamps the session version a rehydrated context resumes
+// from: recovery prepares the spilled snapshot (version 0 by construction),
+// rebases it to the manifest's version, then replays the log suffix so each
+// Apply advances the count exactly as the original process did. Call it
+// before the Prepared is shared; it is not synchronized.
+func (p *Prepared) SetBaseVersion(v uint64) { p.version = v }
+
 // Apply produces a new Prepared for the database obtained by applying delta
 // to p's database. Neither p, its database, nor any result extracted from it
 // is affected: the child shares untouched structure with the parent (graph

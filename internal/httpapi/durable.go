@@ -1,0 +1,316 @@
+// Durable sessions: every accepted delta is appended to a per-session
+// write-ahead log before it is acknowledged, the session's graph is spilled
+// to a snapshot file every SpillEvery deltas (rotating the log), and a
+// restart rehydrates each session log-suffix-over-snapshot. The on-disk
+// layout under Config.DataDir is
+//
+//	<DataDir>/sessions/<id>/
+//	    MANIFEST             {version, snapshot, log, logOffset}, atomic
+//	    snapshot-<V>.graph   graph text serialization at version V
+//	    wal-<V>.log          base record (same graph) + one delta per record
+//
+// The log's leading base record makes it self-sufficient: recovery prefers
+// the snapshot file and replays the log from the manifest's logOffset, but a
+// missing snapshot falls back to a full replay from the base record. A torn
+// final frame (crash mid-append) is dropped; interior corruption surfaces as
+// a typed *wal.CorruptError and the session is refused, not served wrong.
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"schemex"
+	"schemex/internal/wal"
+)
+
+// sessionsSubdir is the directory under DataDir holding one directory per
+// durable session.
+const sessionsSubdir = "sessions"
+
+// DefaultSpillEvery is the number of logged deltas between snapshot spills
+// when Config leaves SpillEvery unset. Between spills a restart replays at
+// most this many deltas per session.
+const DefaultSpillEvery = 64
+
+func (a *api) sessionDir(id string) string {
+	return filepath.Join(a.dataDir, sessionsSubdir, id)
+}
+
+// validSessionID accepts exactly the ids newSessionID mints (32 lowercase
+// hex digits), keeping path traversal out of sessionDir.
+func validSessionID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// makeDurable creates the session's directory and its first generation
+// (snapshot-0, wal-0, manifest). Called before the session is shared, so no
+// locking is needed; on failure the directory is removed and the create
+// request fails rather than serving an unlogged session.
+func (a *api) makeDurable(s *session) error {
+	dir := a.sessionDir(s.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.dir = dir
+	if err := s.spillTo(s.prep, a.pol); err != nil {
+		os.RemoveAll(dir)
+		s.dir = ""
+		return err
+	}
+	return nil
+}
+
+// persistLocked logs one just-applied delta and, every spillEvery deltas,
+// spills a fresh snapshot generation. The caller holds s.mu and has not yet
+// advanced s.prep; a nil return means the delta is durable per the sync
+// policy and the session may advance. In-memory sessions (nil log) return
+// immediately without allocating — the DataDir-unset mutate path is
+// unchanged, which an allocation-regression test pins.
+func (s *session) persistLocked(a *api, d *schemex.Delta, next *schemex.Prepared) error {
+	if s.log == nil {
+		return nil
+	}
+	if _, err := s.log.Append(wal.KindDelta, []byte(d.String())); err != nil {
+		return err
+	}
+	s.sinceSpill++
+	if s.sinceSpill >= a.spillEvery {
+		if err := s.spillTo(next, a.pol); err != nil {
+			// The delta is already durable in the current log; a failed
+			// spill only delays compaction. Keep serving, retry after
+			// another spillEvery deltas.
+			log.Printf("httpapi: session %s: snapshot spill failed (will retry): %v", s.id, err)
+			s.sinceSpill = 0
+		}
+	}
+	return nil
+}
+
+// spillTo writes a new durable generation for the given state: snapshot
+// file, fresh log seeded with a base record, then the manifest rename that
+// commits the switch. Every step before the rename leaves the previous
+// generation authoritative, so a crash (or an error return) anywhere in
+// between recovers to the old snapshot + old log with nothing lost; only
+// after the commit are the old files retired.
+func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
+	v := prep.Version()
+	var base bytes.Buffer
+	if err := prep.Graph().Write(&base); err != nil {
+		return err
+	}
+	snapName := fmt.Sprintf("snapshot-%d.graph", v)
+	logName := fmt.Sprintf("wal-%d.log", v)
+	if err := wal.WriteFileAtomic(filepath.Join(s.dir, snapName), func(w io.Writer) error {
+		_, err := w.Write(base.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	logPath := filepath.Join(s.dir, logName)
+	os.Remove(logPath) // leftovers from a crash mid-spill
+	nl, err := wal.Create(logPath, pol)
+	if err != nil {
+		return err
+	}
+	off, err := nl.Append(wal.KindBase, base.Bytes())
+	if err == nil {
+		err = nl.Sync() // the base record must be durable before the commit
+	}
+	if err == nil {
+		err = wal.WriteManifest(s.dir, wal.Manifest{
+			Version: v, Snapshot: snapName, Log: logName, LogOffset: off,
+		})
+	}
+	if err != nil {
+		nl.Close()
+		os.Remove(logPath)
+		return err
+	}
+	// Committed: retire the previous generation.
+	if s.log != nil {
+		s.log.Close()
+	}
+	if s.logFile != "" && s.logFile != logName {
+		os.Remove(filepath.Join(s.dir, s.logFile))
+	}
+	if s.snapFile != "" && s.snapFile != snapName {
+		os.Remove(filepath.Join(s.dir, s.snapFile))
+	}
+	s.log, s.snapFile, s.logFile, s.sinceSpill = nl, snapName, logName, 0
+	return nil
+}
+
+// removeDurable deletes a session's on-disk state (DELETE semantics) and
+// clears any corruption verdict so the id could be recreated. Reports
+// whether anything was removed.
+func (a *api) removeDurable(id string) (bool, error) {
+	if a.dataDir == "" || !validSessionID(id) {
+		return false, nil
+	}
+	a.recoverMu.Lock()
+	defer a.recoverMu.Unlock()
+	delete(a.corrupt, id)
+	dir := a.sessionDir(id)
+	if _, err := os.Stat(dir); err != nil {
+		return false, nil
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return false, fmt.Errorf("removing session state: %v", err)
+	}
+	return true, nil
+}
+
+// rehydrate loads an evicted (or restart-orphaned) durable session back into
+// the store. Corruption verdicts are sticky: a session refused once is not
+// re-parsed on every request.
+func (a *api) rehydrate(id string) (*session, bool) {
+	if !validSessionID(id) {
+		return nil, false
+	}
+	a.recoverMu.Lock()
+	defer a.recoverMu.Unlock()
+	if s, ok := a.sessions.get(id); ok {
+		return s, true // lost a race with another rehydration
+	}
+	if _, refused := a.corrupt[id]; refused {
+		return nil, false
+	}
+	if _, err := os.Stat(a.sessionDir(id)); err != nil {
+		return nil, false
+	}
+	s, err := a.recoverSession(id)
+	if err != nil {
+		log.Printf("httpapi: session %s: refusing durable state: %v", id, err)
+		a.corrupt[id] = err
+		return nil, false
+	}
+	return s, true
+}
+
+// recoverAll rehydrates every session directory under DataDir at startup.
+// A corrupt session is refused (and remembered as such) without failing the
+// server: the rest keep serving.
+func (a *api) recoverAll() error {
+	dir := filepath.Join(a.dataDir, sessionsSubdir)
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	a.recoverMu.Lock()
+	defer a.recoverMu.Unlock()
+	for _, e := range entries {
+		if !e.IsDir() || !validSessionID(e.Name()) {
+			continue
+		}
+		id := e.Name()
+		if _, err := a.recoverSession(id); err != nil {
+			log.Printf("httpapi: session %s: refusing durable state: %v", id, err)
+			a.corrupt[id] = err
+		}
+	}
+	return nil
+}
+
+// recoverSession rebuilds one session log-suffix-over-snapshot and adds it
+// to the store. The fast path loads the manifest's snapshot and replays the
+// log from logOffset; a missing snapshot file falls back to a full replay
+// from the log's base record. A torn final frame is truncated away when the
+// log is reopened for appending; any interior corruption aborts with the
+// typed error from the wal package.
+func (a *api) recoverSession(id string) (*session, error) {
+	dir := a.sessionDir(id)
+	m, err := wal.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(dir, m.Log)
+	ctx := context.Background()
+
+	var prep *schemex.Prepared
+	from := m.LogOffset
+	snapData, serr := os.ReadFile(filepath.Join(dir, m.Snapshot))
+	switch {
+	case serr == nil:
+		g, err := schemex.ReadGraph(bytes.NewReader(snapData))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", m.Snapshot, err)
+		}
+		if prep, err = schemex.PrepareContext(ctx, g); err != nil {
+			return nil, err
+		}
+		prep.SetBaseVersion(m.Version)
+	case os.IsNotExist(serr):
+		from = 0 // snapshot lost: full replay from the log's base record
+	default:
+		return nil, serr
+	}
+
+	replayed := 0
+	_, _, err = wal.Replay(logPath, from, func(r wal.Record) error {
+		switch r.Kind {
+		case wal.KindBase:
+			if prep != nil {
+				return fmt.Errorf("unexpected base record at offset %d", r.Offset)
+			}
+			g, err := schemex.ReadGraph(bytes.NewReader(r.Payload))
+			if err != nil {
+				return fmt.Errorf("base record: %w", err)
+			}
+			p, err := schemex.PrepareContext(ctx, g)
+			if err != nil {
+				return err
+			}
+			p.SetBaseVersion(m.Version)
+			prep = p
+		case wal.KindDelta:
+			if prep == nil {
+				return fmt.Errorf("delta record at offset %d before any base state", r.Offset)
+			}
+			d, err := schemex.ParseDelta(bytes.NewReader(r.Payload))
+			if err != nil {
+				return fmt.Errorf("delta record at offset %d: %w", r.Offset, err)
+			}
+			next, _, err := prep.ApplyContext(ctx, d)
+			if err != nil {
+				return fmt.Errorf("replaying delta at offset %d: %w", r.Offset, err)
+			}
+			prep = next
+			replayed++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if prep == nil {
+		return nil, fmt.Errorf("no recoverable state (snapshot %s missing and log holds no base record)", m.Snapshot)
+	}
+	lg, err := wal.Open(logPath, a.pol) // truncates a torn tail for appending
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id: id, prep: prep, dir: dir, log: lg,
+		snapFile: m.Snapshot, logFile: m.Log, sinceSpill: replayed,
+	}
+	a.sessions.add(s)
+	return s, nil
+}

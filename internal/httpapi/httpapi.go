@@ -30,11 +30,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"schemex"
+	"schemex/internal/wal"
 )
 
 // MaxBody caps request bodies (data sets are inlined in the envelope).
@@ -188,16 +191,49 @@ type Config struct {
 	CacheEntries int
 	// SessionEntries caps concurrent delta sessions (default
 	// DefaultSessionEntries); the least recently used session is dropped
-	// when a new one would exceed the cap.
+	// when a new one would exceed the cap. With DataDir set, eviction
+	// flushes the session's log and forgets only the in-memory copy — the
+	// next request for its id rehydrates it from disk.
 	SessionEntries int
+	// DataDir, when non-empty, makes delta sessions durable: every accepted
+	// delta is written to a per-session write-ahead log under
+	// DataDir/sessions/<id>/ before the mutation is acknowledged, and
+	// NewServer recovers all sessions found there on startup. Empty (the
+	// default) keeps sessions purely in memory, exactly as before.
+	DataDir string
+	// SyncEvery and SyncInterval set the log's group-commit policy (see
+	// wal.SyncPolicy): with both zero every append is fsynced before the
+	// mutation is acknowledged. SyncEvery=N batches up to N appends per
+	// fsync; SyncInterval flushes on a timer instead. Only consulted when
+	// DataDir is set.
+	SyncEvery    int
+	SyncInterval time.Duration
+	// SpillEvery is the number of logged deltas between snapshot spills
+	// (default DefaultSpillEvery). A spill bounds restart replay work and
+	// truncates the log by rotating to a fresh generation.
+	SpillEvery int
 }
 
-// api is one handler instance's state: the snapshot cache and the session
-// store. All handlers hang off it so separate handlers (tests, embedders)
-// never share caches through package globals.
+// api is one handler instance's state: the snapshot cache, the session
+// store, and (when DataDir is set) the durability knobs. All handlers hang
+// off it so separate handlers (tests, embedders) never share caches through
+// package globals.
 type api struct {
 	snapshots prepCache
 	sessions  sessionStore
+
+	// Durability; zero values when Config.DataDir was empty.
+	dataDir    string
+	pol        wal.SyncPolicy
+	spillEvery int
+
+	// recoverMu serializes disk-level session lifecycle (rehydrate, delete,
+	// startup recovery) so two requests for the same evicted id cannot both
+	// open its log. corrupt pins sessions whose durable state was refused —
+	// the verdict is remembered instead of re-scanning the bad log on every
+	// request. Both are touched only with recoverMu held.
+	recoverMu sync.Mutex
+	corrupt   map[string]error
 }
 
 func newAPI(cfg Config) *api {
@@ -210,10 +246,65 @@ func newAPI(cfg Config) *api {
 	if cfg.CacheEntries < 0 || cfg.SessionEntries < 0 {
 		panic(fmt.Sprintf("httpapi: non-positive capacities in %+v", cfg))
 	}
-	return &api{
-		snapshots: prepCache{max: cfg.CacheEntries},
-		sessions:  sessionStore{max: cfg.SessionEntries},
+	if cfg.SpillEvery == 0 {
+		cfg.SpillEvery = DefaultSpillEvery
 	}
+	if cfg.SpillEvery < 0 {
+		panic(fmt.Sprintf("httpapi: negative SpillEvery in %+v", cfg))
+	}
+	a := &api{
+		snapshots:  prepCache{max: cfg.CacheEntries},
+		sessions:   sessionStore{max: cfg.SessionEntries},
+		dataDir:    cfg.DataDir,
+		pol:        wal.SyncPolicy{Every: cfg.SyncEvery, Interval: cfg.SyncInterval},
+		spillEvery: cfg.SpillEvery,
+		corrupt:    make(map[string]error),
+	}
+	// Eviction flushes rather than drops: close() syncs and closes the log
+	// so the durable copy is complete before the in-memory one is forgotten.
+	a.sessions.onEvict = func(s *session) { s.close() }
+	return a
+}
+
+// Server is a handler plus lifecycle: it owns the durable session state under
+// Config.DataDir and flushes it on Close. cmd/schemex-server drives one;
+// tests construct several over the same DataDir to exercise recovery.
+type Server struct {
+	a *api
+	h http.Handler
+}
+
+// NewServer builds the API, recovering any durable sessions found under
+// cfg.DataDir. Sessions whose logs are corrupt are refused individually (they
+// keep returning errors until deleted); only an unusable DataDir itself is a
+// construction error.
+func NewServer(cfg Config) (*Server, error) {
+	a := newAPI(cfg)
+	if a.dataDir != "" {
+		if err := os.MkdirAll(filepath.Join(a.dataDir, sessionsSubdir), 0o755); err != nil {
+			return nil, fmt.Errorf("httpapi: preparing data dir: %v", err)
+		}
+		if err := a.recoverAll(); err != nil {
+			return nil, fmt.Errorf("httpapi: recovering sessions: %v", err)
+		}
+	}
+	return &Server{a: a, h: a.routes()}, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.h }
+
+// SessionEvictions reports how many sessions the LRU cap has flushed.
+func (s *Server) SessionEvictions() uint64 { return s.a.sessions.Evictions() }
+
+// Close flushes and closes every live session's write-ahead log. After Close
+// the handler must not serve further requests; durable state on disk is
+// complete and a future NewServer over the same DataDir recovers it.
+func (s *Server) Close() error {
+	for _, sess := range s.a.sessions.drain() {
+		sess.close()
+	}
+	return nil
 }
 
 func (a *api) routes() http.Handler {
@@ -234,8 +325,16 @@ func (a *api) routes() http.Handler {
 	return mux
 }
 
-// NewHandler returns an API handler with its own caches, sized by cfg.
-func NewHandler(cfg Config) http.Handler { return newAPI(cfg).routes() }
+// NewHandler returns an API handler with its own caches, sized by cfg. For a
+// durable configuration prefer NewServer, which surfaces recovery errors and
+// owns shutdown flushing; NewHandler panics if cfg.DataDir cannot be used.
+func NewHandler(cfg Config) http.Handler {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s.Handler()
+}
 
 // Handler returns an API handler with default capacities.
 func Handler() http.Handler { return NewHandler(Config{}) }

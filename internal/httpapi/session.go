@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"schemex"
+	"schemex/internal/wal"
 )
 
 // session is one server-side delta session. mu serializes mutations — Apply
@@ -25,6 +26,20 @@ type session struct {
 
 	mu   sync.Mutex
 	prep *schemex.Prepared
+
+	// Durable state; zero for in-memory sessions (Config.DataDir unset).
+	// dir is the session directory, log the open write-ahead log, snapFile/
+	// logFile the current manifest generation's file names, and sinceSpill
+	// the deltas logged since the last snapshot spill. evicted marks a
+	// session the LRU flushed out (or DELETE removed): requests that still
+	// hold the pointer see a consistent "unknown session" instead of
+	// appending to a closed log.
+	dir        string
+	log        *wal.Log
+	snapFile   string
+	logFile    string
+	sinceSpill int
+	evicted    bool
 }
 
 // current returns the session's prepared context for read-only use.
@@ -34,13 +49,30 @@ func (s *session) current() *schemex.Prepared {
 	return s.prep
 }
 
+// close marks the session expired and flushes + closes its write-ahead log.
+// Eviction and deletion both go through here: durable state stays replayable
+// on disk, and any request still holding the pointer gets a 404 rather than
+// a write into a closed log.
+func (s *session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evicted = true
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+}
+
 // sessionStore is an id-keyed LRU of live sessions, same recency discipline
 // as prepCache: the front is the most recently used, and creating past the
-// cap drops the back.
+// cap evicts the back — flushing it via onEvict rather than silently
+// dropping its state.
 type sessionStore struct {
-	mu      sync.Mutex
-	max     int        // capacity; 0 means DefaultSessionEntries
-	entries []*session // front = most recently used
+	mu        sync.Mutex
+	max       int        // capacity; 0 means DefaultSessionEntries
+	entries   []*session // front = most recently used
+	evictions uint64
+	onEvict   func(*session) // called without mu held
 }
 
 func (st *sessionStore) get(id string) (*session, bool) {
@@ -58,28 +90,54 @@ func (st *sessionStore) get(id string) (*session, bool) {
 
 func (st *sessionStore) add(s *session) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	max := st.max
 	if max == 0 {
 		max = DefaultSessionEntries
 	}
+	var evicted *session
 	if len(st.entries) < max {
 		st.entries = append(st.entries, nil)
+	} else if n := len(st.entries); n > 0 {
+		evicted = st.entries[n-1]
+		st.evictions++
 	}
 	copy(st.entries[1:], st.entries)
 	st.entries[0] = s
+	onEvict := st.onEvict
+	st.mu.Unlock()
+	if evicted != nil && onEvict != nil {
+		onEvict(evicted)
+	}
 }
 
-func (st *sessionStore) remove(id string) bool {
+func (st *sessionStore) remove(id string) (*session, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for i, s := range st.entries {
 		if s.id == id {
 			st.entries = append(st.entries[:i], st.entries[i+1:]...)
-			return true
+			return s, true
 		}
 	}
-	return false
+	return nil, false
+}
+
+// drain empties the store and returns what it held; used by Server.Close to
+// flush every live session exactly once.
+func (st *sessionStore) drain() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.entries
+	st.entries = nil
+	return out
+}
+
+// Evictions reports how many sessions the LRU cap has flushed out since the
+// store was created (a counter for the future metrics surface).
+func (st *sessionStore) Evictions() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evictions
 }
 
 func (st *sessionStore) len() int {
@@ -149,19 +207,34 @@ func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s := &session{id: newSessionID(), prep: prep}
+	if a.dataDir != "" {
+		if err := a.makeDurable(s); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting session: %v", err))
+			return
+		}
+	}
 	a.sessions.add(s)
 	writeJSON(w, infoOf(s, prep))
 }
 
 // lookupSession resolves the {id} path segment, replying 404 on a miss (the
-// id never existed, or the LRU cap evicted it).
+// id never existed, or the LRU cap evicted it). On a durable store, a miss
+// first tries rehydrating the session from its on-disk log — eviction only
+// flushes durable sessions, it does not forget them.
 func (a *api) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	s, ok := a.sessions.get(id)
+	if !ok && a.dataDir != "" {
+		s, ok = a.rehydrate(id)
+	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q (expired or never created)", id))
+		writeError(w, http.StatusNotFound, errUnknownSession(id))
 	}
 	return s, ok
+}
+
+func errUnknownSession(id string) error {
+	return fmt.Errorf("unknown session %q (expired or never created)", id)
 }
 
 func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
@@ -172,8 +245,17 @@ func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !a.sessions.remove(id) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+	s, ok := a.sessions.remove(id)
+	if ok {
+		s.close()
+	}
+	removedDisk, err := a.removeDurable(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok && !removedDisk {
+		writeError(w, http.StatusNotFound, errUnknownSession(id))
 		return
 	}
 	writeJSON(w, map[string]string{"deleted": id})
@@ -195,11 +277,26 @@ func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.evicted {
+		// The LRU flushed this session between lookup and lock (or DELETE
+		// raced us): same 404 as a store miss, never a write into a closed
+		// log.
+		writeError(w, http.StatusNotFound, errUnknownSession(s.id))
+		return
+	}
 	next, info, err := s.prep.ApplyContext(r.Context(), d)
 	if err != nil {
 		// The session is untouched: a bad delta (e.g. unlinking a missing
 		// edge) rejects atomically.
 		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Durability before acknowledgment: the delta is logged (and, under the
+	// default sync policy, fsynced) before the session advances and the
+	// client sees success. A failed append leaves the session on its old
+	// state — the delta stays unacknowledged and may be retried.
+	if err := s.persistLocked(a, d, next); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("logging delta: %v", err))
 		return
 	}
 	s.prep = next

@@ -1,0 +1,54 @@
+// Fault injection for the durability tests. The hooks here simulate the two
+// failure classes the recovery path must distinguish: torn writes (a crash
+// mid-append leaves a prefix of a frame — recoverable, tail dropped) and
+// bit rot (a complete frame whose checksum no longer matches — corruption,
+// refused). They live in the package proper so the httpapi recovery tests
+// can reuse them against real session directories.
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// errInjected is returned by an Append that hit an armed failpoint.
+var errInjected = errors.New("wal: injected append failure")
+
+// IsInjected reports whether err came from an armed failpoint.
+func IsInjected(err error) bool { return errors.Is(err, errInjected) }
+
+// FailNextAppend arms the torn-write failpoint: the next Append persists
+// only the first n bytes of its frame (n = 0 drops it entirely), then fails
+// and closes the log, exactly like a process killed mid-write. Test-only.
+func (l *Log) FailNextAppend(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failNext = n
+}
+
+// FlipBit XORs one bit of the file at the given byte offset — the
+// fault-injection primitive for interior corruption.
+func FlipBit(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return fmt.Errorf("wal: flipbit read at %d: %w", offset, err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// TruncateAt cuts the file to n bytes — the fault-injection primitive for a
+// torn tail.
+func TruncateAt(path string, n int64) error {
+	return os.Truncate(path, n)
+}

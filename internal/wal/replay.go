@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one replayed WAL record.
+type Record struct {
+	Kind    byte
+	Offset  int64  // byte offset of the record's frame header
+	End     int64  // byte offset just past the record — the replay watermark
+	Payload []byte // checksum-verified payload; valid until fn returns
+}
+
+// Replay scans the log at path, delivering every checksum-valid record at or
+// after byte offset from (0 means the start of the log) to fn in order. It
+// returns the offset just past the last valid record and whether a torn tail
+// — an incomplete final frame, the signature of a crash mid-append — was
+// dropped to get there.
+//
+// Errors: a *CorruptError for interior corruption (bad magic, impossible
+// header, checksum mismatch on a complete frame, or from beyond the end of
+// the file — a manifest pointing past EOF); fn's error, which aborts the
+// scan; or the underlying I/O error. fn may be nil to scan for the valid end
+// only.
+func Replay(path string, from int64, fn func(Record) error) (end int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	size := st.Size()
+	if from > size {
+		return 0, false, &CorruptError{Path: path, Offset: from, Reason: fmt.Sprintf("replay offset past end of log (%d bytes)", size)}
+	}
+	if from == 0 {
+		if size < int64(MagicLen) {
+			// The file died before its magic was complete: no valid
+			// content, recoverable by rewriting the header.
+			return 0, true, nil
+		}
+		var m [8]byte
+		if _, err := io.ReadFull(f, m[:MagicLen]); err != nil {
+			return 0, false, err
+		}
+		if string(m[:MagicLen]) != Magic {
+			return 0, false, &CorruptError{Path: path, Offset: 0, Reason: "bad magic (not a schemex WAL)"}
+		}
+		from = int64(MagicLen)
+	} else if from < int64(MagicLen) {
+		return 0, false, &CorruptError{Path: path, Offset: from, Reason: "replay offset inside the file header"}
+	} else if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	off := from
+	var header [headerLen]byte
+	var payload []byte
+	for {
+		_, err := io.ReadFull(br, header[:])
+		if err == io.EOF {
+			return off, false, nil // clean end on a frame boundary
+		}
+		if err == io.ErrUnexpectedEOF {
+			return off, true, nil // torn header
+		}
+		if err != nil {
+			return off, false, err
+		}
+		length := getU32(header[0:4])
+		kind := header[4]
+		sum := getU32(header[5:9])
+		if length > MaxRecordBytes {
+			return off, false, &CorruptError{Path: path, Offset: off, Reason: fmt.Sprintf("record length %d exceeds MaxRecordBytes", length)}
+		}
+		if kind != KindDelta && kind != KindBase {
+			return off, false, &CorruptError{Path: path, Offset: off, Reason: fmt.Sprintf("unknown record kind %d", kind)}
+		}
+		if off+int64(headerLen)+int64(length) > size {
+			// The header promises more bytes than the file holds: a crash
+			// mid-append. Only ever possible on the final frame.
+			return off, true, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, false, err // size said the bytes exist; real I/O error
+		}
+		if Checksum(payload) != sum {
+			return off, false, &CorruptError{Path: path, Offset: off, Reason: "checksum mismatch"}
+		}
+		next := off + int64(headerLen) + int64(length)
+		if fn != nil {
+			if err := fn(Record{Kind: kind, Offset: off, End: next, Payload: payload}); err != nil {
+				return off, false, err
+			}
+		}
+		off = next
+	}
+}

@@ -1,0 +1,356 @@
+// Package wal implements the write-ahead log behind durable delta sessions:
+// an append-only file of checksummed, length-prefixed records, plus the
+// atomic manifest and snapshot-spill helpers the server's recovery path
+// builds on.
+//
+// A log file starts with an 8-byte magic and is followed by frames:
+//
+//	offset 0: u32 LE  payload length
+//	offset 4: u8      record kind (KindDelta, KindBase)
+//	offset 5: u32 LE  CRC32C (Castagnoli) of the payload
+//	offset 9: payload bytes
+//
+// Payloads are opaque to this package; the server stores graph.Delta batches
+// in their Delta.String() line format (KindDelta) and a full graph in the
+// text serialization (KindBase) so a log is self-sufficient even when its
+// snapshot file is lost.
+//
+// Crash semantics follow the classic WAL contract: a frame is written with a
+// single Write call and (under the default SyncPolicy) fsynced before Append
+// returns, so a record either exists completely or is a torn tail. Replay
+// and Open drop an incomplete final frame silently — a crash mid-append must
+// not poison the log — but a complete frame whose checksum fails is interior
+// corruption and surfaces as a typed *CorruptError: the caller must refuse
+// the data rather than serve a silently wrong prefix.
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	// Magic identifies a schemex WAL file (8 bytes at offset 0).
+	Magic = "SXWAL001"
+	// MagicLen is the byte length of the file magic.
+	MagicLen = len(Magic)
+	// headerLen is the frame header size: u32 length, u8 kind, u32 CRC32C.
+	headerLen = 9
+	// MaxRecordBytes caps a single record's payload. A legal writer never
+	// exceeds it (request bodies are far smaller), so a larger length field
+	// is treated as corruption rather than an allocation request.
+	MaxRecordBytes = 1 << 28
+
+	// KindDelta marks a record holding a graph delta in the Delta.String()
+	// line format.
+	KindDelta byte = 1
+	// KindBase marks a record holding a full graph in the text
+	// serialization; it makes a log self-sufficient when the snapshot file
+	// beside it is missing.
+	KindBase byte = 2
+)
+
+// castagnoli is the CRC32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of a payload, exposed for tests that build
+// frames by hand.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// CorruptError reports interior corruption: a structurally complete record
+// that fails its checksum, an impossible header, a non-WAL file, or a replay
+// offset beyond the end of the log. Torn tails (incomplete final frames) are
+// NOT corruption and never produce this error.
+type CorruptError struct {
+	Path   string // the log file
+	Offset int64  // byte offset of the offending record or field
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt record at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// SyncPolicy controls when Append calls fsync. The zero value is the safest
+// setting: every append is synced before it is acknowledged.
+type SyncPolicy struct {
+	// Every syncs after this many appended records; <= 1 syncs every
+	// append (the default and the only setting under which an Append
+	// return implies durability of that record).
+	Every int
+	// Interval, when positive, runs a group-commit ticker that syncs any
+	// pending appends at least this often, bounding the unsynced window
+	// when Every > 1.
+	Interval time.Duration
+}
+
+// ParseSyncPolicy reads the textual policy accepted by the server's -sync
+// flag: "always" (or ""), "never", "every=N", or "interval=DURATION".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch {
+	case s == "" || s == "always":
+		return SyncPolicy{Every: 1}, nil
+	case s == "never":
+		return SyncPolicy{Every: 1 << 60}, nil
+	case len(s) > 6 && s[:6] == "every=":
+		var n int
+		if _, err := fmt.Sscanf(s[6:], "%d", &n); err != nil || n < 1 {
+			return SyncPolicy{}, fmt.Errorf("wal: bad sync policy %q: every= needs a positive integer", s)
+		}
+		return SyncPolicy{Every: n}, nil
+	case len(s) > 9 && s[:9] == "interval=":
+		d, err := time.ParseDuration(s[9:])
+		if err != nil || d <= 0 {
+			return SyncPolicy{}, fmt.Errorf("wal: bad sync policy %q: interval= needs a positive duration", s)
+		}
+		return SyncPolicy{Every: 1 << 60, Interval: d}, nil
+	default:
+		return SyncPolicy{}, fmt.Errorf("wal: unknown sync policy %q (always, never, every=N, interval=DUR)", s)
+	}
+}
+
+func (p SyncPolicy) every() int {
+	if p.Every < 1 {
+		return 1
+	}
+	return p.Every
+}
+
+// Log is an append-only WAL open for writing. Appends are serialized; a Log
+// is safe for concurrent use.
+type Log struct {
+	path string
+	pol  SyncPolicy
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64 // offset of the next append = bytes of valid content
+	pending int   // appends since the last fsync
+	closed  bool
+	buf     []byte // reused frame buffer
+
+	stopTick chan struct{}
+
+	// failNext arms the torn-write failpoint: the next Append persists only
+	// this many bytes of its frame, then fails with errInjected. -1 when
+	// disarmed. Test-only; see Log.FailNextAppend.
+	failNext int
+}
+
+// Create makes a new empty log at path, failing if the file already exists.
+// The magic header is written and synced before Create returns.
+func Create(path string, pol SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newLog(path, f, int64(MagicLen), pol), nil
+}
+
+// Open opens an existing log (or creates it when absent) for appending. The
+// file is scanned first: a torn tail left by a crash mid-append is truncated
+// away so new appends start on a clean frame boundary, while interior
+// corruption refuses the log with a *CorruptError.
+func Open(path string, pol SyncPolicy) (*Log, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return Create(path, pol)
+	}
+	end, _, err := Replay(path, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if end < int64(MagicLen) {
+		// The file died before the magic finished: rewrite it from scratch.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte(Magic), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		end = int64(MagicLen)
+	} else if st, err := f.Stat(); err == nil && st.Size() > end {
+		// Drop the torn tail so the next frame starts cleanly.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newLog(path, f, end, pol), nil
+}
+
+func newLog(path string, f *os.File, size int64, pol SyncPolicy) *Log {
+	l := &Log{path: path, pol: pol, f: f, size: size, failNext: -1}
+	if pol.Interval > 0 {
+		l.stopTick = make(chan struct{})
+		go l.tick(pol.Interval)
+	}
+	return l
+}
+
+// tick is the group-commit loop: it syncs pending appends at least every
+// interval until Close.
+func (l *Log) tick(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTick:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.pending > 0 {
+				if err := l.f.Sync(); err == nil {
+					l.pending = 0
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the offset of the next append — the end of valid content.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Append writes one record and returns the log's end offset after it. Under
+// the default SyncPolicy (Every <= 1) the record is fsynced before Append
+// returns, so a nil error means the record is durable; with a batched policy
+// durability lags by at most Every records or one Interval.
+func (l *Log) Append(kind byte, payload []byte) (int64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: %s: append on closed log", l.path)
+	}
+	need := headerLen + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	frame := l.buf[:need]
+	putU32(frame[0:4], uint32(len(payload)))
+	frame[4] = kind
+	putU32(frame[5:9], Checksum(payload))
+	copy(frame[headerLen:], payload)
+
+	if l.failNext >= 0 {
+		// Torn-write failpoint: persist a prefix of the frame, then die the
+		// way a crash mid-append would. The log is unusable afterwards.
+		n := l.failNext
+		if n > len(frame) {
+			n = len(frame)
+		}
+		l.failNext = -1
+		if n > 0 {
+			l.f.WriteAt(frame[:n], l.size)
+			l.f.Sync()
+		}
+		l.closed = true
+		l.f.Close()
+		return 0, errInjected
+	}
+
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return 0, err
+	}
+	l.size += int64(need)
+	l.pending++
+	if l.pending >= l.pol.every() {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.pending = 0
+	}
+	return l.size, nil
+}
+
+// Sync forces pending appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.pending = 0
+	return nil
+}
+
+// Close syncs and closes the log. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.stopTick != nil {
+		close(l.stopTick)
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,395 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// appendN appends n delta-kind records with distinguishable payloads and
+// returns their payloads in order.
+func appendN(t *testing.T, l *Log, n int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("link a b l%d\n", i))
+		if _, err := l.Append(KindDelta, p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func replayAll(t *testing.T, path string, from int64) (recs []Record, end int64, torn bool) {
+	t.Helper()
+	end, torn, err := Replay(path, from, func(r Record) error {
+		cp := Record{Kind: r.Kind, Offset: r.Offset, End: r.End, Payload: append([]byte(nil), r.Payload...)}
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, end, torn
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindBase, []byte("link a b l\n")); err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, end, torn := replayAll(t, path, 0)
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	if recs[0].Kind != KindBase {
+		t.Fatalf("first record kind %d, want base", recs[0].Kind)
+	}
+	for i, r := range recs[1:] {
+		if r.Kind != KindDelta || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d: kind %d payload %q, want %q", i, r.Kind, r.Payload, want[i])
+		}
+	}
+	st, _ := os.Stat(path)
+	if end != st.Size() {
+		t.Fatalf("end %d != file size %d", end, st.Size())
+	}
+
+	// Replaying from a mid-log watermark yields only the suffix.
+	suffix, _, _ := func() ([]Record, int64, bool) {
+		var rs []Record
+		e, tn, err := Replay(path, recs[3].End, func(r Record) error {
+			rs = append(rs, Record{Kind: r.Kind, Payload: append([]byte(nil), r.Payload...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("suffix replay: %v", err)
+		}
+		return rs, e, tn
+	}()
+	if len(suffix) != 2 || !bytes.Equal(suffix[0].Payload, want[3]) {
+		t.Fatalf("suffix replay: %d records", len(suffix))
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	// Cut the file at every offset inside the final frame: each is a
+	// plausible crash point and each must recover to exactly 2 records.
+	path := filepath.Join(dir, "wal.log")
+	l, err := Create(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+	recs, _, _ := replayAll(t, path, 0)
+	lastStart := recs[2].Offset
+	fileEnd := recs[2].End
+	for cut := lastStart + 1; cut < fileEnd; cut++ {
+		cutPath := filepath.Join(dir, fmt.Sprintf("cut%d.log", cut))
+		data, _ := os.ReadFile(path)
+		if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, end, torn := replayAll(t, cutPath, 0)
+		if !torn {
+			t.Fatalf("cut at %d: torn tail not reported", cut)
+		}
+		if len(rs) != 2 || end != lastStart {
+			t.Fatalf("cut at %d: %d records end %d, want 2 records end %d", cut, len(rs), end, lastStart)
+		}
+		// Open repairs the tail and appending resumes cleanly.
+		l2, err := Open(cutPath, SyncPolicy{})
+		if err != nil {
+			t.Fatalf("cut at %d: open: %v", cut, err)
+		}
+		if _, err := l2.Append(KindDelta, []byte("link x y z\n")); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		l2.Close()
+		rs2, _, torn2 := replayAll(t, cutPath, 0)
+		if torn2 || len(rs2) != 3 {
+			t.Fatalf("cut at %d: after repair %d records torn=%v", cut, len(rs2), torn2)
+		}
+	}
+}
+
+func TestInteriorCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+	recs, _, _ := replayAll(t, path, 0)
+
+	// Flip a payload bit in the middle record: a complete frame with a bad
+	// checksum is interior corruption, not a torn tail.
+	if err := FlipBit(path, recs[1].Offset+headerLen+2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Replay(path, 0, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("replay after bit flip: %v, want *CorruptError", err)
+	}
+	if ce.Offset != recs[1].Offset {
+		t.Fatalf("corrupt offset %d, want %d", ce.Offset, recs[1].Offset)
+	}
+	// Open must refuse too — appending to a corrupt log would bury the rot.
+	if _, err := Open(path, SyncPolicy{}); !errors.As(err, &ce) {
+		t.Fatalf("open on corrupt log: %v, want *CorruptError", err)
+	}
+	// Records before the corruption are still delivered.
+	var got int
+	_, _, err = Replay(path, 0, func(Record) error { got++; return nil })
+	if !errors.As(err, &ce) || got != 1 {
+		t.Fatalf("prefix delivery: %d records, err %v", got, err)
+	}
+}
+
+func TestHeaderCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Create(path, SyncPolicy{})
+	appendN(t, l, 2)
+	l.Close()
+	recs, _, _ := replayAll(t, path, 0)
+
+	// A flipped kind byte on an interior frame is an impossible header.
+	if err := FlipBit(path, recs[0].Offset+4); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, _, err := Replay(path, 0, nil); !errors.As(err, &ce) {
+		t.Fatalf("flipped kind: %v, want *CorruptError", err)
+	}
+}
+
+func TestBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL0somebytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, _, err := Replay(path, 0, nil); !errors.As(err, &ce) {
+		t.Fatalf("bad magic: %v, want *CorruptError", err)
+	}
+}
+
+func TestReplayOffsetPastEOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Create(path, SyncPolicy{})
+	appendN(t, l, 1)
+	l.Close()
+	st, _ := os.Stat(path)
+	var ce *CorruptError
+	if _, _, err := Replay(path, st.Size()+7, nil); !errors.As(err, &ce) {
+		t.Fatalf("offset past EOF: %v, want *CorruptError", err)
+	}
+	// Exactly at EOF is a clean empty suffix, not corruption.
+	if _, _, err := Replay(path, st.Size(), nil); err != nil {
+		t.Fatalf("offset at EOF: %v", err)
+	}
+}
+
+func TestShortMagicRecovered(t *testing.T) {
+	// A crash during Create can leave fewer than MagicLen bytes; the file
+	// has no content to lose, so Open rewrites it.
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("SXW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, torn, err := Replay(path, 0, nil); err != nil || !torn {
+		t.Fatalf("short magic: torn=%v err=%v, want torn", torn, err)
+	}
+	l, err := Open(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1)
+	l.Close()
+	recs, _, torn := replayAll(t, path, 0)
+	if torn || len(recs) != 1 {
+		t.Fatalf("after repair: %d records torn=%v", len(recs), torn)
+	}
+}
+
+func TestFailpointTornAppend(t *testing.T) {
+	// The in-process failpoint must leave exactly the crash-mid-append
+	// shape: a valid prefix plus a torn frame that recovery drops.
+	for _, partial := range []int{0, 3, headerLen, headerLen + 4} {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("wal%d.log", partial))
+		l, err := Create(path, SyncPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 2)
+		l.FailNextAppend(partial)
+		if _, err := l.Append(KindDelta, []byte("link q r s\n")); !IsInjected(err) {
+			t.Fatalf("partial=%d: err %v, want injected", partial, err)
+		}
+		recs, _, torn := replayAll(t, path, 0)
+		if len(recs) != 2 {
+			t.Fatalf("partial=%d: %d records, want 2", partial, len(recs))
+		}
+		if (partial > 0) != torn {
+			t.Fatalf("partial=%d: torn=%v", partial, torn)
+		}
+		if _, err := Open(path, SyncPolicy{}); err != nil {
+			t.Fatalf("partial=%d: open after torn append: %v", partial, err)
+		}
+	}
+}
+
+func TestSyncPolicyBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{Every: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.mu.Lock()
+	pend := l.pending
+	l.mu.Unlock()
+	if pend != 0 {
+		t.Fatalf("fresh pending %d", pend)
+	}
+	appendN(t, l, 2)
+	l.mu.Lock()
+	pend = l.pending
+	l.mu.Unlock()
+	if pend != 2 {
+		t.Fatalf("pending after 2 appends under every=3: %d", pend)
+	}
+	appendN(t, l, 1)
+	l.mu.Lock()
+	pend = l.pending
+	l.mu.Unlock()
+	if pend != 0 {
+		t.Fatalf("pending after group commit: %d", pend)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{Every: 1 << 30, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 4)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		pend := l.pending
+		l.mu.Unlock()
+		if pend == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval ticker never synced pending appends")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in    string
+		every int
+		ival  time.Duration
+		err   bool
+	}{
+		{"", 1, 0, false},
+		{"always", 1, 0, false},
+		{"never", 1 << 60, 0, false},
+		{"every=8", 8, 0, false},
+		{"interval=50ms", 1 << 60, 50 * time.Millisecond, false},
+		{"every=0", 0, 0, true},
+		{"interval=-1s", 0, 0, true},
+		{"bogus", 0, 0, true},
+	}
+	for _, c := range cases {
+		p, err := ParseSyncPolicy(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q: no error", c.in)
+			}
+			continue
+		}
+		if err != nil || p.Every != c.every || p.Interval != c.ival {
+			t.Errorf("%q: %+v err %v", c.in, p, err)
+		}
+	}
+}
+
+func TestManifestRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Version: 42, Snapshot: "snapshot-42.graph", Log: "wal-42.log", LogOffset: 137}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+	// Overwrite is atomic: the temp file never lingers and the new state
+	// fully replaces the old.
+	m2 := Manifest{Version: 43, Snapshot: "snapshot-43.graph", Log: "wal-43.log"}
+	if err := WriteManifest(dir, m2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadManifest(dir)
+	if err != nil || got != m2 {
+		t.Fatalf("after overwrite: %+v err %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != ManifestName {
+			t.Fatalf("stray file %q after atomic writes", e.Name())
+		}
+	}
+	// A manifest naming no log is refused.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := Create(path, SyncPolicy{})
+	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := l.Append(KindDelta, []byte("x")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -120,6 +120,13 @@ func (p *Prepared) ApplyContext(ctx context.Context, d *Delta) (np *Prepared, in
 // a freshly prepared context, parent+1 after each Apply.
 func (p *Prepared) Version() uint64 { return p.prep.Version() }
 
+// SetBaseVersion rebases the session version counter, the hook durable
+// recovery uses: a snapshot spilled at version V is re-prepared (version 0),
+// rebased to V, and the write-ahead log's suffix is replayed on top so the
+// rehydrated session reports the same version the crashed process
+// acknowledged. Call it only on a freshly prepared, unshared context.
+func (p *Prepared) SetBaseVersion(v uint64) { p.prep.SetBaseVersion(v) }
+
 // IncrStats is a point-in-time snapshot of the incremental-versus-fallback
 // counters of a session lineage: how many extractions warm-started each stage
 // versus recomputing it, and how many replayed a whole retained result.
