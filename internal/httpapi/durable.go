@@ -155,22 +155,46 @@ func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
 	return nil
 }
 
-// removeDurable deletes a session's on-disk state (DELETE semantics) and
-// clears any corruption verdict so the id could be recreated. Reports
-// whether anything was removed.
-func (a *api) removeDurable(id string) (bool, error) {
-	if a.dataDir == "" || !validSessionID(id) {
-		return false, nil
+// deleteSession implements DELETE: it removes the id from the store, waits
+// out any in-flight eviction flush, clears the corruption verdict, and
+// deletes the on-disk state. The store removal and the disk removal happen
+// under one recoverMu critical section, so a concurrent request cannot
+// rehydrate the session in between and keep serving an id whose directory
+// is gone. Reports whether anything (in memory or on disk) was removed.
+func (a *api) deleteSession(id string) (bool, error) {
+	if a.dataDir == "" {
+		s, ok := a.sessions.remove(id)
+		if ok {
+			s.close()
+		}
+		return ok, nil
 	}
 	a.recoverMu.Lock()
 	defer a.recoverMu.Unlock()
+	found := false
+	if s, ok := a.sessions.remove(id); ok {
+		found = true
+		if err := s.close(); err != nil {
+			// The state is being deleted anyway; a failed final flush only
+			// matters as a log line.
+			log.Printf("httpapi: session %s: closing log on delete: %v", id, err)
+		}
+	}
+	if old, ok := a.sessions.evicting(id); ok {
+		// An LRU flush of this id is still in flight: wait for its log
+		// handle to close before unlinking the files under it.
+		old.close()
+	}
+	if !validSessionID(id) {
+		return found, nil
+	}
 	delete(a.corrupt, id)
 	dir := a.sessionDir(id)
 	if _, err := os.Stat(dir); err != nil {
-		return false, nil
+		return found, nil
 	}
 	if err := os.RemoveAll(dir); err != nil {
-		return false, fmt.Errorf("removing session state: %v", err)
+		return found, fmt.Errorf("removing session state: %v", err)
 	}
 	return true, nil
 }
@@ -186,6 +210,16 @@ func (a *api) rehydrate(id string) (*session, bool) {
 	defer a.recoverMu.Unlock()
 	if s, ok := a.sessions.get(id); ok {
 		return s, true // lost a race with another rehydration
+	}
+	if old, ok := a.sessions.evicting(id); ok {
+		// The LRU just evicted this id and its flush may still be blocked on
+		// an in-flight mutation. Close the old session ourselves (close is
+		// idempotent and serializes on its mutex): when it returns, the old
+		// log handle is closed and every acknowledged delta is in the file,
+		// so reopening it below cannot race a live writer.
+		if err := old.close(); err != nil {
+			log.Printf("httpapi: session %s: flushing evicted log before rehydrate: %v", id, err)
+		}
 	}
 	if _, refused := a.corrupt[id]; refused {
 		return nil, false

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"schemex"
 	"schemex/internal/wal"
@@ -338,6 +339,192 @@ func TestDurableEvictionFlushesAndRehydrates(t *testing.T) {
 	// And id2 rehydrates back in turn.
 	if out := mutateOK(t, ts, id2, nthDelta(1)); out["version"].(float64) != 1 {
 		t.Fatalf("mutate rehydrated id2: %v", out)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStoreEvictingVisibleUntilFlush(t *testing.T) {
+	// An evicted session must stay reachable via evicting() for the whole
+	// window between leaving entries and its onEvict flush completing —
+	// that window is what rehydration keys off to avoid double-opening the
+	// session's WAL.
+	st := sessionStore{max: 1}
+	block := make(chan struct{})
+	st.onEvict = func(s *session) { <-block }
+	st.add(&session{id: "aaaa"})
+	done := make(chan struct{})
+	go func() {
+		st.add(&session{id: "bbbb"})
+		close(done)
+	}()
+	waitFor(t, func() bool { _, ok := st.evicting("aaaa"); return ok })
+	if _, ok := st.get("aaaa"); ok {
+		t.Fatal("evicted session still in entries")
+	}
+	close(block)
+	<-done
+	if _, ok := st.evicting("aaaa"); ok {
+		t.Fatal("flush finished but session still pending")
+	}
+}
+
+func TestRehydrateWaitsForEvictionFlush(t *testing.T) {
+	// The acknowledged-delta-loss race from the review: an eviction whose
+	// flush is blocked on an in-flight mutate must not let a concurrent
+	// request rehydrate the same id and reopen its WAL while the old handle
+	// is live. Rehydration has to wait for the flush; the delta the
+	// in-flight mutate appends must survive into the rehydrated copy.
+	dir := t.TempDir()
+	srv, ts := durableServer(t, Config{DataDir: dir, SessionEntries: 1})
+	id1 := createSession(t, ts, sampleText)
+	s1, ok := srv.a.sessions.get(id1)
+	if !ok {
+		t.Fatal("created session not in store")
+	}
+
+	// Hold the session lock the way an in-flight mutate does.
+	s1.mu.Lock()
+
+	// Creating a second session evicts id1; the eviction flush blocks on
+	// s1.mu, so it runs in the background.
+	body := mustJSON(t, map[string]interface{}{"data": sampleText})
+	createDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/session", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("create status %d", resp.StatusCode)
+			}
+		}
+		createDone <- err
+	}()
+	waitFor(t, func() bool { _, ok := srv.a.sessions.evicting(id1); return ok })
+
+	// A concurrent request for the evicted id: it misses the store and must
+	// block in rehydrate until the old log handle closes.
+	type getResult struct {
+		version float64
+		err     error
+	}
+	getDone := make(chan getResult, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/session/" + id1)
+		if err != nil {
+			getDone <- getResult{err: err}
+			return
+		}
+		var info map[string]interface{}
+		if err := jsonDecode(resp, &info); err != nil {
+			getDone <- getResult{err: err}
+			return
+		}
+		v, _ := info["version"].(float64)
+		getDone <- getResult{version: v}
+	}()
+
+	// Complete the "in-flight mutate" on the old handle: append one delta,
+	// advance the state, release the lock. This is exactly the acknowledged
+	// write the race would lose.
+	d, err := schemex.ParseDelta(strings.NewReader(nthDelta(0)))
+	if err != nil {
+		s1.mu.Unlock()
+		t.Fatal(err)
+	}
+	next, _, err := s1.prep.ApplyContext(context.Background(), d)
+	if err != nil {
+		s1.mu.Unlock()
+		t.Fatal(err)
+	}
+	if err := s1.persistLocked(srv.a, d, next); err != nil {
+		s1.mu.Unlock()
+		t.Fatalf("append on in-flight session: %v", err)
+	}
+	s1.prep = next
+	s1.mu.Unlock()
+
+	if err := <-createDone; err != nil {
+		t.Fatal(err)
+	}
+	got := <-getDone
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if got.version != 1 {
+		t.Fatalf("rehydrated version %v, want 1 (acknowledged delta lost)", got.version)
+	}
+	// The rehydrated session keeps accepting writes on a consistent log.
+	if out := mutateOK(t, ts, id1, nthDelta(1)); out["version"].(float64) != 2 {
+		t.Fatalf("mutate after rehydrate: %v", out)
+	}
+}
+
+func TestDeleteWaitsForEvictionFlush(t *testing.T) {
+	// DELETE racing an eviction flush (and any rehydration) must leave the
+	// id fully gone: no live session serving an unlinked directory.
+	dir := t.TempDir()
+	srv, ts := durableServer(t, Config{DataDir: dir, SessionEntries: 1})
+	id1 := createSession(t, ts, sampleText)
+	s1, ok := srv.a.sessions.get(id1)
+	if !ok {
+		t.Fatal("created session not in store")
+	}
+	s1.mu.Lock()
+
+	body := mustJSON(t, map[string]interface{}{"data": sampleText})
+	createDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/session", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("create status %d", resp.StatusCode)
+			}
+		}
+		createDone <- err
+	}()
+	waitFor(t, func() bool { _, ok := srv.a.sessions.evicting(id1); return ok })
+
+	delDone := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+id1, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			delDone <- -1
+			return
+		}
+		resp.Body.Close()
+		delDone <- resp.StatusCode
+	}()
+
+	s1.mu.Unlock()
+	if err := <-createDone; err != nil {
+		t.Fatal(err)
+	}
+	if code := <-delDone; code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, sessionsSubdir, id1)); !os.IsNotExist(err) {
+		t.Fatalf("session dir survives delete: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/session/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("deleted id still serving: status %d", resp.StatusCode)
 	}
 }
 

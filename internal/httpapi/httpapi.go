@@ -262,7 +262,13 @@ func newAPI(cfg Config) *api {
 	}
 	// Eviction flushes rather than drops: close() syncs and closes the log
 	// so the durable copy is complete before the in-memory one is forgotten.
-	a.sessions.onEvict = func(s *session) { s.close() }
+	// A failed flush means acknowledged deltas may not be durable — log it
+	// loudly; the next rehydration still replays whatever the file holds.
+	a.sessions.onEvict = func(s *session) {
+		if err := s.close(); err != nil {
+			log.Printf("httpapi: session %s: flushing evicted session log: %v", s.id, err)
+		}
+	}
 	return a
 }
 
@@ -299,12 +305,19 @@ func (s *Server) SessionEvictions() uint64 { return s.a.sessions.Evictions() }
 
 // Close flushes and closes every live session's write-ahead log. After Close
 // the handler must not serve further requests; durable state on disk is
-// complete and a future NewServer over the same DataDir recovers it.
+// complete and a future NewServer over the same DataDir recovers it. A
+// non-nil error means at least one session's final flush failed — under a
+// batched sync policy its acknowledged deltas may not have reached disk, so
+// callers (cmd/schemex-server) must report it rather than claim a clean
+// shutdown.
 func (s *Server) Close() error {
+	var errs []error
 	for _, sess := range s.a.sessions.drain() {
-		sess.close()
+		if err := sess.close(); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", sess.id, err))
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func (a *api) routes() http.Handler {

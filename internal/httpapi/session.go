@@ -49,18 +49,24 @@ func (s *session) current() *schemex.Prepared {
 	return s.prep
 }
 
-// close marks the session expired and flushes + closes its write-ahead log.
-// Eviction and deletion both go through here: durable state stays replayable
-// on disk, and any request still holding the pointer gets a 404 rather than
-// a write into a closed log.
-func (s *session) close() {
+// close marks the session expired and flushes + closes its write-ahead log,
+// returning the log's Close error (a failed final fsync under a batched sync
+// policy means acknowledged deltas may not be durable — callers must report
+// it, not swallow it). Eviction and deletion both go through here: durable
+// state stays replayable on disk, and any request still holding the pointer
+// gets a 404 rather than a write into a closed log. close is idempotent and
+// blocks until any in-flight mutation releases s.mu, so a nil return also
+// means no other log handle for this session is live.
+func (s *session) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.evicted = true
+	var err error
 	if s.log != nil {
-		s.log.Close()
+		err = s.log.Close()
 		s.log = nil
 	}
+	return err
 }
 
 // sessionStore is an id-keyed LRU of live sessions, same recency discipline
@@ -73,6 +79,11 @@ type sessionStore struct {
 	entries   []*session // front = most recently used
 	evictions uint64
 	onEvict   func(*session) // called without mu held
+	// pending holds sessions evicted from entries whose onEvict flush has not
+	// finished yet. A durable session must stay reachable here until its log
+	// handle is closed: rehydration keys off this map to wait for the flush
+	// instead of reopening the same WAL file while the old handle is live.
+	pending map[string]*session
 }
 
 func (st *sessionStore) get(id string) (*session, bool) {
@@ -100,14 +111,38 @@ func (st *sessionStore) add(s *session) {
 	} else if n := len(st.entries); n > 0 {
 		evicted = st.entries[n-1]
 		st.evictions++
+		// Registered before the store lock drops: there is no instant at
+		// which the evicted session is in neither entries nor pending.
+		if st.pending == nil {
+			st.pending = make(map[string]*session)
+		}
+		st.pending[evicted.id] = evicted
 	}
 	copy(st.entries[1:], st.entries)
 	st.entries[0] = s
 	onEvict := st.onEvict
 	st.mu.Unlock()
-	if evicted != nil && onEvict != nil {
+	if evicted == nil {
+		return
+	}
+	if onEvict != nil {
 		onEvict(evicted)
 	}
+	st.mu.Lock()
+	if st.pending[evicted.id] == evicted {
+		delete(st.pending, evicted.id)
+	}
+	st.mu.Unlock()
+}
+
+// evicting returns the session an in-flight eviction is still flushing, if
+// any. Callers close it (close is idempotent) to wait for the flush before
+// touching the id's on-disk state.
+func (st *sessionStore) evicting(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.pending[id]
+	return s, ok
 }
 
 func (st *sessionStore) remove(id string) (*session, bool) {
@@ -245,16 +280,12 @@ func (a *api) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s, ok := a.sessions.remove(id)
-	if ok {
-		s.close()
-	}
-	removedDisk, err := a.removeDurable(id)
+	found, err := a.deleteSession(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if !ok && !removedDisk {
+	if !found {
 		writeError(w, http.StatusNotFound, errUnknownSession(id))
 		return
 	}
@@ -276,14 +307,24 @@ func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.evicted {
+	for s.evicted {
 		// The LRU flushed this session between lookup and lock (or DELETE
-		// raced us): same 404 as a store miss, never a write into a closed
-		// log.
-		writeError(w, http.StatusNotFound, errUnknownSession(s.id))
-		return
+		// raced us) and its log is closed. A durable session still exists on
+		// disk: re-resolve — rehydrate waits out the eviction's flush — and
+		// retry on the fresh copy. In-memory (or deleted) sessions are gone:
+		// same 404 as a store miss, never a write into a closed log.
+		s.mu.Unlock()
+		if a.dataDir == "" {
+			writeError(w, http.StatusNotFound, errUnknownSession(s.id))
+			return
+		}
+		if s, ok = a.rehydrate(s.id); !ok {
+			writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
+			return
+		}
+		s.mu.Lock()
 	}
+	defer s.mu.Unlock()
 	next, info, err := s.prep.ApplyContext(r.Context(), d)
 	if err != nil {
 		// The session is untouched: a bad delta (e.g. unlinking a missing

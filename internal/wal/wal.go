@@ -27,6 +27,7 @@ package wal
 import (
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -75,6 +76,12 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("wal: %s: corrupt record at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
+// SyncNever is the Every value meaning "no count-based sync": appends are
+// never fsynced by count, only by an Interval ticker or an explicit Sync.
+// (math.MaxInt, not a shifted literal, so the package builds on 32-bit
+// GOARCHes too.)
+const SyncNever = math.MaxInt
+
 // SyncPolicy controls when Append calls fsync. The zero value is the safest
 // setting: every append is synced before it is acknowledged.
 type SyncPolicy struct {
@@ -95,7 +102,7 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	case s == "" || s == "always":
 		return SyncPolicy{Every: 1}, nil
 	case s == "never":
-		return SyncPolicy{Every: 1 << 60}, nil
+		return SyncPolicy{Every: SyncNever}, nil
 	case len(s) > 6 && s[:6] == "every=":
 		var n int
 		if _, err := fmt.Sscanf(s[6:], "%d", &n); err != nil || n < 1 {
@@ -107,7 +114,7 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 		if err != nil || d <= 0 {
 			return SyncPolicy{}, fmt.Errorf("wal: bad sync policy %q: interval= needs a positive duration", s)
 		}
-		return SyncPolicy{Every: 1 << 60, Interval: d}, nil
+		return SyncPolicy{Every: SyncNever, Interval: d}, nil
 	default:
 		return SyncPolicy{}, fmt.Errorf("wal: unknown sync policy %q (always, never, every=N, interval=DUR)", s)
 	}

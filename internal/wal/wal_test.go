@@ -323,9 +323,9 @@ func TestParseSyncPolicy(t *testing.T) {
 	}{
 		{"", 1, 0, false},
 		{"always", 1, 0, false},
-		{"never", 1 << 60, 0, false},
+		{"never", SyncNever, 0, false},
 		{"every=8", 8, 0, false},
-		{"interval=50ms", 1 << 60, 50 * time.Millisecond, false},
+		{"interval=50ms", SyncNever, 50 * time.Millisecond, false},
 		{"every=0", 0, 0, true},
 		{"interval=-1s", 0, 0, true},
 		{"bogus", 0, 0, true},
