@@ -52,6 +52,10 @@ func main() {
 		"WAL fsync policy: always, never, every=N, or interval=DURATION")
 	spillEvery := flag.Int("spill-every", httpapi.DefaultSpillEvery,
 		"deltas between session snapshot spills (must be positive)")
+	spillBytes := flag.Int64("spill-bytes", 0,
+		"also spill a session snapshot once its log exceeds this many bytes (0: delta count only)")
+	recoverConc := flag.Int("recover-concurrency", httpapi.DefaultRecoverConcurrency,
+		"sessions recovered concurrently at startup (must be positive)")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
@@ -67,6 +71,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schemex-server: -spill-every must be positive, got %d\n", *spillEvery)
 		os.Exit(2)
 	}
+	if *spillBytes < 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -spill-bytes must be non-negative, got %d\n", *spillBytes)
+		os.Exit(2)
+	}
+	if *recoverConc <= 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -recover-concurrency must be positive, got %d\n", *recoverConc)
+		os.Exit(2)
+	}
 	pol, err := wal.ParseSyncPolicy(*sync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schemex-server: -sync: %v\n", err)
@@ -74,12 +86,14 @@ func main() {
 	}
 
 	api, err := httpapi.NewServer(httpapi.Config{
-		CacheEntries:   *cacheEntries,
-		SessionEntries: *sessionEntries,
-		DataDir:        *dataDir,
-		SyncEvery:      pol.Every,
-		SyncInterval:   pol.Interval,
-		SpillEvery:     *spillEvery,
+		CacheEntries:       *cacheEntries,
+		SessionEntries:     *sessionEntries,
+		DataDir:            *dataDir,
+		SyncEvery:          pol.Every,
+		SyncInterval:       pol.Interval,
+		SpillEvery:         *spillEvery,
+		SpillBytes:         *spillBytes,
+		RecoverConcurrency: *recoverConc,
 	})
 	if err != nil {
 		log.Fatalf("schemex-server: %v", err)

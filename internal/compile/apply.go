@@ -1,7 +1,10 @@
 package compile
 
 import (
+	"sort"
+
 	"schemex/internal/graph"
+	"schemex/internal/par"
 )
 
 // ApplyInfo describes how a delta-derived snapshot was built, in the terms
@@ -31,15 +34,19 @@ type ApplyInfo struct {
 // Apply builds the snapshot of snap's database with delta applied, sharing
 // structure with snap wherever the delta permits, using one worker per CPU.
 //
-// The fast path rebuilds only what the delta touches: the label table and
-// its intern map are aliased outright, untouched histogram chunks are
+// The fast path rebuilds only the shards the delta touches: the label table
+// and its intern map are aliased outright, untouched histogram chunks are
 // aliased from the parent (only chunks holding a touched row are
-// re-accumulated), contiguous runs of untouched objects have their CSR
-// spans block-copied in one memmove per run, and the atomic/position/sort
-// tables are aliased when the delta creates no objects (extend-copied
-// otherwise). Object IDs are dense and append-only, so pre-existing complex
-// positions are stable and everything positional in the parent remains
-// meaningful against the child.
+// re-accumulated), and — the shard payoff — every shard holding no touched
+// object keeps its parent's CSR block wholesale, so a delta confined to one
+// shard rebuilds one shard and leaves the rest untouched no matter how
+// large the graph is. Within a rebuilt shard, contiguous runs of untouched
+// objects are block-copied in one memmove per run and only touched objects
+// are re-scanned edge by edge. The atomic/position/sort tables are aliased
+// when the delta creates no objects (extend-copied otherwise). Object IDs
+// are dense and append-only, so pre-existing complex positions are stable
+// and everything positional in the parent remains meaningful against the
+// child.
 //
 // Two delta shapes invalidate parent structure wholesale and fall back to a
 // full Compile of the mutated database (Shared=false in the returned info):
@@ -47,6 +54,8 @@ type ApplyInfo struct {
 // removal of a label's last occurrence — renumbers the dense label IDs every
 // compiled array is expressed in; and an existing object flipping between
 // atomic and complex shifts the dense complex positions (PosStable=false).
+// The fallback keeps the parent's shard geometry, so a session's layout is
+// stable across its whole delta stream.
 //
 // The receiver snapshot and its database are never mutated; extractions
 // holding them remain valid. Either way the result is semantically identical
@@ -57,9 +66,9 @@ func Apply(snap *Snapshot, delta *graph.Delta) (*Snapshot, *ApplyInfo, error) {
 
 // ApplyCheck is Apply with an explicit worker count (<= 0 means one per CPU,
 // 1 runs serially) and a cooperative cancellation checkpoint (nil means
-// "never cancel"), mirroring CompileCheck. The incremental path is always
-// serial — it is memmove-bound, and deltas are small — so workers only
-// affects the full-recompile fallback.
+// "never cancel"), mirroring CompileCheck. Dirty shards rebuild in parallel
+// on the worker pool; a single-shard snapshot's incremental path runs
+// serially as before (it is memmove-bound, and deltas are small).
 func ApplyCheck(snap *Snapshot, delta *graph.Delta, workers int, check func() error) (*Snapshot, *ApplyInfo, error) {
 	child, eff, err := snap.db.ApplyDelta(delta)
 	if err != nil {
@@ -71,13 +80,13 @@ func ApplyCheck(snap *Snapshot, delta *graph.Delta, workers int, check func() er
 		PosStable:  !eff.Flipped,
 	}
 	if eff.Flipped || labelUniverseChanged(snap, eff) {
-		ns, err := CompileCheck(child, workers, check)
+		ns, err := compileShift(child, snap.shardShift, workers, check)
 		if err != nil {
 			return nil, nil, err
 		}
 		return ns, info, nil
 	}
-	ns, err := applyIncremental(snap, child, eff, check)
+	ns, err := applyIncremental(snap, child, eff, workers, check)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,7 +97,7 @@ func ApplyCheck(snap *Snapshot, delta *graph.Delta, workers int, check func() er
 // labelUniverseChanged reports whether the delta grew or shrank the set of
 // distinct edge labels. Growth is a map miss on the parent's intern table;
 // shrinkage needs the parent's occurrence count of each net-removed label,
-// which one pass over the parent's flat label array provides.
+// which one pass over the shards' label arrays provides.
 func labelUniverseChanged(snap *Snapshot, eff *graph.DeltaEffect) bool {
 	var shrinkCand []int
 	for lab, d := range eff.LabelDelta {
@@ -107,9 +116,11 @@ func labelUniverseChanged(snap *Snapshot, eff *graph.DeltaEffect) bool {
 	for _, id := range shrinkCand {
 		counts[id] = 0
 	}
-	for _, lab := range snap.OutLab {
-		if _, ok := counts[int(lab)]; ok {
-			counts[int(lab)]++
+	for _, sh := range snap.shards {
+		for _, lab := range sh.OutLab {
+			if _, ok := counts[int(lab)]; ok {
+				counts[int(lab)]++
+			}
 		}
 	}
 	for _, id := range shrinkCand {
@@ -125,18 +136,22 @@ func labelUniverseChanged(snap *Snapshot, eff *graph.DeltaEffect) bool {
 // object flipped atomic↔complex, so parent label IDs, complex positions, and
 // every untouched object's CSR and histogram rows remain valid verbatim.
 //
-// It runs serially: the work is a handful of large memmoves over untouched
-// CSR runs plus per-edge scans of the (small) touched set, which parallel
-// shards would only slow down with fork/join overhead.
-func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect, check func() error) (*Snapshot, error) {
+// The child inherits the parent's shard geometry. A shard holding no
+// touched object is aliased from the parent outright (pointer-identical
+// when the delta created no objects; the same CSR arrays behind rebound
+// table views otherwise), so the work — and the memory traffic — is
+// proportional to the dirty shards, not the graph.
+func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect, workers int, check func() error) (*Snapshot, error) {
 	child.Freeze()
 	n := child.NumObjects()
 	oldN := eff.OldObjects
+	shift := parent.shardShift
 
 	s := &Snapshot{
-		db:      child,
-		Labels:  parent.Labels, // universe unchanged: alias table and intern map
-		labelID: parent.labelID,
+		db:         child,
+		Labels:     parent.Labels, // universe unchanged: alias table and intern map
+		labelID:    parent.labelID,
+		shardShift: shift,
 	}
 	if n == oldN {
 		// No objects created, and none flipped on this path: the atomic
@@ -171,78 +186,72 @@ func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect,
 		}
 	}
 
-	// Touched objects (the delta's own list plus everything newly created)
-	// as a dense flag array: the loops below test it once per object, and a
-	// map lookup there would dominate the whole rebuild.
-	touched := make([]bool, n)
+	// The shard dirty-set: shards holding a touched object, plus — when the
+	// delta created objects — the parent's (possibly partial) last shard
+	// and every shard past it.
+	nSh := numShards(n, shift)
+	dirty := make([]bool, nSh)
 	for _, o := range eff.Touched {
-		touched[o] = true
+		dirty[int(o)>>shift] = true
 	}
-	for i := oldN; i < n; i++ {
-		touched[i] = true
+	boundSi := nSh // first shard whose position range needs recounting
+	if n > oldN {
+		boundSi = oldN >> int(shift)
+		for si := boundSi; si < nSh; si++ {
+			dirty[si] = true
+		}
 	}
 
-	// Offsets: untouched objects keep their parent degree, touched ones use
-	// the child's edge lists. One serial prefix-sum pass, as in CompileCheck.
-	s.OutOff = make([]int32, n+1)
-	s.InOff = make([]int32, n+1)
-	for i := 0; i < n; i++ {
-		if !touched[i] {
-			s.OutOff[i+1] = s.OutOff[i] + (parent.OutOff[i+1] - parent.OutOff[i])
-			s.InOff[i+1] = s.InOff[i] + (parent.InOff[i+1] - parent.InOff[i])
+	// Position ranges chain through the shards: a shard strictly below the
+	// growth boundary keeps its parent range verbatim (no flips on this
+	// path), the boundary shard and anything past it recount from the
+	// freshly extended Pos table.
+	posLo := make([]int, nSh)
+	posN := make([]int, nSh)
+	next := 0
+	for si := 0; si < nSh; si++ {
+		lo := next
+		if si < len(parent.shards) {
+			lo = parent.shards[si].PosBase
+		}
+		pn := 0
+		if si < boundSi {
+			pn = parent.shards[si].PosN
 		} else {
-			o := graph.ObjectID(i)
-			s.OutOff[i+1] = s.OutOff[i] + int32(len(child.Out(o)))
-			s.InOff[i+1] = s.InOff[i] + int32(len(child.In(o)))
-		}
-	}
-	nE := int(s.OutOff[n])
-	s.OutTo = make([]int32, nE)
-	s.OutLab = make([]int32, nE)
-	s.InFrom = make([]int32, nE)
-	s.InLab = make([]int32, nE)
-
-	// Edge arrays: each maximal run of untouched objects shifts by a
-	// constant offset, so it moves as one block copy per array; only touched
-	// objects are re-scanned edge by edge. Runs never cross a touched or new
-	// object, so parent offsets are always in range.
-	copyRun := func(a, b int) {
-		if a >= b {
-			return
-		}
-		copy(s.OutTo[s.OutOff[a]:s.OutOff[b]], parent.OutTo[parent.OutOff[a]:parent.OutOff[b]])
-		copy(s.OutLab[s.OutOff[a]:s.OutOff[b]], parent.OutLab[parent.OutOff[a]:parent.OutOff[b]])
-		copy(s.InFrom[s.InOff[a]:s.InOff[b]], parent.InFrom[parent.InOff[a]:parent.InOff[b]])
-		copy(s.InLab[s.InOff[a]:s.InOff[b]], parent.InLab[parent.InOff[a]:parent.InOff[b]])
-	}
-	const checkEvery = 1024
-	run := 0
-	for i := 0; i < n; i++ {
-		if check != nil && i%checkEvery == 0 {
-			if err := check(); err != nil {
-				return nil, err
+			base := si << shift
+			end := base + 1<<shift
+			if end > n {
+				end = n
+			}
+			for gi := base; gi < end; gi++ {
+				if s.Pos[gi] >= 0 {
+					pn++
+				}
 			}
 		}
-		if !touched[i] {
-			continue
-		}
-		copyRun(run, i)
-		run = i + 1
-		o := graph.ObjectID(i)
-		at := s.OutOff[i]
-		for _, e := range child.Out(o) {
-			s.OutTo[at] = int32(e.To)
-			s.OutLab[at] = int32(s.labelID[e.Label])
-			at++
-		}
-		at = s.InOff[i]
-		for _, e := range child.In(o) {
-			s.InFrom[at] = int32(e.From)
-			s.InLab[at] = int32(s.labelID[e.Label])
-			at++
-		}
+		posLo[si], posN[si] = lo, pn
+		next = lo + pn
 	}
-	copyRun(run, n)
+
+	// Build the shard table: untouched shards alias the parent, dirty ones
+	// rebuild independently in parallel.
+	s.shards = make([]*Shard, nSh)
+	if err := par.DoItemsErr(workers, nSh, func(si int) error {
+		if !dirty[si] {
+			if n == oldN {
+				s.shards[si] = parent.shards[si]
+			} else {
+				s.shards[si] = parent.shards[si].reslice(s)
+			}
+			return nil
+		}
+		return s.rebuildShard(si, parent, eff, posLo[si], posN[si], check)
+	}); err != nil {
+		return nil, err
+	}
+	for _, sh := range s.shards {
+		s.nLinks += len(sh.OutTo)
+	}
 
 	// Histograms: alias every chunk whose rows are untouched; chunks holding
 	// a touched row — plus any chunk reaching past the parent's row count,
@@ -253,22 +262,22 @@ func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect,
 	nC := len(s.Complex)
 	parentNC := len(parent.Complex)
 	nChunks := (nC + histChunkMask) >> histChunkShift
-	dirty := make([]bool, nChunks)
+	dirtyChunks := make([]bool, nChunks)
 	if nC > parentNC {
 		for c := parentNC >> histChunkShift; c < nChunks; c++ {
-			dirty[c] = true
+			dirtyChunks[c] = true
 		}
 	}
 	for _, o := range eff.Touched {
 		if p := s.Pos[o]; p >= 0 {
-			dirty[int(p)>>histChunkShift] = true
+			dirtyChunks[int(p)>>histChunkShift] = true
 		}
 	}
-	s.OutComplex = deriveHist(parent.OutComplex, nC, dirty)
-	s.OutAtomic = deriveHist(parent.OutAtomic, nC, dirty)
-	s.InComplex = deriveHist(parent.InComplex, nC, dirty)
-	s.OutAtomicSort = deriveHist(parent.OutAtomicSort, nC, dirty)
-	for c, d := range dirty {
+	s.OutComplex = deriveHist(parent.OutComplex, nC, dirtyChunks)
+	s.OutAtomic = deriveHist(parent.OutAtomic, nC, dirtyChunks)
+	s.InComplex = deriveHist(parent.InComplex, nC, dirtyChunks)
+	s.OutAtomicSort = deriveHist(parent.OutAtomicSort, nC, dirtyChunks)
+	for c, d := range dirtyChunks {
 		if !d {
 			continue
 		}
@@ -278,24 +287,111 @@ func applyIncremental(parent *Snapshot, child *graph.DB, eff *graph.DeltaEffect,
 			hi = nC
 		}
 		for p := lo; p < hi; p++ {
-			o := int(s.Complex[p])
+			o := graph.ObjectID(s.Complex[p])
 			outC := s.OutComplex.row(p)
 			outA := s.OutAtomic.row(p)
 			outAS := s.OutAtomicSort.row(p)
 			inC := s.InComplex.row(p)
-			for k := s.OutOff[o]; k < s.OutOff[o+1]; k++ {
-				lab := s.OutLab[k]
-				if to := int(s.OutTo[k]); s.Atomic.Test(to) {
+			to, labs := s.Out(o)
+			for k := range to {
+				lab := labs[k]
+				if t := int(to[k]); s.Atomic.Test(t) {
 					outA[lab]++
-					outAS[int(lab)*NumSorts+int(s.Sorts[to])]++
+					outAS[int(lab)*NumSorts+int(s.Sorts[t])]++
 				} else {
 					outC[lab]++
 				}
 			}
-			for k := s.InOff[o]; k < s.InOff[o+1]; k++ {
-				inC[s.InLab[k]]++
+			_, inLabs := s.In(o)
+			for _, lab := range inLabs {
+				inC[lab]++
 			}
 		}
 	}
 	return s, nil
+}
+
+// rebuildShard rebuilds dirty shard si of s against the parent snapshot:
+// untouched objects keep their parent degree and have their CSR spans
+// block-copied run by run from the parent shard's (shard-local) arrays,
+// touched and newly created objects are re-scanned from the child database.
+// All indexing is shard-local, so concurrent rebuilds of different shards
+// share nothing but the read-only parent.
+func (s *Snapshot) rebuildShard(si int, parent *Snapshot, eff *graph.DeltaEffect, posLo, posN int, check func() error) error {
+	child := s.db
+	sh := newShard(s, si, posLo, posLo+posN)
+	var ps *Shard
+	if si < len(parent.shards) {
+		ps = parent.shards[si]
+	}
+
+	// The shard's touched flags: binary-search the (ascending) touched list
+	// down to the shard's ID range, then flag everything past the parent's
+	// object count.
+	oldN := eff.OldObjects
+	touched := make([]bool, sh.N)
+	k := sort.Search(len(eff.Touched), func(i int) bool { return int(eff.Touched[i]) >= sh.Base })
+	for ; k < len(eff.Touched) && int(eff.Touched[k]) < sh.Base+sh.N; k++ {
+		touched[int(eff.Touched[k])-sh.Base] = true
+	}
+	for gi := max(oldN, sh.Base); gi < sh.Base+sh.N; gi++ {
+		touched[gi-sh.Base] = true
+	}
+
+	// Offsets: untouched objects keep their parent degree, touched ones use
+	// the child's edge lists. Untouched objects always existed in the
+	// parent shard, so ps indexing is in range wherever it is reached.
+	for i := 0; i < sh.N; i++ {
+		if !touched[i] {
+			sh.OutOff[i+1] = sh.OutOff[i] + (ps.OutOff[i+1] - ps.OutOff[i])
+			sh.InOff[i+1] = sh.InOff[i] + (ps.InOff[i+1] - ps.InOff[i])
+		} else {
+			o := graph.ObjectID(sh.Base + i)
+			sh.OutOff[i+1] = sh.OutOff[i] + int32(len(child.Out(o)))
+			sh.InOff[i+1] = sh.InOff[i] + int32(len(child.In(o)))
+		}
+	}
+	sh.alloc()
+
+	// Edge arrays: each maximal run of untouched objects shifts by a
+	// constant offset, so it moves as one block copy per array; only touched
+	// objects are re-scanned edge by edge.
+	copyRun := func(a, b int) {
+		if a >= b {
+			return
+		}
+		copy(sh.OutTo[sh.OutOff[a]:sh.OutOff[b]], ps.OutTo[ps.OutOff[a]:ps.OutOff[b]])
+		copy(sh.OutLab[sh.OutOff[a]:sh.OutOff[b]], ps.OutLab[ps.OutOff[a]:ps.OutOff[b]])
+		copy(sh.InFrom[sh.InOff[a]:sh.InOff[b]], ps.InFrom[ps.InOff[a]:ps.InOff[b]])
+		copy(sh.InLab[sh.InOff[a]:sh.InOff[b]], ps.InLab[ps.InOff[a]:ps.InOff[b]])
+	}
+	run := 0
+	for i := 0; i < sh.N; i++ {
+		if check != nil && i%checkEvery == 0 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		if !touched[i] {
+			continue
+		}
+		copyRun(run, i)
+		run = i + 1
+		o := graph.ObjectID(sh.Base + i)
+		at := sh.OutOff[i]
+		for _, e := range child.Out(o) {
+			sh.OutTo[at] = int32(e.To)
+			sh.OutLab[at] = int32(s.labelID[e.Label])
+			at++
+		}
+		at = sh.InOff[i]
+		for _, e := range child.In(o) {
+			sh.InFrom[at] = int32(e.From)
+			sh.InLab[at] = int32(s.labelID[e.Label])
+			at++
+		}
+	}
+	copyRun(run, sh.N)
+	s.shards[si] = sh
+	return nil
 }

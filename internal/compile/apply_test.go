@@ -30,26 +30,43 @@ func buildDB(t *testing.T) *graph.DB {
 	return db
 }
 
-// snapEqual compares every exported field of two snapshots.
+// flatView flattens a snapshot's sharded CSR back into the global-array
+// form, so snapshots compare field-by-field regardless of shard layout.
+type flatView struct {
+	Labels                           []string
+	OutTo, OutLab, InFrom, InLab     []int32
+	AtomicBits                       string
+	Complex                          []graph.ObjectID
+	Pos                              []int32
+	Sorts                            []uint8
+	OutComplex, OutAtomic, InComplex Hist
+	OutAtomicSort                    Hist
+}
+
+func flatten(s *Snapshot) flatView {
+	v := flatView{
+		Labels: s.Labels, AtomicBits: fmt.Sprint(s.Atomic),
+		Complex: s.Complex, Pos: s.Pos, Sorts: s.Sorts,
+		OutComplex: s.OutComplex, OutAtomic: s.OutAtomic,
+		InComplex: s.InComplex, OutAtomicSort: s.OutAtomicSort,
+	}
+	for i := 0; i < s.NumObjects(); i++ {
+		to, lab := s.Out(graph.ObjectID(i))
+		v.OutTo = append(v.OutTo, to...)
+		v.OutLab = append(v.OutLab, lab...)
+		from, flab := s.In(graph.ObjectID(i))
+		v.InFrom = append(v.InFrom, from...)
+		v.InLab = append(v.InLab, flab...)
+	}
+	return v
+}
+
+// snapEqual compares two snapshots' contents through the flattened view,
+// so snapshots with different shard layouts compare equal iff they describe
+// the same compiled graph bit for bit.
 func snapEqual(t *testing.T, got, want *Snapshot, label string) {
 	t.Helper()
-	type view struct {
-		Labels                           []string
-		OutOff, InOff                    []int32
-		OutTo, OutLab, InFrom, InLab     []int32
-		AtomicBits                       string
-		Complex                          []graph.ObjectID
-		Pos                              []int32
-		Sorts                            []uint8
-		OutComplex, OutAtomic, InComplex Hist
-		OutAtomicSort                    Hist
-	}
-	mk := func(s *Snapshot) view {
-		return view{s.Labels, s.OutOff, s.InOff, s.OutTo, s.OutLab, s.InFrom, s.InLab,
-			fmt.Sprint(s.Atomic), s.Complex, s.Pos, s.Sorts,
-			s.OutComplex, s.OutAtomic, s.InComplex, s.OutAtomicSort}
-	}
-	if g, w := mk(got), mk(want); !reflect.DeepEqual(g, w) {
+	if g, w := flatten(got), flatten(want); !reflect.DeepEqual(g, w) {
 		t.Fatalf("%s: snapshots differ:\ngot  %+v\nwant %+v", label, g, w)
 	}
 }

@@ -1,9 +1,10 @@
 // Package compile turns a graph.DB into an immutable, index-backed
 // Snapshot that every extraction stage shares: CSR-style adjacency (flat
-// []int32 edge arrays with per-object offsets), edge labels interned into a
-// dense label universe, atomic objects as a bitset, dense positions for
-// complex objects, and the per-(object, label) degree histograms that seed
-// the greatest-fixpoint support counts.
+// []int32 edge arrays with per-object offsets, partitioned into fixed-range
+// object shards), edge labels interned into a dense label universe, atomic
+// objects as a bitset, dense positions for complex objects, and the
+// per-(object, label) degree histograms that seed the greatest-fixpoint
+// support counts.
 //
 // The paper's three-stage method (minimal perfect typing → greedy
 // clustering → recast, §4–§6) runs many passes over the same link/atomic
@@ -117,30 +118,28 @@ func (h *Hist) row(r int) []int32 {
 //   - Label IDs are dense indexes into Labels, which is sorted; because
 //     graph.DB sorts each object's edge lists by (label string, neighbor),
 //     every per-object CSR run is sorted by (label ID, neighbor) too.
-//   - OutTo[OutOff[o]:OutOff[o+1]] / OutLab[...] are the targets/labels of
-//     object o's outgoing edges; InFrom/InLab mirror them for incoming edges.
+//   - The object-ID space is partitioned into fixed ranges of ShardSize()
+//     IDs; each Shard holds the CSR block of its range with shard-local
+//     offsets (see Shard). Out/In hide the dispatch.
 //   - Pos maps an ObjectID to its dense complex position (or -1 for atomic
-//     objects); Complex is the inverse, in ObjectID order.
+//     objects); Complex is the inverse, in ObjectID order. Positions follow
+//     ID order, so every shard owns one contiguous position range.
 //   - The degree histograms are chunked (pos, column) matrices — see Hist —
 //     addressed At(pos, labelID) and counting o's ℓ-edges to complex
 //     targets, to atomic targets, and from complex sources; OutAtomicSort
 //     further splits the atomic counts by value sort, At(pos,
 //     labelID*NumSorts+sort).
 //
-// All fields are exported for the stage packages but must be treated as
+// All exported fields are for the stage packages but must be treated as
 // read-only; mutating a Snapshot breaks every extraction sharing it.
+//
+// The shard layout is purely representational: a snapshot's contents are
+// bit-identical at every shard count, which the shard property tests pin.
 type Snapshot struct {
 	db *graph.DB
 
 	// Labels is the dense label universe, sorted ascending.
 	Labels []string
-	// OutOff/InOff have length NumObjects()+1; the edges of object o occupy
-	// [Off[o], Off[o+1]).
-	OutOff, InOff []int32
-	// OutTo/OutLab hold the target object ID and label ID of each outgoing
-	// edge; InFrom/InLab the source object ID and label ID of each incoming
-	// edge.
-	OutTo, OutLab, InFrom, InLab []int32
 	// Atomic marks atomic objects, as a bitset over ObjectIDs.
 	Atomic *bitset.Set
 	// Complex lists the complex objects in ObjectID order; Pos is its
@@ -158,10 +157,17 @@ type Snapshot struct {
 	OutAtomicSort                    Hist
 
 	labelID map[string]int
+
+	// shards partitions the CSR adjacency by object range; shardShift is
+	// the log2 shard size and nLinks the total out-edge count.
+	shards     []*Shard
+	shardShift uint
+	nLinks     int
 }
 
-// Compile builds the snapshot of db using one worker per CPU. The result is
-// identical at any worker count (shards write disjoint rows).
+// Compile builds the snapshot of db using one worker per CPU and automatic
+// shard layout. The result is identical at any worker count (workers write
+// disjoint rows).
 func Compile(db *graph.DB) *Snapshot {
 	s, _ := CompileCheck(db, 0, nil)
 	return s
@@ -172,15 +178,32 @@ func Compile(db *graph.DB) *Snapshot {
 // means "never cancel"). On a non-nil check error compilation stops, all
 // workers are joined, and the error is returned with a nil snapshot.
 func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, error) {
+	return CompileShardsCheck(db, 0, workers, check)
+}
+
+// CompileShardsCheck is CompileCheck with an explicit shard count: 0 sizes
+// shards automatically from the graph, 1 compiles the single flat block of
+// the pre-sharding layout, and k > 1 partitions the object space into (at
+// most) k fixed ranges. Purely a layout knob — the snapshot's contents are
+// bit-identical at any setting.
+func CompileShardsCheck(db *graph.DB, shards, workers int, check func() error) (*Snapshot, error) {
+	return compileShift(db, shardShiftFor(shards, db.NumObjects()), workers, check)
+}
+
+// compileShift compiles db at a fixed shard-size exponent. Apply's
+// full-recompile fallback comes through here with the parent's exponent, so
+// a session's shard geometry is stable across fallbacks.
+func compileShift(db *graph.DB, shift uint, workers int, check func() error) (*Snapshot, error) {
 	db.Freeze() // flush lazy edge sorting before (possibly concurrent) reads
 	n := db.NumObjects()
 
 	s := &Snapshot{
-		db:     db,
-		Labels: db.Labels(),
-		Atomic: bitset.New(n),
-		Pos:    make([]int32, n),
-		Sorts:  make([]uint8, n),
+		db:         db,
+		Labels:     db.Labels(),
+		Atomic:     bitset.New(n),
+		Pos:        make([]int32, n),
+		Sorts:      make([]uint8, n),
+		shardShift: shift,
 	}
 	s.labelID = make(map[string]int, len(s.Labels))
 	for i, l := range s.Labels {
@@ -192,8 +215,17 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 		}
 	}
 
-	// Dense complex positions and the atomic bitset/sort table.
+	// Dense complex positions and the atomic bitset/sort table, recording
+	// the position watermark at every shard boundary: positions follow ID
+	// order, so shard si's complex objects are exactly positions
+	// [posBase[si], posBase[si+1]).
+	nSh := numShards(n, shift)
+	posBase := make([]int, nSh+1)
+	mask := 1<<shift - 1
 	for i := 0; i < n; i++ {
+		if i&mask == 0 {
+			posBase[i>>shift] = len(s.Complex)
+		}
 		o := graph.ObjectID(i)
 		if v, ok := db.AtomicValue(o); ok {
 			s.Atomic.Set(i)
@@ -204,20 +236,32 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 			s.Complex = append(s.Complex, o)
 		}
 	}
+	posBase[nSh] = len(s.Complex)
 
-	// CSR offsets from the per-object degrees, then a sharded fill: each
-	// object owns its own [Off[o], Off[o+1]) run, so shards never race.
-	s.OutOff = make([]int32, n+1)
-	s.InOff = make([]int32, n+1)
-	for i := 0; i < n; i++ {
-		s.OutOff[i+1] = s.OutOff[i] + int32(len(db.Out(graph.ObjectID(i))))
-		s.InOff[i+1] = s.InOff[i] + int32(len(db.In(graph.ObjectID(i))))
+	// Per-shard CSR blocks: offsets are a prefix sum local to each shard,
+	// so shards size and allocate their arrays independently in parallel.
+	s.shards = make([]*Shard, nSh)
+	if err := par.DoItemsErr(workers, nSh, func(si int) error {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		sh := newShard(s, si, posBase[si], posBase[si+1])
+		for i := 0; i < sh.N; i++ {
+			o := graph.ObjectID(sh.Base + i)
+			sh.OutOff[i+1] = sh.OutOff[i] + int32(len(db.Out(o)))
+			sh.InOff[i+1] = sh.InOff[i] + int32(len(db.In(o)))
+		}
+		sh.alloc()
+		s.shards[si] = sh
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	nE := int(s.OutOff[n])
-	s.OutTo = make([]int32, nE)
-	s.OutLab = make([]int32, nE)
-	s.InFrom = make([]int32, nE)
-	s.InLab = make([]int32, nE)
+	for _, sh := range s.shards {
+		s.nLinks += len(sh.OutTo)
+	}
 
 	nC := len(s.Complex)
 	nL := len(s.Labels)
@@ -226,53 +270,94 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 	s.InComplex = makeHist(nC, nL)
 	s.OutAtomicSort = makeHist(nC, nL*NumSorts)
 
-	const checkEvery = 1024
-	if err := par.DoErr(workers, n, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			if check != nil && i%checkEvery == 0 {
-				if err := check(); err != nil {
-					return err
-				}
-			}
-			o := graph.ObjectID(i)
-			var outC, outA, outAS, inC []int32
-			if p := s.Pos[i]; p >= 0 {
-				outC = s.OutComplex.row(int(p))
-				outA = s.OutAtomic.row(int(p))
-				outAS = s.OutAtomicSort.row(int(p))
-				inC = s.InComplex.row(int(p))
-			}
-			at := s.OutOff[i]
-			for _, e := range db.Out(o) {
-				lab := int32(s.labelID[e.Label])
-				s.OutTo[at] = int32(e.To)
-				s.OutLab[at] = lab
-				at++
-				if outC != nil {
-					if s.Atomic.Test(int(e.To)) {
-						outA[lab]++
-						outAS[int(lab)*NumSorts+int(s.Sorts[e.To])]++
-					} else {
-						outC[lab]++
-					}
-				}
-			}
-			at = s.InOff[i]
-			for _, e := range db.In(o) {
-				lab := int32(s.labelID[e.Label])
-				s.InFrom[at] = int32(e.From)
-				s.InLab[at] = lab
-				at++
-				if inC != nil {
-					inC[lab]++
-				}
-			}
-		}
-		return nil
+	// Fill, parallel over shard subranges: spans are sized by worker count
+	// and clipped at shard boundaries, so a single huge shard still fans
+	// out over every worker. Each object owns its CSR run and histogram
+	// row, so spans never race.
+	spans := s.fillSpans(workers)
+	if err := par.DoItemsErr(workers, len(spans), func(k int) error {
+		sp := spans[k]
+		return s.fillRange(s.shards[sp.shard], sp.lo, sp.hi, check)
 	}); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// span is one shard-local object range [lo, hi) of shard shard.
+type span struct{ shard, lo, hi int }
+
+// fillSpans splits the object space into per-shard subranges of roughly
+// n/workers objects, so the fill saturates the pool even when one shard
+// dominates (shards=1 degenerates to exactly the pre-sharding chunking).
+func (s *Snapshot) fillSpans(workers int) []span {
+	per := (s.NumObjects() + par.Workers(workers) - 1) / par.Workers(workers)
+	if per < 1 {
+		per = 1
+	}
+	var out []span
+	for si, sh := range s.shards {
+		for lo := 0; lo < sh.N; lo += per {
+			hi := lo + per
+			if hi > sh.N {
+				hi = sh.N
+			}
+			out = append(out, span{si, lo, hi})
+		}
+	}
+	return out
+}
+
+const checkEvery = 1024
+
+// fillRange scans the database rows of sh's local objects [lo, hi) into the
+// shard's CSR block and accumulates their histogram rows. Only Compile uses
+// it: Apply re-accumulates dirty histogram chunks separately, because a
+// rebuilt shard may still alias clean chunks of the parent's histograms.
+func (s *Snapshot) fillRange(sh *Shard, lo, hi int, check func() error) error {
+	db := s.db
+	for i := lo; i < hi; i++ {
+		if check != nil && i%checkEvery == 0 {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		gi := sh.Base + i
+		o := graph.ObjectID(gi)
+		var outC, outA, outAS, inC []int32
+		if p := s.Pos[gi]; p >= 0 {
+			outC = s.OutComplex.row(int(p))
+			outA = s.OutAtomic.row(int(p))
+			outAS = s.OutAtomicSort.row(int(p))
+			inC = s.InComplex.row(int(p))
+		}
+		at := sh.OutOff[i]
+		for _, e := range db.Out(o) {
+			lab := int32(s.labelID[e.Label])
+			sh.OutTo[at] = int32(e.To)
+			sh.OutLab[at] = lab
+			at++
+			if outC != nil {
+				if s.Atomic.Test(int(e.To)) {
+					outA[lab]++
+					outAS[int(lab)*NumSorts+int(s.Sorts[e.To])]++
+				} else {
+					outC[lab]++
+				}
+			}
+		}
+		at = sh.InOff[i]
+		for _, e := range db.In(o) {
+			lab := int32(s.labelID[e.Label])
+			sh.InFrom[at] = int32(e.From)
+			sh.InLab[at] = lab
+			at++
+			if inC != nil {
+				inC[lab]++
+			}
+		}
+	}
+	return nil
 }
 
 // DB returns the database the snapshot was compiled from. The snapshot
@@ -290,7 +375,7 @@ func (s *Snapshot) NumComplex() int { return len(s.Complex) }
 func (s *Snapshot) NumLabels() int { return len(s.Labels) }
 
 // NumLinks reports the number of link facts.
-func (s *Snapshot) NumLinks() int { return len(s.OutTo) }
+func (s *Snapshot) NumLinks() int { return s.nLinks }
 
 // LabelID returns the dense ID of a label, if it occurs in the data.
 func (s *Snapshot) LabelID(label string) (int, bool) {
@@ -308,12 +393,18 @@ func (s *Snapshot) Value(o graph.ObjectID) (graph.Value, bool) { return s.db.Ato
 // (label ID, target). The slices alias the snapshot and must not be
 // modified.
 func (s *Snapshot) Out(o graph.ObjectID) (to, lab []int32) {
-	return s.OutTo[s.OutOff[o]:s.OutOff[o+1]], s.OutLab[s.OutOff[o]:s.OutOff[o+1]]
+	sh := s.shards[int(o)>>s.shardShift]
+	i := int(o) - sh.Base
+	a, b := sh.OutOff[i], sh.OutOff[i+1]
+	return sh.OutTo[a:b], sh.OutLab[a:b]
 }
 
 // In returns the sources and label IDs of o's incoming edges, sorted by
 // (label ID, source). The slices alias the snapshot and must not be
 // modified.
 func (s *Snapshot) In(o graph.ObjectID) (from, lab []int32) {
-	return s.InFrom[s.InOff[o]:s.InOff[o+1]], s.InLab[s.InOff[o]:s.InOff[o+1]]
+	sh := s.shards[int(o)>>s.shardShift]
+	i := int(o) - sh.Base
+	a, b := sh.InOff[i], sh.InOff[i+1]
+	return sh.InFrom[a:b], sh.InLab[a:b]
 }

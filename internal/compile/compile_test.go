@@ -119,14 +119,7 @@ func TestCompileDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fmt.Sprint(serial.OutTo) != fmt.Sprint(parallel.OutTo) ||
-		fmt.Sprint(serial.OutLab) != fmt.Sprint(parallel.OutLab) ||
-		fmt.Sprint(serial.InFrom) != fmt.Sprint(parallel.InFrom) ||
-		fmt.Sprint(serial.OutComplex) != fmt.Sprint(parallel.OutComplex) ||
-		fmt.Sprint(serial.OutAtomic) != fmt.Sprint(parallel.OutAtomic) ||
-		fmt.Sprint(serial.InComplex) != fmt.Sprint(parallel.InComplex) {
-		t.Fatal("serial and parallel compilation differ")
-	}
+	snapEqual(t, parallel, serial, "parallel vs serial compile")
 }
 
 func TestCompileCancelled(t *testing.T) {

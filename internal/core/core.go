@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type Options struct {
 	// per CPU, 1 runs the exact serial code paths. Every result is
 	// bit-identical at any setting.
 	Parallelism int
+	// Shards partitions the compiled snapshot's object space into fixed
+	// ranges: 0 sizes shards automatically from the graph, 1 forces the
+	// single flat block of the pre-sharding layout, k > 1 requests (at
+	// most) k shards. Like Parallelism this is purely a layout/performance
+	// knob — extraction results are bit-identical at any setting.
+	Shards int
 	// MaxAffectedFrac tunes incremental Stage 1 maintenance on a Prepared
 	// derived via Apply: when the delta's affected (type, object) pairs
 	// exceed this fraction of the full matrix, the fixpoint is recomputed
@@ -459,17 +466,81 @@ func stage1KeyOf(opts Options) (stage1Key, bool) {
 
 // Prepare compiles db into a reusable extraction context.
 func Prepare(db *graph.DB) (*Prepared, error) {
-	return PrepareContext(context.Background(), db, 0)
+	return PrepareContext(context.Background(), db, 0, 0)
 }
 
-// PrepareContext is Prepare with cooperative cancellation and an explicit
-// worker bound for the compilation (<= 0 means one per CPU).
-func PrepareContext(ctx context.Context, db *graph.DB, parallelism int) (*Prepared, error) {
-	snap, err := compile.CompileCheck(db, par.Workers(parallelism), checkFunc(ctx))
+// PrepareContext is Prepare with cooperative cancellation, an explicit
+// worker bound for the compilation (<= 0 means one per CPU), and a shard
+// count for the snapshot layout (see Options.Shards; 0 means automatic).
+func PrepareContext(ctx context.Context, db *graph.DB, parallelism, shards int) (*Prepared, error) {
+	snap, err := compile.CompileShardsCheck(db, shards, par.Workers(parallelism), checkFunc(ctx))
 	if err != nil {
 		return nil, err
 	}
 	return &Prepared{db: db, snap: snap, stats: &IncrStats{}}, nil
+}
+
+// NumShards reports how many fixed-range object shards the prepared
+// snapshot is partitioned into. Deltas applied through Apply inherit the
+// layout, so the count is stable across a session (it grows only when new
+// objects spill past the last shard's range).
+func (p *Prepared) NumShards() int { return p.snap.NumShards() }
+
+// DeltaShards maps a delta's object footprint onto the prepared snapshot's
+// shards: the ascending list of shard indexes holding an object the delta
+// references (RemoveObject ops are widened with the object's neighbours,
+// whose edge lists a detach rewrites). exclusive=true means the footprint
+// cannot be confined — the delta names an object unknown to this state, and
+// interning appends IDs at the top of the space, possibly growing new
+// shards.
+//
+// The footprint is advisory, for lock admission in serving layers:
+// correctness never rests on it, because Apply is copy-on-write and a
+// serving head swap always revalidates the parent it branched from. An
+// over-wide footprint only costs concurrency; DeltaShards never returns an
+// under-wide one for the state it was asked about.
+func (p *Prepared) DeltaShards(d *graph.Delta) (shards []int, exclusive bool) {
+	snap := p.snap
+	seen := make(map[int]struct{}, 4)
+	touch := func(o graph.ObjectID) {
+		seen[snap.ShardOf(o)] = struct{}{}
+	}
+	d.ForEachName(func(name string) {
+		if exclusive {
+			return
+		}
+		id := p.db.Lookup(name)
+		if id == graph.NoObject {
+			exclusive = true
+			return
+		}
+		touch(id)
+	})
+	if !exclusive {
+		d.ForEachRemovedObject(func(name string) {
+			id := p.db.Lookup(name)
+			if id == graph.NoObject {
+				return // already forced exclusive by ForEachName
+			}
+			to, _ := snap.Out(id)
+			for _, t := range to {
+				touch(graph.ObjectID(t))
+			}
+			from, _ := snap.In(id)
+			for _, f := range from {
+				touch(graph.ObjectID(f))
+			}
+		})
+	}
+	if exclusive {
+		return nil, true
+	}
+	shards = make([]int, 0, len(seen))
+	for si := range seen {
+		shards = append(shards, si)
+	}
+	sort.Ints(shards)
+	return shards, false
 }
 
 // Stats returns the incremental-extraction counters accumulated across this
@@ -619,7 +690,7 @@ func ExtractContext(ctx context.Context, db *graph.DB, opts Options) (*Result, e
 	if err := opts.Limits.checkGraph(db); err != nil {
 		return nil, err
 	}
-	prep, err := PrepareContext(ctx, db, opts.Parallelism)
+	prep, err := PrepareContext(ctx, db, opts.Parallelism, opts.Shards)
 	if err != nil {
 		return nil, wrapWall(err)
 	}
@@ -1067,7 +1138,7 @@ func SweepContext(ctx context.Context, db *graph.DB, opts Options) (*SweepResult
 	if err := opts.Limits.checkGraph(db); err != nil {
 		return nil, err
 	}
-	prep, err := PrepareContext(ctx, db, opts.Parallelism)
+	prep, err := PrepareContext(ctx, db, opts.Parallelism, opts.Shards)
 	if err != nil {
 		return nil, wrapWall(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -328,6 +329,57 @@ func RunBench() (*BenchReport, error) {
 		}
 	}
 
+	// Sharded snapshots: the same delta applied to snapshots partitioned at
+	// shards {1, 4, auto} over a graph big enough (11k objects) that the
+	// automatic layout is multi-shard. apply-1shard uses a delta confined to
+	// shard 0 (remove + re-add one low-ID edge), so a multi-shard layout
+	// rebuilds one shard's CSR block where the flat layout rebuilds all of it;
+	// warm-extract measures the full apply + re-extract round trip over a real
+	// single-edge delta with retained Stage 1-3 state. Results are
+	// layout-independent — only the cost moves.
+	{
+		dbgX16, _ := dbg.Generate(dbg.Options{Scale: 16})
+		oneShard := shardLocalDelta(dbgX16, 4096)
+		realDelta := benchDelta(dbgX16, 0)
+		for _, sc := range []struct {
+			name   string
+			shards int
+		}{{"s1", 1}, {"s4", 4}, {"auto", 0}} {
+			prep, err := core.PrepareContext(context.Background(), dbgX16, 0, sc.shards)
+			if err != nil {
+				return nil, err
+			}
+			if oneShard != nil {
+				measure(fmt.Sprintf("shards/apply-1shard-%s/dbg-x16", sc.name), func(workers int, b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, _, err := prep.ApplyContext(context.Background(), oneShard, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			if realDelta != nil {
+				opts := core.Options{K: 6}
+				if _, err := core.ExtractPrepared(prep, opts); err != nil {
+					return nil, err
+				}
+				measure(fmt.Sprintf("shards/warm-extract-%s/dbg-x16", sc.name), func(workers int, b *testing.B) {
+					o := opts
+					o.Parallelism = workers
+					for i := 0; i < b.N; i++ {
+						child, _, err := prep.ApplyContext(context.Background(), realDelta, workers)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if _, err := core.ExtractPrepared(child, o); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+
 	for _, scale := range []int{1, 4, 16} {
 		db, roles := dbg.Generate(dbg.Options{Scale: scale})
 		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]
@@ -430,6 +482,28 @@ func benchDelta(db *graph.DB, frac float64) *graph.Delta {
 			n--
 		}
 	}
+	return d
+}
+
+// shardLocalDelta builds a delta whose whole object footprint sits below
+// maxID: it removes and re-adds one existing edge with both endpoints in
+// [0, maxID). The graph is unchanged after apply, but both endpoints count
+// as touched, so the delta dirties exactly one shard in any layout whose
+// shard size is >= maxID. Returns nil if no such edge exists.
+func shardLocalDelta(db *graph.DB, maxID int) *graph.Delta {
+	var found *graph.Edge
+	db.Links(func(e graph.Edge) {
+		if found == nil && int(e.From) < maxID && int(e.To) < maxID {
+			c := e
+			found = &c
+		}
+	})
+	if found == nil {
+		return nil
+	}
+	d := &graph.Delta{}
+	d.RemoveLink(db.Name(found.From), db.Name(found.To), found.Label)
+	d.AddLink(db.Name(found.From), db.Name(found.To), found.Label)
 	return d
 }
 

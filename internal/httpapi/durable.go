@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 
 	"schemex"
+	"schemex/internal/par"
 	"schemex/internal/wal"
 )
 
@@ -37,6 +38,10 @@ const sessionsSubdir = "sessions"
 // when Config leaves SpillEvery unset. Between spills a restart replays at
 // most this many deltas per session.
 const DefaultSpillEvery = 64
+
+// DefaultRecoverConcurrency caps how many sessions startup recovery
+// rehydrates at once when Config leaves RecoverConcurrency unset.
+const DefaultRecoverConcurrency = 8
 
 func (a *api) sessionDir(id string) string {
 	return filepath.Join(a.dataDir, sessionsSubdir, id)
@@ -75,8 +80,9 @@ func (a *api) makeDurable(s *session) error {
 	return nil
 }
 
-// persistLocked logs one just-applied delta and, every spillEvery deltas,
-// spills a fresh snapshot generation. The caller holds s.mu and has not yet
+// persistLocked logs one just-applied delta and, every spillEvery deltas or
+// once the log passes spillBytes (when set), spills a fresh snapshot
+// generation. The caller holds s.mu and has not yet
 // advanced s.prep; a nil return means the delta is durable per the sync
 // policy and the session may advance. In-memory sessions (nil log) return
 // immediately without allocating — the DataDir-unset mutate path is
@@ -89,7 +95,7 @@ func (s *session) persistLocked(a *api, d *schemex.Delta, next *schemex.Prepared
 		return err
 	}
 	s.sinceSpill++
-	if s.sinceSpill >= a.spillEvery {
+	if s.sinceSpill >= a.spillEvery || (a.spillBytes > 0 && s.log.Size() >= a.spillBytes) {
 		if err := s.spillTo(next, a.pol); err != nil {
 			// The delta is already durable in the current log; a failed
 			// spill only delays compaction. Keep serving, retry after
@@ -238,7 +244,14 @@ func (a *api) rehydrate(id string) (*session, bool) {
 
 // recoverAll rehydrates every session directory under DataDir at startup.
 // A corrupt session is refused (and remembered as such) without failing the
-// server: the rest keep serving.
+// server: the rest keep serving. Sessions recover on a bounded worker pool
+// (Config.RecoverConcurrency): each replay re-runs graph parsing and
+// snapshot compilation, so an unbounded fan-out over a large DataDir would
+// spike CPU and peak memory at exactly the moment the process restarts.
+// recoverSession is safe to run concurrently — each worker touches a
+// distinct directory and the session store serializes internally — while
+// recoverMu, held across the whole pool, keeps request-driven rehydration
+// and deletion out until startup recovery settles.
 func (a *api) recoverAll() error {
 	dir := filepath.Join(a.dataDir, sessionsSubdir)
 	entries, err := os.ReadDir(dir)
@@ -248,16 +261,24 @@ func (a *api) recoverAll() error {
 	if err != nil {
 		return err
 	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && validSessionID(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
 	a.recoverMu.Lock()
 	defer a.recoverMu.Unlock()
-	for _, e := range entries {
-		if !e.IsDir() || !validSessionID(e.Name()) {
-			continue
-		}
-		id := e.Name()
-		if _, err := a.recoverSession(id); err != nil {
-			log.Printf("httpapi: session %s: refusing durable state: %v", id, err)
-			a.corrupt[id] = err
+	errs := make([]error, len(ids))
+	par.DoItems(a.recoverPar, len(ids), func(i int) {
+		_, errs[i] = a.recoverSession(ids[i])
+	})
+	// Verdicts are recorded after the join: a.corrupt is guarded by
+	// recoverMu, which this goroutine holds, not the workers.
+	for i, err := range errs {
+		if err != nil {
+			log.Printf("httpapi: session %s: refusing durable state: %v", ids[i], err)
+			a.corrupt[ids[i]] = err
 		}
 	}
 	return nil

@@ -27,6 +27,7 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log"
 	"net/http"
@@ -212,6 +213,18 @@ type Config struct {
 	// (default DefaultSpillEvery). A spill bounds restart replay work and
 	// truncates the log by rotating to a fresh generation.
 	SpillEvery int
+	// SpillBytes, when positive, also triggers a snapshot spill whenever the
+	// session's log grows past this many bytes, whichever of the two
+	// thresholds trips first. Delta records vary enormously in size (one
+	// unlink versus a thousand-link batch), so a byte bound keeps restart
+	// replay time proportional to data volume, not delta count. Zero disables
+	// the byte trigger.
+	SpillBytes int64
+	// RecoverConcurrency caps how many session directories startup recovery
+	// rehydrates at once (default DefaultRecoverConcurrency). Replaying a log
+	// re-runs graph parsing and snapshot compilation per session, so the pool
+	// bounds both CPU and peak memory during a restart over a large DataDir.
+	RecoverConcurrency int
 }
 
 // api is one handler instance's state: the snapshot cache, the session
@@ -226,6 +239,8 @@ type api struct {
 	dataDir    string
 	pol        wal.SyncPolicy
 	spillEvery int
+	spillBytes int64
+	recoverPar int
 
 	// recoverMu serializes disk-level session lifecycle (rehydrate, delete,
 	// startup recovery) so two requests for the same evicted id cannot both
@@ -249,8 +264,14 @@ func newAPI(cfg Config) *api {
 	if cfg.SpillEvery == 0 {
 		cfg.SpillEvery = DefaultSpillEvery
 	}
-	if cfg.SpillEvery < 0 {
-		panic(fmt.Sprintf("httpapi: negative SpillEvery in %+v", cfg))
+	if cfg.SpillEvery < 0 || cfg.SpillBytes < 0 {
+		panic(fmt.Sprintf("httpapi: negative spill threshold in %+v", cfg))
+	}
+	if cfg.RecoverConcurrency == 0 {
+		cfg.RecoverConcurrency = DefaultRecoverConcurrency
+	}
+	if cfg.RecoverConcurrency < 0 {
+		panic(fmt.Sprintf("httpapi: negative RecoverConcurrency in %+v", cfg))
 	}
 	a := &api{
 		snapshots:  prepCache{max: cfg.CacheEntries},
@@ -258,6 +279,8 @@ func newAPI(cfg Config) *api {
 		dataDir:    cfg.DataDir,
 		pol:        wal.SyncPolicy{Every: cfg.SyncEvery, Interval: cfg.SyncInterval},
 		spillEvery: cfg.SpillEvery,
+		spillBytes: cfg.SpillBytes,
+		recoverPar: cfg.RecoverConcurrency,
 		corrupt:    make(map[string]error),
 	}
 	// Eviction flushes rather than drops: close() syncs and closes the log
@@ -326,6 +349,9 @@ func (a *api) routes() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Process-wide counters (see metrics.go) plus whatever else the process
+	// published on the standard expvar surface.
+	mux.Handle("GET /v1/metrics", expvar.Handler())
 	mux.HandleFunc("/v1/extract", a.handleExtract)
 	mux.HandleFunc("/v1/sweep", a.handleSweep)
 	mux.HandleFunc("/v1/check", handleCheck)
@@ -435,6 +461,8 @@ func (c *prepCache) put(key [sha256.Size]byte, prep *schemex.Prepared) {
 	}
 	if len(c.entries) < max {
 		c.entries = append(c.entries, prepCacheEntry{})
+	} else {
+		metricSnapshotEvictions.Add(1) // the back entry is about to be shifted out
 	}
 	copy(c.entries[1:], c.entries)
 	c.entries[0] = prepCacheEntry{key, prep}
@@ -463,8 +491,10 @@ func prepKey(data, format string) [sha256.Size]byte {
 func (a *api) loadPrepared(ctx context.Context, data, format string) (*schemex.Prepared, int, error) {
 	key := prepKey(data, format)
 	if prep, ok := a.snapshots.get(key); ok {
+		metricSnapshotHits.Add(1)
 		return prep, 0, nil
 	}
+	metricSnapshotMisses.Add(1)
 	g, err := loadData(data, format)
 	if err != nil {
 		return nil, http.StatusBadRequest, err

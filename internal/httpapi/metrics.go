@@ -1,0 +1,29 @@
+// Operational counters on the standard expvar surface, served at
+// GET /v1/metrics. The counters are package globals published once at init —
+// expvar panics on duplicate names, and tests construct many handlers per
+// process — so they aggregate across every handler instance in the process,
+// which is also what a scraper of the process-wide endpoint expects.
+package httpapi
+
+import "expvar"
+
+var (
+	// Prepared-snapshot cache (keyed by request content hash).
+	metricSnapshotHits      = expvar.NewInt("schemex_snapshot_cache_hits")
+	metricSnapshotMisses    = expvar.NewInt("schemex_snapshot_cache_misses")
+	metricSnapshotEvictions = expvar.NewInt("schemex_snapshot_cache_evictions")
+
+	// Delta-session store. A hit is a request resolving a live in-store
+	// session; a miss had to rehydrate from disk or report 404; an eviction is
+	// the LRU cap flushing a session out.
+	metricSessionHits      = expvar.NewInt("schemex_session_store_hits")
+	metricSessionMisses    = expvar.NewInt("schemex_session_store_misses")
+	metricSessionEvictions = expvar.NewInt("schemex_session_store_evictions")
+
+	// Mutation outcomes: incremental counts deltas applied with structural
+	// sharing, fallback counts full recompiles (label-universe changes or
+	// atomic/complex flips). Results are identical either way; the ratio is
+	// the health signal for incremental maintenance.
+	metricApplyIncremental = expvar.NewInt("schemex_apply_incremental")
+	metricApplyFallback    = expvar.NewInt("schemex_apply_fallback")
+)

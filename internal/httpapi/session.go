@@ -27,6 +27,12 @@ type session struct {
 	mu   sync.Mutex
 	prep *schemex.Prepared
 
+	// locks admits concurrent mutations whose delta footprints land on
+	// disjoint snapshot shards (see shardlock.go). mu still serializes the
+	// head swap and the WAL append; the stripes only bound how much Apply
+	// work can run in parallel against one session.
+	locks shardLocks
+
 	// Durable state; zero for in-memory sessions (Config.DataDir unset).
 	// dir is the session directory, log the open write-ahead log, snapFile/
 	// logFile the current manifest generation's file names, and sinceSpill
@@ -111,6 +117,7 @@ func (st *sessionStore) add(s *session) {
 	} else if n := len(st.entries); n > 0 {
 		evicted = st.entries[n-1]
 		st.evictions++
+		metricSessionEvictions.Add(1)
 		// Registered before the store lock drops: there is no instant at
 		// which the evicted session is in neither entries nor pending.
 		if st.pending == nil {
@@ -194,17 +201,23 @@ type sessionCreateRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
-// sessionInfo describes a session's current state on the wire.
+// sessionInfo describes a session's current state on the wire. Shards
+// reports the compiled snapshot's partition count (Options.Shards layout) —
+// observability only, results never depend on it.
 type sessionInfo struct {
 	ID      string `json:"id"`
 	Version uint64 `json:"version"`
 	Objects int    `json:"objects"`
 	Links   int    `json:"links"`
+	Shards  int    `json:"shards"`
 }
 
 func infoOf(s *session, prep *schemex.Prepared) sessionInfo {
 	g := prep.Graph()
-	return sessionInfo{ID: s.id, Version: prep.Version(), Objects: g.NumObjects(), Links: g.NumLinks()}
+	return sessionInfo{
+		ID: s.id, Version: prep.Version(),
+		Objects: g.NumObjects(), Links: g.NumLinks(), Shards: prep.NumShards(),
+	}
 }
 
 type mutateRequest struct {
@@ -259,8 +272,13 @@ func (a *api) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (a *api) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
 	s, ok := a.sessions.get(id)
-	if !ok && a.dataDir != "" {
-		s, ok = a.rehydrate(id)
+	if ok {
+		metricSessionHits.Add(1)
+	} else {
+		metricSessionMisses.Add(1)
+		if a.dataDir != "" {
+			s, ok = a.rehydrate(id)
+		}
 	}
 	if !ok {
 		writeError(w, http.StatusNotFound, errUnknownSession(id))
@@ -306,47 +324,107 @@ func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	for s.evicted {
-		// The LRU flushed this session between lookup and lock (or DELETE
-		// raced us) and its log is closed. A durable session still exists on
-		// disk: re-resolve — rehydrate waits out the eviction's flush — and
-		// retry on the fresh copy. In-memory (or deleted) sessions are gone:
-		// same 404 as a store miss, never a write into a closed log.
-		s.mu.Unlock()
-		if a.dataDir == "" {
-			writeError(w, http.StatusNotFound, errUnknownSession(s.id))
-			return
-		}
-		if s, ok = a.rehydrate(s.id); !ok {
-			writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
-			return
-		}
+	// Optimistic shard-locked apply. Each attempt: resolve the current head,
+	// map the delta's footprint onto lock stripes, run the expensive Apply
+	// under only those stripes, then swap the head under the session mutex if
+	// it has not moved. Mutations on disjoint shards overlap their Apply
+	// work; a mutation that loses the swap race rebases onto the new head.
+	// After two failed attempts the footprint escalates to exclusive (all
+	// stripes), which guarantees the head cannot move and the swap succeeds.
+	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
-	}
-	defer s.mu.Unlock()
-	next, info, err := s.prep.ApplyContext(r.Context(), d)
-	if err != nil {
-		// The session is untouched: a bad delta (e.g. unlinking a missing
-		// edge) rejects atomically.
-		writeError(w, http.StatusUnprocessableEntity, err)
+		for s.evicted {
+			// The LRU flushed this session between lookup and lock (or DELETE
+			// raced us) and its log is closed. A durable session still exists
+			// on disk: re-resolve — rehydrate waits out the eviction's flush —
+			// and retry on the fresh copy. In-memory (or deleted) sessions are
+			// gone: same 404 as a store miss, never a write into a closed log.
+			s.mu.Unlock()
+			if a.dataDir == "" {
+				writeError(w, http.StatusNotFound, errUnknownSession(s.id))
+				return
+			}
+			if s, ok = a.rehydrate(s.id); !ok {
+				writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
+				return
+			}
+			s.mu.Lock()
+		}
+		cur := s.prep
+		s.mu.Unlock()
+
+		shards, exclusive := cur.DeltaShards(d)
+		exclusive = exclusive || attempt >= 2
+		mask := stripeMask(shards, exclusive)
+		unlock := s.locks.lock(mask)
+
+		// Revalidate under the session mutex: if another mutation advanced
+		// the head while we computed the footprint, rebase onto the new head —
+		// allowed without re-locking only if its footprint stays inside the
+		// stripes we already hold.
+		s.mu.Lock()
+		if s.evicted {
+			s.mu.Unlock()
+			unlock()
+			continue
+		}
+		if s.prep != cur {
+			cur = s.prep
+			sh2, ex2 := cur.DeltaShards(d)
+			if m2 := stripeMask(sh2, ex2 || exclusive); m2&^mask != 0 {
+				s.mu.Unlock()
+				unlock()
+				continue
+			}
+		}
+		s.mu.Unlock()
+
+		// The expensive part, outside the session mutex: Apply never mutates
+		// cur, it branches.
+		next, info, err := cur.ApplyContext(r.Context(), d)
+		if err != nil {
+			// The session is untouched: a bad delta (e.g. unlinking a missing
+			// edge) rejects atomically.
+			unlock()
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+
+		s.mu.Lock()
+		if s.evicted || s.prep != cur {
+			// Lost the swap race (or the session was flushed mid-apply):
+			// discard this branch and rebase.
+			s.mu.Unlock()
+			unlock()
+			continue
+		}
+		// Durability before acknowledgment: the delta is logged (and, under
+		// the default sync policy, fsynced) before the session advances and
+		// the client sees success. A failed append leaves the session on its
+		// old state — the delta stays unacknowledged and may be retried.
+		if err := s.persistLocked(a, d, next); err != nil {
+			s.mu.Unlock()
+			unlock()
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("logging delta: %v", err))
+			return
+		}
+		s.prep = next
+		s.mu.Unlock()
+		unlock()
+
+		if info.Incremental {
+			metricApplyIncremental.Add(1)
+		} else {
+			metricApplyFallback.Add(1)
+		}
+		writeJSON(w, mutateResponse{
+			sessionInfo:    infoOf(s, next),
+			Incremental:    info.Incremental,
+			TouchedObjects: info.TouchedObjects,
+			NewObjects:     info.NewObjects,
+		})
 		return
 	}
-	// Durability before acknowledgment: the delta is logged (and, under the
-	// default sync policy, fsynced) before the session advances and the
-	// client sees success. A failed append leaves the session on its old
-	// state — the delta stays unacknowledged and may be retried.
-	if err := s.persistLocked(a, d, next); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("logging delta: %v", err))
-		return
-	}
-	s.prep = next
-	writeJSON(w, mutateResponse{
-		sessionInfo:    infoOf(s, next),
-		Incremental:    info.Incremental,
-		TouchedObjects: info.TouchedObjects,
-		NewObjects:     info.NewObjects,
-	})
 }
 
 func (a *api) handleSessionExtract(w http.ResponseWriter, r *http.Request) {

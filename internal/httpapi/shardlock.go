@@ -1,0 +1,59 @@
+// Per-shard admission locks for concurrent session mutations. A session's
+// compiled snapshot is partitioned into fixed-range object shards
+// (schemex.Options.Shards); a delta's footprint maps onto a subset of them
+// via Prepared.DeltaShards. Mutations whose footprints land on disjoint
+// stripes run their expensive Apply concurrently; the head swap itself stays
+// serialized under the session mutex, and a mutation that loses the swap race
+// rebases onto the new head. The stripes are therefore a throughput device,
+// never a correctness one: Apply is copy-on-write and the swap revalidates.
+package httpapi
+
+import "sync"
+
+// lockStripes is the size of the per-session stripe table. Shard index si
+// maps to stripe si % lockStripes, so snapshots with more shards than
+// stripes still admit up to lockStripes disjoint mutations.
+const lockStripes = 16
+
+// shardLocks is a fixed stripe table. Stripes are always acquired in
+// ascending index order, which makes deadlock between two mask holders
+// impossible. The session mutex is only ever taken with stripes already
+// held, never the reverse.
+type shardLocks struct {
+	stripes [lockStripes]sync.Mutex
+}
+
+// stripeMask maps a delta footprint to the stripes it must hold. exclusive
+// footprints (the delta names unknown objects, so it may grow new shards)
+// take every stripe. An empty footprint still claims stripe 0 so that even
+// no-op deltas serialize against exclusive holders.
+func stripeMask(shards []int, exclusive bool) uint32 {
+	if exclusive {
+		return 1<<lockStripes - 1
+	}
+	var m uint32
+	for _, si := range shards {
+		m |= 1 << (si % lockStripes)
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// lock acquires every stripe in mask in ascending order and returns the
+// matching unlock (descending order).
+func (l *shardLocks) lock(mask uint32) func() {
+	for i := 0; i < lockStripes; i++ {
+		if mask&(1<<i) != 0 {
+			l.stripes[i].Lock()
+		}
+	}
+	return func() {
+		for i := lockStripes - 1; i >= 0; i-- {
+			if mask&(1<<i) != 0 {
+				l.stripes[i].Unlock()
+			}
+		}
+	}
+}

@@ -196,6 +196,20 @@ func EvalGFPCheck(p *Program, db *graph.DB, workers int, check func() error) (*E
 	return EvalGFPSnapCheck(p, snap, workers, check)
 }
 
+// removal is one (type, object) membership retraction awaiting propagation.
+type removal struct {
+	t int
+	o graph.ObjectID
+}
+
+// gfpRef is one (type, link) position whose target type a removal can
+// affect, with the link's label pre-resolved to a snapshot label ID.
+type gfpRef struct {
+	t, li int
+	lab   int32
+	dir   Dir
+}
+
 // atomicWitnessSnap is atomicWitness against the compiled snapshot.
 func atomicWitnessSnap(snap *compile.Snapshot, to graph.ObjectID, l TypedLink) bool {
 	v, ok := snap.Value(to)
@@ -233,10 +247,6 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 
 	// counts[t] is indexed by linkIdx*nC + position(obj).
 	counts := make([][]int32, nT)
-	type removal struct {
-		t int
-		o graph.ObjectID
-	}
 	var queue []removal
 	remove := func(t int, o graph.ObjectID) {
 		if member[t].Test(int(o)) {
@@ -367,12 +377,7 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 	// by direction, so a removal from type j can decrement exactly the
 	// affected counts. Labels are pre-resolved to snapshot IDs (-1 for
 	// labels absent from the data, which no edge can ever match).
-	type ref struct {
-		t, li int
-		lab   int32
-		dir   Dir
-	}
-	refs := make([][]ref, nT)
+	refs := make([][]gfpRef, nT)
 	for ti, t := range p.Types {
 		for li, l := range t.Links {
 			if l.Target == AtomicTarget {
@@ -382,10 +387,22 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 			if lid, ok := snap.LabelID(l.Label); ok {
 				lab = int32(lid)
 			}
-			refs[l.Target] = append(refs[l.Target], ref{ti, li, lab, l.Dir})
+			refs[l.Target] = append(refs[l.Target], gfpRef{ti, li, lab, l.Dir})
 		}
 	}
 
+	// Removal propagation. Multi-shard snapshots with a real worker pool
+	// propagate by a shard-parallel frontier exchange; otherwise the classic
+	// serial LIFO queue below drains the removals. The two orders differ,
+	// but the greatest fixpoint is the unique largest fixpoint — removals
+	// only ever confirm each other, never compete — so both reach the same
+	// membership bit for bit (the shard property tests pin this).
+	if par.Workers(workers) > 1 && snap.NumShards() > 1 {
+		if err := propagateSharded(snap, member, counts, refs, queue, workers, check); err != nil {
+			return nil, err
+		}
+		return &Extent{Program: p, DB: snap.DB(), Member: member}, nil
+	}
 	pops := 0
 	for len(queue) > 0 {
 		if check != nil {
@@ -439,6 +456,133 @@ func EvalGFPSnapCheck(p *Program, snap *compile.Snapshot, workers int, check fun
 		}
 	}
 	return &Extent{Program: p, DB: snap.DB(), Member: member}, nil
+}
+
+// propagateSharded drains the removal frontier by shard-parallel rounds.
+// Each round has two phases with a barrier between them:
+//
+//   - Phase A fans out: frontier chunks walk their removals' snapshot edges
+//     in parallel and translate each into an intent — "decrement the
+//     support of (type t, link li) at object o" — bucketed by the shard
+//     owning o. Phase A only reads membership, so chunks never race.
+//   - Phase B applies: each shard's worker replays, alone, every intent
+//     aimed at its shard — membership re-check (an intent whose object an
+//     earlier intent this round already removed is dropped, exactly the
+//     serial loop's member guard), decrement, and removal at zero. A worker
+//     writes only the counts entries, membership bits, and next-frontier
+//     list of its own shard's objects; shard ranges are whole multiples of
+//     64 IDs, so not even a membership bitset word is shared.
+//
+// The next frontier is the concatenation of the per-shard removal lists,
+// and the loop ends when a round removes nothing. Intra-round application
+// order differs from the serial queue's, but the GFP is the unique largest
+// fixpoint, so the final membership is bit-identical; counts are scratch
+// state discarded with the call.
+func propagateSharded(snap *compile.Snapshot, member []*bitset.Set, counts [][]int32,
+	refs [][]gfpRef, frontier []removal, workers int, check func() error) error {
+	type intent struct {
+		t, li int
+		o     graph.ObjectID
+	}
+	nC := snap.NumComplex()
+	pos := snap.Pos
+	nSh := snap.NumShards()
+	W := par.Workers(workers)
+	for len(frontier) > 0 {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+		nCh := W
+		if nCh > len(frontier) {
+			nCh = len(frontier)
+		}
+		per := (len(frontier) + nCh - 1) / nCh
+		buckets := make([][][]intent, nCh)
+		if err := par.DoItemsErr(workers, nCh, func(ci int) error {
+			if check != nil {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+			lo, hi := ci*per, (ci+1)*per
+			if lo > len(frontier) {
+				lo = len(frontier)
+			}
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			out := make([][]intent, nSh)
+			for _, rm := range frontier[lo:hi] {
+				x := rm.o
+				for _, rf := range refs[rm.t] {
+					if rf.dir == Out {
+						from, lab := snap.In(x)
+						for k := range from {
+							if lab[k] != rf.lab {
+								continue
+							}
+							o := graph.ObjectID(from[k])
+							if !member[rf.t].Test(int(o)) {
+								continue
+							}
+							si := snap.ShardOf(o)
+							out[si] = append(out[si], intent{rf.t, rf.li, o})
+						}
+					} else {
+						to, lab := snap.Out(x)
+						for k := range to {
+							if lab[k] != rf.lab {
+								continue
+							}
+							o := graph.ObjectID(to[k])
+							if snap.IsAtomic(o) || !member[rf.t].Test(int(o)) {
+								continue
+							}
+							si := snap.ShardOf(o)
+							out[si] = append(out[si], intent{rf.t, rf.li, o})
+						}
+					}
+				}
+			}
+			buckets[ci] = out
+			return nil
+		}); err != nil {
+			return err
+		}
+		next := make([][]removal, nSh)
+		if err := par.DoItemsErr(workers, nSh, func(si int) error {
+			if check != nil {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+			var local []removal
+			for ci := range buckets {
+				for _, it := range buckets[ci][si] {
+					if !member[it.t].Test(int(it.o)) {
+						continue
+					}
+					c := &counts[it.t][it.li*nC+int(pos[it.o])]
+					*c--
+					if *c == 0 {
+						member[it.t].Clear(int(it.o))
+						local = append(local, removal{it.t, it.o})
+					}
+				}
+			}
+			next[si] = local
+			return nil
+		}); err != nil {
+			return err
+		}
+		frontier = frontier[:0]
+		for _, l := range next {
+			frontier = append(frontier, l...)
+		}
+	}
+	return nil
 }
 
 // IsFixpoint reports whether the extent is a fixpoint of its program: every

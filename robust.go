@@ -161,7 +161,7 @@ func Prepare(g *Graph) (*Prepared, error) {
 // PrepareContext is Prepare with cooperative cancellation.
 func PrepareContext(ctx context.Context, g *Graph) (p *Prepared, err error) {
 	defer recoverInternal(&err)
-	cp, err := core.PrepareContext(ctx, g.db, 0)
+	cp, err := core.PrepareContext(ctx, g.db, 0, 0)
 	if err != nil {
 		return nil, err
 	}

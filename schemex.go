@@ -195,6 +195,14 @@ type Options struct {
 	// serial code paths. The extracted schema, assignment, and defect are
 	// bit-identical at any setting, so this is purely a resource knob.
 	Parallelism int
+	// Shards partitions the compiled snapshot's object space into
+	// fixed-range shards: 0 sizes shards automatically from the graph, 1
+	// forces the single flat block of the pre-sharding layout, k > 1
+	// requests (at most) k shards. Sharding lets compilation, incremental
+	// Apply, and the typing fixpoint work shard-parallel, and lets servers
+	// lock mutations per shard. Results are bit-identical at any setting,
+	// so this too is purely a resource knob.
+	Shards int
 	// Limits bounds the resources an extraction may consume (object/link/
 	// type counts and wall-clock time; the loader-side caps apply to the
 	// *Limits loader functions). Violations surface as *LimitError.
@@ -223,6 +231,7 @@ func (o Options) toCore() (core.Options, error) {
 		ValueLabels:       o.ValueLabels,
 		UseBisimulation:   o.UseBisimulation,
 		Parallelism:       o.Parallelism,
+		Shards:            o.Shards,
 		Limits:            o.Limits.pipeline(),
 		MaxAffectedFrac:   o.MaxAffectedFrac,
 		MaxDirtyTypesFrac: o.MaxDirtyTypesFrac,

@@ -120,6 +120,23 @@ func (p *Prepared) ApplyContext(ctx context.Context, d *Delta) (np *Prepared, in
 // a freshly prepared context, parent+1 after each Apply.
 func (p *Prepared) Version() uint64 { return p.prep.Version() }
 
+// NumShards reports how many fixed-range object shards the session's
+// compiled snapshot is partitioned into (see Options.Shards). Sessions
+// derived through Apply inherit the layout.
+func (p *Prepared) NumShards() int { return p.prep.NumShards() }
+
+// DeltaShards maps a delta's object footprint onto the snapshot's shards:
+// the ascending shard indexes holding an object the delta references
+// (RemoveObject footprints include the object's neighbours). exclusive=true
+// means the footprint cannot be confined — the delta names an object this
+// state does not know, so applying it may touch the top of the ID space and
+// grow new shards. Serving layers use the footprint to admit concurrent
+// mutations under per-shard locks; it is advisory, and Apply itself never
+// depends on it.
+func (p *Prepared) DeltaShards(d *Delta) (shards []int, exclusive bool) {
+	return p.prep.DeltaShards(&d.d)
+}
+
 // SetBaseVersion rebases the session version counter, the hook durable
 // recovery uses: a snapshot spilled at version V is re-prepared (version 0),
 // rebased to V, and the write-ahead log's suffix is replayed on top so the
