@@ -56,6 +56,8 @@ func main() {
 		"also spill a session snapshot once its log exceeds this many bytes (0: delta count only)")
 	recoverConc := flag.Int("recover-concurrency", httpapi.DefaultRecoverConcurrency,
 		"sessions recovered concurrently at startup (must be positive)")
+	memBudget := flag.Int64("mem-budget", 0,
+		"approximate bytes of CSR shards kept resident per snapshot lineage; spilled shards fault back on demand (0: everything stays resident)")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
@@ -79,6 +81,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schemex-server: -recover-concurrency must be positive, got %d\n", *recoverConc)
 		os.Exit(2)
 	}
+	if *memBudget < 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -mem-budget must be non-negative, got %d\n", *memBudget)
+		os.Exit(2)
+	}
 	pol, err := wal.ParseSyncPolicy(*sync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schemex-server: -sync: %v\n", err)
@@ -94,6 +100,7 @@ func main() {
 		SpillEvery:         *spillEvery,
 		SpillBytes:         *spillBytes,
 		RecoverConcurrency: *recoverConc,
+		MemBudget:          *memBudget,
 	})
 	if err != nil {
 		log.Fatalf("schemex-server: %v", err)

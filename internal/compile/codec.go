@@ -1,0 +1,392 @@
+// Shard and snapshot-core codecs: versioned, checksummed binary
+// serialization of one Shard (the unit the residency manager spills and
+// faults) and of a snapshot's shard-independent core (label universe, global
+// position/sort tables, degree histograms, shard geometry). A shard file is
+// self-contained — it carries the shard's slice of the global tables as
+// owned arrays, so decoding never needs the snapshot it came from — which is
+// what lets a spilled shard be faulted into any snapshot sharing the same
+// ref, parent or delta-derived child alike.
+//
+// Both formats are little-endian with an 8-byte version magic followed by a
+// CRC-32C (Castagnoli) of the payload, like the write-ahead log's frames: a
+// truncated or bit-flipped file is detected before any of it is trusted.
+// Encoding is deterministic (no maps are walked), so equal shards encode to
+// equal bytes — the round-trip property tests pin this.
+package compile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"schemex/internal/graph"
+)
+
+// shardMagic / coreMagic version the two on-disk formats; bump the trailing
+// digits on any layout change so stale files are refused, not misread.
+const (
+	shardMagic = "SXSHRD01"
+	coreMagic  = "SXCORE01"
+)
+
+// codecHeaderLen is the fixed prefix of both formats: magic plus payload
+// checksum.
+const codecHeaderLen = 8 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CodecError reports a shard or core file that failed validation: wrong
+// magic (File names the expected format), a checksum mismatch, or a length
+// inconsistency between header counts and payload size.
+type CodecError struct {
+	Format string // "shard" or "core"
+	Reason string
+}
+
+func (e *CodecError) Error() string {
+	return fmt.Sprintf("compile: bad %s encoding: %s", e.Format, e.Reason)
+}
+
+// enc is a little-endian append-only writer over a preallocated buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+
+func (e *enc) u64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+
+func (e *enc) i32s(v []int32) {
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+func (e *enc) bytes(v []byte) { e.b = append(e.b, v...) }
+
+// dec is the matching reader; out-of-bounds reads flip err instead of
+// panicking so corrupt length fields surface as *CodecError.
+type dec struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (d *dec) u32() uint32 {
+	if d.off+4 > len(d.b) {
+		d.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.off+8 > len(d.b) {
+		d.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// count reads a u32 length field that will size an allocation: anything that
+// cannot fit in the remaining payload (at min bytes per element) is corrupt,
+// so a bit-flipped length can never trigger a giant allocation.
+func (d *dec) count(min int) int {
+	n := int(d.u32())
+	if n < 0 || (min > 0 && n > (len(d.b)-d.off)/min) {
+		d.err = true
+		return 0
+	}
+	return n
+}
+
+func (d *dec) i32s(n int) []int32 {
+	if n < 0 || d.off+4*n > len(d.b) {
+		d.err = true
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.b[d.off+4*i:]))
+	}
+	d.off += 4 * n
+	return out
+}
+
+func (d *dec) bytes(n int) []byte {
+	if n < 0 || d.off+n > len(d.b) {
+		d.err = true
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:])
+	d.off += n
+	return out
+}
+
+// seal prepends the magic and payload checksum to an encoded payload.
+func seal(magic string, payload []byte) []byte {
+	out := make([]byte, 0, codecHeaderLen+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// unseal validates the magic and checksum and returns the payload.
+func unseal(format, magic string, data []byte) ([]byte, error) {
+	if len(data) < codecHeaderLen {
+		return nil, &CodecError{format, "truncated header"}
+	}
+	if string(data[:8]) != magic {
+		return nil, &CodecError{format, fmt.Sprintf("bad magic %q (want %q)", data[:8], magic)}
+	}
+	payload := data[codecHeaderLen:]
+	want := binary.LittleEndian.Uint32(data[8:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, &CodecError{format, fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got)}
+	}
+	return payload, nil
+}
+
+// EncodeShard serializes one shard, including its slice of the snapshot's
+// global tables, into the versioned checksummed shard format. The result is
+// self-contained: DecodeShard reconstructs the shard with owned arrays.
+func EncodeShard(sh *Shard) []byte {
+	size := 6*4 + // base, n, posBase, posN, nOut, nIn
+		4*(len(sh.OutOff)+len(sh.InOff)+len(sh.OutTo)+len(sh.OutLab)+
+			len(sh.InFrom)+len(sh.InLab)+len(sh.Pos)+len(sh.Complex)) +
+		len(sh.Sorts)
+	e := enc{b: make([]byte, 0, size)}
+	e.u32(uint32(sh.Base))
+	e.u32(uint32(sh.N))
+	e.u32(uint32(sh.PosBase))
+	e.u32(uint32(sh.PosN))
+	e.u32(uint32(len(sh.OutTo)))
+	e.u32(uint32(len(sh.InFrom)))
+	e.i32s(sh.OutOff)
+	e.i32s(sh.InOff)
+	e.i32s(sh.OutTo)
+	e.i32s(sh.OutLab)
+	e.i32s(sh.InFrom)
+	e.i32s(sh.InLab)
+	e.i32s(sh.Pos)
+	e.bytes(sh.Sorts)
+	e.i32s(complexToInt32(sh.Complex))
+	return seal(shardMagic, e.b)
+}
+
+// DecodeShard reconstructs a shard from EncodeShard's output. Every array is
+// freshly allocated and owned by the result: the decoded shard's table views
+// are value-equal copies of the snapshot slices the encoder saw, valid for
+// any snapshot whose global tables agree over the shard's range (which every
+// snapshot sharing the shard's residency ref does, by construction).
+func DecodeShard(data []byte) (*Shard, error) {
+	payload, err := unseal("shard", shardMagic, data)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: payload}
+	sh := &Shard{
+		Base:    int(d.u32()),
+		N:       int(d.count(0)),
+		PosBase: int(d.u32()),
+		PosN:    int(d.count(0)),
+	}
+	nOut := d.count(0)
+	nIn := d.count(0)
+	// Exact-size check: the six counts fully determine the payload length.
+	want := 6*4 + 4*(2*(sh.N+1)+2*nOut+2*nIn+sh.N+sh.PosN) + sh.N
+	if d.err || want != len(payload) {
+		return nil, &CodecError{"shard", "length fields inconsistent with payload size"}
+	}
+	sh.OutOff = d.i32s(sh.N + 1)
+	sh.InOff = d.i32s(sh.N + 1)
+	sh.OutTo = d.i32s(nOut)
+	sh.OutLab = d.i32s(nOut)
+	sh.InFrom = d.i32s(nIn)
+	sh.InLab = d.i32s(nIn)
+	sh.Pos = d.i32s(sh.N)
+	sh.Sorts = d.bytes(sh.N)
+	sh.Complex = int32ToComplex(d.i32s(sh.PosN))
+	if d.err || int(sh.OutOff[sh.N]) != nOut || int(sh.InOff[sh.N]) != nIn {
+		return nil, &CodecError{"shard", "offset totals inconsistent with edge counts"}
+	}
+	return sh, nil
+}
+
+func complexToInt32(v []graph.ObjectID) []int32 {
+	out := make([]int32, len(v))
+	for i, o := range v {
+		out[i] = int32(o)
+	}
+	return out
+}
+
+func int32ToComplex(v []int32) []graph.ObjectID {
+	out := make([]graph.ObjectID, len(v))
+	for i, o := range v {
+		out[i] = graph.ObjectID(o)
+	}
+	return out
+}
+
+// EncodeCore serializes everything of the snapshot except the shard CSR
+// blocks: the label universe, the global position/sort tables, the degree
+// histograms, the shard geometry, and per-shard metadata (position range and
+// edge counts) sufficient to attach non-resident shard refs without reading
+// a single shard file. The atomic bitset and the Complex table are not
+// written — both are pure functions of Pos (Pos[o] == -1 exactly for atomic
+// objects, and Complex lists the rest in ID order), so LoadSnapshot rebuilds
+// them bit-identically.
+func (s *Snapshot) EncodeCore() []byte {
+	e := enc{}
+	e.u32(uint32(s.shardShift))
+	e.u64(uint64(s.nLinks))
+	e.u32(uint32(s.NumObjects()))
+	e.u32(uint32(len(s.Labels)))
+	for _, l := range s.Labels {
+		e.u32(uint32(len(l)))
+		e.bytes([]byte(l))
+	}
+	e.i32s(s.Pos)
+	e.bytes(s.Sorts)
+	nSh := s.NumShards()
+	e.u32(uint32(nSh))
+	for si := 0; si < nSh; si++ {
+		m := s.shardMeta(si)
+		e.u32(uint32(m.posBase))
+		e.u32(uint32(m.posN))
+		e.u32(uint32(m.nOut))
+		e.u32(uint32(m.nIn))
+	}
+	encodeHist(&e, s.OutComplex)
+	encodeHist(&e, s.OutAtomic)
+	encodeHist(&e, s.InComplex)
+	encodeHist(&e, s.OutAtomicSort)
+	return seal(coreMagic, e.b)
+}
+
+func encodeHist(e *enc, h Hist) {
+	e.u32(uint32(h.nRows))
+	e.u32(uint32(h.rowLen))
+	for _, c := range h.chunks {
+		e.i32s(c)
+	}
+}
+
+func decodeHist(d *dec) Hist {
+	nRows := d.count(0)
+	rowLen := d.count(0)
+	if d.err || (rowLen > 0 && nRows > (len(d.b)-d.off)/(4*rowLen)) {
+		d.err = true
+		return Hist{}
+	}
+	h := makeHist(nRows, rowLen)
+	for _, c := range h.chunks {
+		v := d.i32s(len(c))
+		if d.err {
+			return Hist{}
+		}
+		copy(c, v)
+	}
+	return h
+}
+
+// LoadSnapshot reconstructs a snapshot of db from an EncodeCore blob and one
+// shard file per shard, written by EncodeShard (ShardBytes). No shard file
+// is read here: every shard is attached to the returned snapshot's residency
+// manager as a non-resident ref, and is faulted in — checksum-verified — the
+// first time an accessor touches its object range. memBudget bounds the
+// resident-shard bytes exactly as in CompileBudget (<= 0 means unlimited
+// residency, still lazily loaded).
+//
+// The db must be the same instance the encoded snapshot was compiled from
+// (or a value-identical reconstruction, e.g. the graph text the serving
+// layer spills beside the shard files); object and label counts are
+// cross-checked, deeper disagreement is undetectable here and yields
+// garbage extractions, exactly like mutating a db under a live snapshot.
+func LoadSnapshot(db *graph.DB, core []byte, shardFiles []string, memBudget int64) (*Snapshot, error) {
+	payload, err := unseal("core", coreMagic, core)
+	if err != nil {
+		return nil, err
+	}
+	db.Freeze()
+	d := dec{b: payload}
+	s := &Snapshot{db: db, shardShift: uint(d.u32()), nLinks: int(d.u64())}
+	n := d.count(0)
+	nLab := d.count(0)
+	if d.err {
+		return nil, &CodecError{"core", "truncated header"}
+	}
+	if n != db.NumObjects() {
+		return nil, &CodecError{"core", fmt.Sprintf("object count %d does not match database (%d)", n, db.NumObjects())}
+	}
+	s.Labels = make([]string, nLab)
+	for i := range s.Labels {
+		s.Labels[i] = string(d.bytes(d.count(1)))
+	}
+	s.Pos = d.i32s(n)
+	s.Sorts = d.bytes(n)
+	nSh := d.count(0)
+	if d.err || nSh != numShards(n, s.shardShift) {
+		return nil, &CodecError{"core", "shard count inconsistent with object count"}
+	}
+	if len(shardFiles) != nSh {
+		return nil, &CodecError{"core", fmt.Sprintf("%d shard files for %d shards", len(shardFiles), nSh)}
+	}
+	metas := make([]shardMeta, nSh)
+	for si := range metas {
+		metas[si] = shardMeta{
+			posBase: int(d.u32()), posN: int(d.count(0)),
+			nOut: int(d.count(0)), nIn: int(d.count(0)),
+		}
+	}
+	s.OutComplex = decodeHist(&d)
+	s.OutAtomic = decodeHist(&d)
+	s.InComplex = decodeHist(&d)
+	s.OutAtomicSort = decodeHist(&d)
+	if d.err || d.off != len(payload) {
+		return nil, &CodecError{"core", "length fields inconsistent with payload size"}
+	}
+
+	// Rebuild the derived tables and intern map from Pos.
+	s.Atomic = bitsetFromPos(s.Pos)
+	for i, p := range s.Pos {
+		if p >= 0 {
+			if int(p) != len(s.Complex) {
+				return nil, &CodecError{"core", "position table is not dense in ID order"}
+			}
+			s.Complex = append(s.Complex, graph.ObjectID(i))
+		}
+	}
+	s.labelID = make(map[string]int, len(s.Labels))
+	for i, l := range s.Labels {
+		s.labelID[l] = i
+	}
+	if len(s.Complex) != s.OutComplex.nRows {
+		return nil, &CodecError{"core", "histogram row count inconsistent with complex objects"}
+	}
+
+	res, err := newResidency(memBudgetFor(memBudget))
+	if err != nil {
+		return nil, err
+	}
+	s.shards = make([]*Shard, nSh)
+	s.refs = make([]*shardRef, nSh)
+	for si := range s.refs {
+		s.refs[si] = res.adopt(shardFiles[si], metas[si])
+	}
+	s.res = res
+	return s, nil
+}
+
+// ShardBytes returns shard si in the encoded shard format, faulting it in if
+// it is not resident. The serving layer's shard-granular spill writes these
+// blobs next to an EncodeCore blob; LoadSnapshot reads them back lazily.
+func (s *Snapshot) ShardBytes(si int) []byte { return EncodeShard(s.shard(si)) }

@@ -159,8 +159,12 @@ type Snapshot struct {
 	labelID map[string]int
 
 	// shards partitions the CSR adjacency by object range; shardShift is
-	// the log2 shard size and nLinks the total out-edge count.
+	// the log2 shard size and nLinks the total out-edge count. With a
+	// residency manager attached (res != nil), shards[si] may be nil and
+	// refs[si] holds the spillable handle — the accessors fault through it.
 	shards     []*Shard
+	refs       []*shardRef
+	res        *Residency
 	shardShift uint
 	nLinks     int
 }
@@ -187,7 +191,32 @@ func CompileCheck(db *graph.DB, workers int, check func() error) (*Snapshot, err
 // most) k fixed ranges. Purely a layout knob — the snapshot's contents are
 // bit-identical at any setting.
 func CompileShardsCheck(db *graph.DB, shards, workers int, check func() error) (*Snapshot, error) {
-	return compileShift(db, shardShiftFor(shards, db.NumObjects()), workers, check)
+	return CompileBudget(db, shards, workers, 0, check)
+}
+
+// CompileBudget is CompileShardsCheck with a resident-shard memory budget in
+// bytes. A positive budget (or the TestMemBudgetEnv override when the budget
+// is 0) attaches a residency manager after compilation: every shard is
+// spilled through the codec to a write-once file and the byte-budgeted LRU
+// keeps only the hottest shards resident, faulting the rest in behind the
+// Out/In accessor seam. Budget 0 without the override keeps the snapshot
+// fully resident. Purely a paging knob — results are bit-identical at any
+// budget.
+func CompileBudget(db *graph.DB, shards, workers int, memBudget int64, check func() error) (*Snapshot, error) {
+	s, err := compileShift(db, shardShiftFor(shards, db.NumObjects()), workers, check)
+	if err != nil {
+		return nil, err
+	}
+	if budget := memBudgetFor(memBudget); budget > 0 {
+		res, err := newResidency(budget)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.attach(res); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // compileShift compiles db at a fixed shard-size exponent. Apply's
@@ -393,7 +422,11 @@ func (s *Snapshot) Value(o graph.ObjectID) (graph.Value, bool) { return s.db.Ato
 // (label ID, target). The slices alias the snapshot and must not be
 // modified.
 func (s *Snapshot) Out(o graph.ObjectID) (to, lab []int32) {
-	sh := s.shards[int(o)>>s.shardShift]
+	si := int(o) >> s.shardShift
+	sh := s.shards[si]
+	if sh == nil {
+		sh = s.refs[si].get()
+	}
 	i := int(o) - sh.Base
 	a, b := sh.OutOff[i], sh.OutOff[i+1]
 	return sh.OutTo[a:b], sh.OutLab[a:b]
@@ -403,7 +436,11 @@ func (s *Snapshot) Out(o graph.ObjectID) (to, lab []int32) {
 // (label ID, source). The slices alias the snapshot and must not be
 // modified.
 func (s *Snapshot) In(o graph.ObjectID) (from, lab []int32) {
-	sh := s.shards[int(o)>>s.shardShift]
+	si := int(o) >> s.shardShift
+	sh := s.shards[si]
+	if sh == nil {
+		sh = s.refs[si].get()
+	}
 	i := int(o) - sh.Base
 	a, b := sh.InOff[i], sh.InOff[i+1]
 	return sh.InFrom[a:b], sh.InLab[a:b]

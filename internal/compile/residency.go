@@ -1,0 +1,393 @@
+// Residency manager: a byte-budgeted LRU of resident shards behind the
+// Snapshot.Out/In accessor seam. With a memory budget attached, a
+// snapshot's shards live behind shardRefs — shared, immutable-content
+// handles that a parent and every delta-derived child alias — and the
+// manager spills the least recently used unpinned shard to its write-once
+// file whenever resident bytes exceed the budget. An accessor touching a
+// non-resident shard faults it back in from the file, checksum-verified.
+//
+// Invariants:
+//   - A shard's file is written exactly once, when the ref is created
+//     (res.add) or adopted from a serving-layer spill (res.adopt). Shards
+//     are immutable, so the file is never stale and eviction is a pointer
+//     drop, never a write.
+//   - A ref is in the LRU iff it is resident and unpinned; only LRU members
+//     are ever evicted. Pinned shards can therefore overcommit the budget:
+//     pins win, the budget is a target, not a hard cap.
+//   - Readers holding a *Shard (or slices into one) stay valid across
+//     eviction — the GC keeps the arrays alive for exactly as long as
+//     anyone uses them. Pinning is an anti-thrash measure for phases that
+//     re-enter a shard many times (a GFP propagation round, a dirty-shard
+//     rebuild), not a correctness requirement.
+//   - Lock order: ref.mu (per-shard fault serialization) before res.mu
+//     (LRU bookkeeping). Eviction takes only res.mu and flips the resident
+//     pointer atomically, so it never waits on a fault in progress.
+//     Residency locks are leaves: nothing is called under them, so callers
+//     holding serving-layer locks (the HTTP stripe locks) can fault freely.
+//
+// A fault that cannot read its shard file panics; the facade's panic
+// containment converts that into an *InternalError, the same contract as
+// any other broken invariant behind the error-free accessors.
+package compile
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"schemex/internal/bitset"
+)
+
+// TestMemBudgetEnv, when set to a positive integer (bytes), applies that
+// memory budget to every snapshot whose caller did not set one explicitly —
+// the residency analogue of TestShardsEnv, letting CI drive the whole test
+// suite through constant shard faulting without threading an option into
+// every call site. Explicit budgets win.
+const TestMemBudgetEnv = "SCHEMEX_TEST_MEM_BUDGET"
+
+// memBudgetFor resolves the effective memory budget: an explicit positive
+// budget wins, otherwise the TestMemBudgetEnv override applies, otherwise
+// zero (fully resident snapshots, no residency manager).
+func memBudgetFor(budget int64) int64 {
+	if budget > 0 {
+		return budget
+	}
+	if v, err := strconv.ParseInt(os.Getenv(TestMemBudgetEnv), 10, 64); err == nil && v > 0 {
+		return v
+	}
+	return 0
+}
+
+// Process-wide residency counters, aggregated across every manager (serving
+// processes hold one per session lineage). Exposed through ResidencyStats
+// for /v1/metrics and the CLI's -v reporting.
+var (
+	statShardFaults atomic.Uint64
+	statShardEvicts atomic.Uint64
+	statShardPins   atomic.Uint64
+)
+
+// ResidencyStatsSnapshot is a point-in-time copy of the process-wide shard
+// residency counters.
+type ResidencyStatsSnapshot struct {
+	// Faults counts shards decoded back in from their spill files.
+	Faults uint64
+	// Evictions counts resident shards dropped to meet a budget.
+	Evictions uint64
+	// Pins counts pin acquisitions (GFP phases, dirty-shard rebuilds).
+	Pins uint64
+}
+
+// ResidencyStats returns the process-wide shard fault/evict/pin counters.
+func ResidencyStats() ResidencyStatsSnapshot {
+	return ResidencyStatsSnapshot{
+		Faults:    statShardFaults.Load(),
+		Evictions: statShardEvicts.Load(),
+		Pins:      statShardPins.Load(),
+	}
+}
+
+// shardMeta is the part of a shard the snapshot must answer questions about
+// without faulting the shard in: its position range (Apply's offset
+// chaining) and edge counts (nLinks, size accounting).
+type shardMeta struct {
+	posBase, posN int
+	nOut, nIn     int
+}
+
+// Residency owns the resident-shard budget of one snapshot lineage (a root
+// Prepare and every child derived through Apply share the manager, so the
+// budget bounds the lineage's live CSR bytes, not each snapshot's). Spill
+// files for shards it creates live in a private temp directory removed when
+// the manager is garbage collected; adopted files (a serving layer's
+// durable shard spill) are read-only and never deleted here.
+type Residency struct {
+	budget int64 // <= 0: unlimited (lazy loading without eviction)
+	dir    string
+
+	mu   sync.Mutex
+	used int64
+	seq  int
+	lru  *list.List // of *shardRef; front = most recently used
+}
+
+// newResidency creates a manager with its spill directory. budget <= 0
+// means unlimited: shards still load lazily through refs (LoadSnapshot
+// needs that), but nothing is ever evicted.
+func newResidency(budget int64) (*Residency, error) {
+	dir, err := os.MkdirTemp("", "schemex-shards-")
+	if err != nil {
+		return nil, fmt.Errorf("compile: residency spill dir: %w", err)
+	}
+	r := &Residency{budget: budget, dir: dir, lru: list.New()}
+	// The snapshot lineage holds the manager for as long as any snapshot
+	// lives; once the last one is collected the spill files are garbage.
+	runtime.SetFinalizer(r, func(r *Residency) { os.RemoveAll(r.dir) })
+	return r, nil
+}
+
+// shardRef is the shared handle of one spillable shard. Parent and child
+// snapshots whose shard si is untouched alias the same ref, so one resident
+// copy (or one file) serves the whole lineage. The shard's global-table
+// views are value-equal for every sharer — an untouched shard's slice of
+// Pos/Sorts/Complex is identical across the Applys that shared it — which
+// is why a faulted shard (owned arrays, see DecodeShard) needs no rebinding
+// per snapshot.
+type shardRef struct {
+	res   *Residency
+	file  string
+	owned bool // file lives in res.dir and is managed by the finalizer
+	size  int64
+	meta  shardMeta
+
+	mu   sync.Mutex // serializes fault decode for this ref
+	pins int
+	elem *list.Element // non-nil iff in res.lru (resident && unpinned)
+	ptr  atomic.Pointer[Shard]
+}
+
+// shardSize estimates a shard's resident bytes (array payloads; headers are
+// noise at any realistic shard size).
+func shardSize(sh *Shard) int64 {
+	return int64(4*(len(sh.OutOff)+len(sh.InOff)+len(sh.OutTo)+len(sh.OutLab)+
+		len(sh.InFrom)+len(sh.InLab)+len(sh.Pos)+len(sh.Complex)) + len(sh.Sorts))
+}
+
+// add registers a freshly built shard: its spill file is written through the
+// codec immediately (write-once; eviction never writes), and the shard
+// enters the LRU resident. Compile attaches every shard this way at the end
+// of its fill, and Apply attaches each rebuilt dirty shard.
+func (r *Residency) add(sh *Shard) (*shardRef, error) {
+	r.mu.Lock()
+	r.seq++
+	name := filepath.Join(r.dir, fmt.Sprintf("s%d.shard", r.seq))
+	r.mu.Unlock()
+	if err := os.WriteFile(name, EncodeShard(sh), 0o644); err != nil {
+		return nil, fmt.Errorf("compile: spilling shard: %w", err)
+	}
+	ref := &shardRef{
+		res: r, file: name, owned: true, size: shardSize(sh),
+		meta: shardMeta{posBase: sh.PosBase, posN: sh.PosN, nOut: len(sh.OutTo), nIn: len(sh.InFrom)},
+	}
+	r.mu.Lock()
+	ref.ptr.Store(sh)
+	r.used += ref.size
+	ref.elem = r.lru.PushFront(ref)
+	r.evictLocked()
+	r.mu.Unlock()
+	return ref, nil
+}
+
+// adopt registers an existing shard file (a serving layer's durable spill)
+// as a non-resident ref: nothing is read until the first fault. The file is
+// not owned — the serving layer controls its lifetime and must keep it
+// until the lineage is dropped.
+func (r *Residency) adopt(file string, meta shardMeta) *shardRef {
+	n := meta.nOut + meta.nIn
+	return &shardRef{
+		res: r, file: file, size: int64(4*(2*(meta.posN+1)+2*n) + meta.posN),
+		meta: meta,
+	}
+}
+
+// evictLocked drops LRU-tail shards until resident bytes fit the budget.
+// Caller holds r.mu.
+func (r *Residency) evictLocked() {
+	for r.budget > 0 && r.used > r.budget {
+		back := r.lru.Back()
+		if back == nil {
+			return // everything resident is pinned: pins win
+		}
+		ref := back.Value.(*shardRef)
+		r.lru.Remove(back)
+		ref.elem = nil
+		ref.ptr.Store(nil)
+		r.used -= ref.size
+		statShardEvicts.Add(1)
+	}
+}
+
+// get returns the shard, faulting it in from its file if non-resident. The
+// resident fast path is one atomic load.
+func (ref *shardRef) get() *Shard {
+	if sh := ref.ptr.Load(); sh != nil {
+		return sh
+	}
+	return ref.fault(false)
+}
+
+// fault decodes the shard from its spill file and re-registers it resident.
+// pin additionally takes a pin before releasing the bookkeeping lock, so
+// the caller's pinned shard cannot be evicted in between.
+func (ref *shardRef) fault(pin bool) *Shard {
+	ref.mu.Lock()
+	defer ref.mu.Unlock()
+	r := ref.res
+	sh := ref.ptr.Load()
+	if sh == nil {
+		data, err := os.ReadFile(ref.file)
+		if err == nil {
+			sh, err = DecodeShard(data)
+		}
+		if err != nil {
+			// The accessors have no error path; the facade's panic
+			// containment turns this into an *InternalError.
+			panic(fmt.Errorf("compile: faulting shard: %w", err))
+		}
+		statShardFaults.Add(1)
+		// The true decoded size replaces the adopt-time estimate so the
+		// budget accounts real bytes.
+		ref.size = shardSize(sh)
+		r.mu.Lock()
+		ref.ptr.Store(sh)
+		r.used += ref.size
+		if ref.pins == 0 {
+			ref.elem = r.lru.PushFront(ref)
+		}
+		if pin {
+			ref.pinLocked()
+		}
+		r.evictLocked()
+		r.mu.Unlock()
+		return sh
+	}
+	r.mu.Lock()
+	if sh = ref.ptr.Load(); sh != nil { // still resident: touch / pin
+		if pin {
+			ref.pinLocked()
+		} else if ref.elem != nil {
+			r.lru.MoveToFront(ref.elem)
+		}
+	}
+	r.mu.Unlock()
+	if sh == nil {
+		// Evicted between the load and the lock; decode on the next pass
+		// (ref.mu is held, so no other fault raced us here).
+		return ref.fault(pin)
+	}
+	return sh
+}
+
+// pin faults the shard in if needed and holds it resident until the
+// returned release runs. Pins nest.
+func (ref *shardRef) pin() (*Shard, func()) {
+	sh := ref.fault(true)
+	return sh, ref.unpin
+}
+
+// pinLocked takes one pin; caller holds res.mu and the ref is resident.
+func (ref *shardRef) pinLocked() {
+	ref.pins++
+	statShardPins.Add(1)
+	if ref.elem != nil {
+		ref.res.lru.Remove(ref.elem)
+		ref.elem = nil
+	}
+}
+
+func (ref *shardRef) unpin() {
+	r := ref.res
+	r.mu.Lock()
+	ref.pins--
+	if ref.pins == 0 && ref.ptr.Load() != nil && ref.elem == nil {
+		ref.elem = r.lru.PushFront(ref)
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+}
+
+// attach moves a fully built snapshot's shards behind residency refs: every
+// shard's spill file is written through the codec and the resident copies
+// become evictable. Until attach runs the shards are plain resident — the
+// compile fill span and Apply's rebuilds operate on pinned-equivalent
+// state by construction.
+func (s *Snapshot) attach(res *Residency) error {
+	if s.refs == nil {
+		s.refs = make([]*shardRef, len(s.shards))
+	}
+	for si, sh := range s.shards {
+		if sh == nil {
+			continue // already behind a ref (shared from the parent)
+		}
+		ref, err := res.add(sh)
+		if err != nil {
+			return err
+		}
+		s.refs[si] = ref
+		s.shards[si] = nil
+	}
+	s.res = res
+	return nil
+}
+
+// shard returns shard si, faulting it in when the snapshot is budgeted and
+// the shard is not resident.
+func (s *Snapshot) shard(si int) *Shard {
+	if sh := s.shards[si]; sh != nil {
+		return sh
+	}
+	return s.refs[si].get()
+}
+
+// shardMeta answers position-range and edge-count questions about shard si
+// without faulting it in.
+func (s *Snapshot) shardMeta(si int) shardMeta {
+	if sh := s.shards[si]; sh != nil {
+		return shardMeta{posBase: sh.PosBase, posN: sh.PosN, nOut: len(sh.OutTo), nIn: len(sh.InFrom)}
+	}
+	return s.refs[si].meta
+}
+
+// PinShards faults every shard in and holds the whole snapshot resident
+// until the returned release runs. The shard-parallel GFP propagation wraps
+// each run in a pin so no frontier-exchange phase faults mid-round; with a
+// budget smaller than the snapshot this deliberately overcommits (pins
+// win). A no-op without a residency manager.
+func (s *Snapshot) PinShards() (release func()) {
+	if s.res == nil {
+		return func() {}
+	}
+	unpins := make([]func(), 0, len(s.refs))
+	for si, ref := range s.refs {
+		if ref == nil {
+			continue // still plain resident (pre-attach)
+		}
+		_, unpin := ref.pin()
+		unpins = append(unpins, unpin)
+		_ = si
+	}
+	return func() {
+		for _, u := range unpins {
+			u()
+		}
+	}
+}
+
+// MemBudget reports the lineage's resident-shard byte budget (0 when the
+// snapshot is fully resident with no residency manager attached).
+func (s *Snapshot) MemBudget() int64 {
+	if s.res == nil {
+		return 0
+	}
+	if s.res.budget < 0 {
+		return 0
+	}
+	return s.res.budget
+}
+
+// bitsetFromPos rebuilds the atomic bitset from the position table:
+// Pos[o] == -1 exactly for atomic objects.
+func bitsetFromPos(pos []int32) *bitset.Set {
+	b := bitset.New(len(pos))
+	for i, p := range pos {
+		if p < 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}

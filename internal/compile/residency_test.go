@@ -1,0 +1,197 @@
+package compile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"schemex/internal/graph"
+)
+
+// budgetFor2 returns a budget that fits roughly two of s's shards, the
+// tight-residency regime the acceptance criteria pin.
+func budgetFor2(s *Snapshot) int64 {
+	var max int64
+	for si := 0; si < s.NumShards(); si++ {
+		if sz := shardSize(s.Shard(si)); sz > max {
+			max = sz
+		}
+	}
+	return 2 * max
+}
+
+// TestBudgetedCompileMatchesResident: a memory-budgeted compile answers every
+// accessor bit-identically to the fully resident snapshot, while actually
+// evicting and faulting shards.
+func TestBudgetedCompileMatchesResident(t *testing.T) {
+	db := chainDB(t, 512)
+	resident, err := CompileShardsCheck(db, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ResidencyStats()
+	budgeted, err := CompileBudget(db, 8, 0, budgetFor2(resident), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.res == nil {
+		t.Fatal("budgeted compile did not attach a residency manager")
+	}
+	if budgeted.MemBudget() == 0 {
+		t.Fatal("MemBudget() = 0 on a budgeted snapshot")
+	}
+	// Two full sweeps: the second one re-faults what the first evicted.
+	for pass := 0; pass < 2; pass++ {
+		snapEqual(t, budgeted, resident, fmt.Sprintf("pass %d", pass))
+	}
+	after := ResidencyStats()
+	if after.Evictions == before.Evictions {
+		t.Fatal("tight budget evicted nothing")
+	}
+	if after.Faults == before.Faults {
+		t.Fatal("tight budget faulted nothing")
+	}
+}
+
+// TestBudgetedApplyLineage: a delta stream over a budgeted snapshot stays
+// bit-identical to scratch compiles, with clean shards shared by ref across
+// the lineage and dirty shards re-entering the LRU.
+func TestBudgetedApplyLineage(t *testing.T) {
+	db := chainDB(t, 256)
+	cur, err := CompileBudget(db, 4, 0, 1<<10, nil) // ~1 shard resident
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4; step++ {
+		var d graph.Delta
+		d.AddLink(fmt.Sprintf("n%d", step*13), fmt.Sprintf("n%d", 255-step*17), "next")
+		next, info, err := Apply(cur, &d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Shared {
+			t.Fatalf("step %d: expected shared apply", step)
+		}
+		if next.res != cur.res {
+			t.Fatalf("step %d: child left the residency lineage", step)
+		}
+		scratch, err := CompileShardsCheck(next.DB().Clone(), 4, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapEqual(t, next, scratch, fmt.Sprintf("step %d", step))
+		cur = next
+	}
+}
+
+// TestBudgetedApplyFallbackLineage: the full-recompile fallback (new label)
+// keeps the child in the parent's residency lineage.
+func TestBudgetedApplyFallbackLineage(t *testing.T) {
+	cur, err := CompileBudget(chainDB(t, 256), 4, 0, 1<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d graph.Delta
+	d.AddLink("n0", "n100", "brand-new-label")
+	next, info, err := Apply(cur, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shared {
+		t.Fatal("new label should force the fallback")
+	}
+	if next.res != cur.res {
+		t.Fatal("fallback child left the residency lineage")
+	}
+	scratch, err := CompileShardsCheck(next.DB().Clone(), 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, next, scratch, "fallback vs scratch")
+}
+
+// TestPinShardsHoldsResidency: with everything pinned, sweeping the snapshot
+// evicts nothing (pins overcommit the budget); releasing re-enables
+// eviction.
+func TestPinShardsHoldsResidency(t *testing.T) {
+	s, err := CompileBudget(chainDB(t, 512), 8, 0, 1<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := s.PinShards()
+	pinnedAt := ResidencyStats()
+	flatten(s) // full sweep while pinned
+	if ev := ResidencyStats().Evictions; ev != pinnedAt.Evictions {
+		t.Fatalf("evictions while fully pinned: %d", ev-pinnedAt.Evictions)
+	}
+	for si := 0; si < s.NumShards(); si++ {
+		if s.refs[si].ptr.Load() == nil {
+			t.Fatalf("shard %d not resident while pinned", si)
+		}
+	}
+	release()
+	// Unpinned again: a sweep must shrink residency back under the budget.
+	flatten(s)
+	if ResidencyStats().Evictions == pinnedAt.Evictions {
+		t.Fatal("no evictions after release")
+	}
+}
+
+// TestResidencyConcurrentReaders: many goroutines sweeping a tightly
+// budgeted snapshot race faults against evictions; run under -race in CI.
+// Each reader checks its own slice contents, so a torn fault would surface
+// as a data mismatch as well as a race report.
+func TestResidencyConcurrentReaders(t *testing.T) {
+	db := chainDB(t, 512)
+	resident, err := CompileShardsCheck(db, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatten(resident)
+	s, err := CompileBudget(db, 8, 0, budgetFor2(resident), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				at := 0
+				for i := 0; i < s.NumObjects(); i++ {
+					to, _ := s.Out(graph.ObjectID(i))
+					for k, v := range to {
+						if want.OutTo[at+k] != v {
+							errs <- fmt.Sprintf("reader %d: object %d edge %d differs", g, i, k)
+							return
+						}
+					}
+					at += len(to)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestMemBudgetEnvOverride: the env override applies only when no explicit
+// budget is given, mirroring TestShardsEnv.
+func TestMemBudgetEnvOverride(t *testing.T) {
+	t.Setenv(TestMemBudgetEnv, "2048")
+	if got := memBudgetFor(0); got != 2048 {
+		t.Fatalf("memBudgetFor(0) = %d, want 2048 from env", got)
+	}
+	if got := memBudgetFor(1 << 20); got != 1<<20 {
+		t.Fatalf("memBudgetFor(1MiB) = %d, explicit budget must win", got)
+	}
+	s := Compile(chainDB(t, 512))
+	if s.res == nil {
+		t.Fatal("env override did not attach a residency manager")
+	}
+}

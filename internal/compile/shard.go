@@ -157,6 +157,7 @@ func (s *Snapshot) ShardSize() int { return 1 << s.shardShift }
 // ShardOf reports the index of the shard owning object o.
 func (s *Snapshot) ShardOf(o graph.ObjectID) int { return int(o) >> s.shardShift }
 
-// Shard returns shard i. The shard and everything it references are
-// immutable, like the snapshot itself.
-func (s *Snapshot) Shard(i int) *Shard { return s.shards[i] }
+// Shard returns shard i, faulting it in from its spill file when the
+// snapshot is memory-budgeted and the shard is not resident. The shard and
+// everything it references are immutable, like the snapshot itself.
+func (s *Snapshot) Shard(i int) *Shard { return s.shard(i) }

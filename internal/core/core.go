@@ -92,6 +92,12 @@ type Options struct {
 	// Limits bounds the resources an extraction may consume. Violations
 	// surface as *graph.LimitError. The zero value imposes no caps.
 	Limits Limits
+	// MemBudget bounds the bytes of compiled shard data held resident at
+	// once: shards past the budget spill to disk through the shard codec and
+	// fault back in on access (LRU). 0 means fully resident (or the
+	// SCHEMEX_TEST_MEM_BUDGET override). Purely a paging knob — results are
+	// bit-identical at any budget; pinned phases may transiently overcommit.
+	MemBudget int64
 }
 
 // Limits bounds the resources an extraction run may consume. Each cap is
@@ -473,12 +479,49 @@ func Prepare(db *graph.DB) (*Prepared, error) {
 // worker bound for the compilation (<= 0 means one per CPU), and a shard
 // count for the snapshot layout (see Options.Shards; 0 means automatic).
 func PrepareContext(ctx context.Context, db *graph.DB, parallelism, shards int) (*Prepared, error) {
-	snap, err := compile.CompileShardsCheck(db, shards, par.Workers(parallelism), checkFunc(ctx))
+	return PrepareBudget(ctx, db, parallelism, shards, 0)
+}
+
+// PrepareBudget is PrepareContext with a resident-shard memory budget in
+// bytes (see Options.MemBudget; 0 means fully resident). Snapshots derived
+// from the result through Apply inherit the budget — one LRU serves the
+// whole session lineage.
+func PrepareBudget(ctx context.Context, db *graph.DB, parallelism, shards int, memBudget int64) (*Prepared, error) {
+	snap, err := compile.CompileBudget(db, shards, par.Workers(parallelism), memBudget, checkFunc(ctx))
 	if err != nil {
 		return nil, err
 	}
 	return &Prepared{db: db, snap: snap, stats: &IncrStats{}}, nil
 }
+
+// PrepareSpilledContext reconstructs a Prepared from a shard-granular spill:
+// an EncodeCore blob plus one EncodeShard file per shard (in shard order).
+// No shard file is read here — each faults in, checksum-verified, on first
+// access — so rehydrating a durable session costs the core blob plus only
+// the shards the next request touches. db must be the database the spilled
+// snapshot was compiled from (the serving layer persists the graph text
+// beside the shard files).
+func PrepareSpilledContext(ctx context.Context, db *graph.DB, core []byte, shardFiles []string, memBudget int64) (*Prepared, error) {
+	if check := checkFunc(ctx); check != nil {
+		if err := check(); err != nil {
+			return nil, err
+		}
+	}
+	snap, err := compile.LoadSnapshot(db, core, shardFiles, memBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, snap: snap, stats: &IncrStats{}}, nil
+}
+
+// EncodeSnapshotCore serializes the prepared snapshot's shard-independent
+// core (label universe, position/sort tables, histograms, shard geometry)
+// for a shard-granular spill; pair with EncodeShard.
+func (p *Prepared) EncodeSnapshotCore() []byte { return p.snap.EncodeCore() }
+
+// EncodeShard serializes shard si of the prepared snapshot in the versioned
+// checksummed shard format, faulting it in if it is not resident.
+func (p *Prepared) EncodeShard(si int) []byte { return p.snap.ShardBytes(si) }
 
 // NumShards reports how many fixed-range object shards the prepared
 // snapshot is partitioned into. Deltas applied through Apply inherit the
@@ -690,7 +733,7 @@ func ExtractContext(ctx context.Context, db *graph.DB, opts Options) (*Result, e
 	if err := opts.Limits.checkGraph(db); err != nil {
 		return nil, err
 	}
-	prep, err := PrepareContext(ctx, db, opts.Parallelism, opts.Shards)
+	prep, err := PrepareBudget(ctx, db, opts.Parallelism, opts.Shards, opts.MemBudget)
 	if err != nil {
 		return nil, wrapWall(err)
 	}
@@ -1138,7 +1181,7 @@ func SweepContext(ctx context.Context, db *graph.DB, opts Options) (*SweepResult
 	if err := opts.Limits.checkGraph(db); err != nil {
 		return nil, err
 	}
-	prep, err := PrepareContext(ctx, db, opts.Parallelism, opts.Shards)
+	prep, err := PrepareBudget(ctx, db, opts.Parallelism, opts.Shards, opts.MemBudget)
 	if err != nil {
 		return nil, wrapWall(err)
 	}

@@ -5,15 +5,19 @@
 // layout under Config.DataDir is
 //
 //	<DataDir>/sessions/<id>/
-//	    MANIFEST             {version, snapshot, log, logOffset}, atomic
+//	    MANIFEST             {version, snapshot, log, logOffset, core, shards}, atomic
 //	    snapshot-<V>.graph   graph text serialization at version V
+//	    snapshot-<V>.core    compiled-snapshot core blob (labels, Pos, histograms)
+//	    shard-<V>-<i>.shard  one codec file per CSR shard, in shard order
 //	    wal-<V>.log          base record (same graph) + one delta per record
 //
 // The log's leading base record makes it self-sufficient: recovery prefers
-// the snapshot file and replays the log from the manifest's logOffset, but a
-// missing snapshot falls back to a full replay from the base record. A torn
-// final frame (crash mid-append) is dropped; interior corruption surfaces as
-// a typed *wal.CorruptError and the session is refused, not served wrong.
+// the compiled spill (core + shard files, loaded without recompiling and with
+// shards faulted lazily as requests touch them), falls back to recompiling
+// the snapshot graph, and a missing snapshot falls back to a full replay from
+// the base record. A torn final frame (crash mid-append) is dropped; interior
+// corruption surfaces as a typed *wal.CorruptError and the session is
+// refused, not served wrong.
 package httpapi
 
 import (
@@ -24,6 +28,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"schemex"
 	"schemex/internal/par"
@@ -107,12 +112,16 @@ func (s *session) persistLocked(a *api, d *schemex.Delta, next *schemex.Prepared
 	return nil
 }
 
-// spillTo writes a new durable generation for the given state: snapshot
-// file, fresh log seeded with a base record, then the manifest rename that
-// commits the switch. Every step before the rename leaves the previous
-// generation authoritative, so a crash (or an error return) anywhere in
-// between recovers to the old snapshot + old log with nothing lost; only
-// after the commit are the old files retired.
+// spillTo writes a new durable generation for the given state: graph
+// snapshot file, compiled-snapshot core blob plus one file per CSR shard
+// (the shard-granular spill that lets recovery skip recompilation and load
+// only the shards a request touches), a fresh log seeded with a base record,
+// then the manifest rename that commits the switch. Every step before the
+// rename leaves the previous generation authoritative, so a crash (or an
+// error return) anywhere in between — including between the shard-file
+// writes and the manifest rename — recovers to the old generation with
+// nothing lost; only after the commit are the old files retired and stale
+// leftovers swept.
 func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
 	v := prep.Version()
 	var base bytes.Buffer
@@ -120,9 +129,28 @@ func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
 		return err
 	}
 	snapName := fmt.Sprintf("snapshot-%d.graph", v)
+	coreName := fmt.Sprintf("snapshot-%d.core", v)
 	logName := fmt.Sprintf("wal-%d.log", v)
 	if err := wal.WriteFileAtomic(filepath.Join(s.dir, snapName), func(w io.Writer) error {
 		_, err := w.Write(base.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	shardNames := make([]string, prep.NumShards())
+	for si := range shardNames {
+		shardNames[si] = fmt.Sprintf("shard-%d-%d.shard", v, si)
+		blob := prep.EncodeShard(si)
+		if err := wal.WriteFileAtomic(filepath.Join(s.dir, shardNames[si]), func(w io.Writer) error {
+			_, err := w.Write(blob)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	core := prep.EncodeSnapshotCore()
+	if err := wal.WriteFileAtomic(filepath.Join(s.dir, coreName), func(w io.Writer) error {
+		_, err := w.Write(core)
 		return err
 	}); err != nil {
 		return err
@@ -140,6 +168,7 @@ func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
 	if err == nil {
 		err = wal.WriteManifest(s.dir, wal.Manifest{
 			Version: v, Snapshot: snapName, Log: logName, LogOffset: off,
+			Core: coreName, Shards: shardNames,
 		})
 	}
 	if err != nil {
@@ -147,18 +176,48 @@ func (s *session) spillTo(prep *schemex.Prepared, pol wal.SyncPolicy) error {
 		os.Remove(logPath)
 		return err
 	}
-	// Committed: retire the previous generation.
+	// Committed: retire the previous generation and sweep anything a crashed
+	// or failed spill left behind.
 	if s.log != nil {
 		s.log.Close()
 	}
-	if s.logFile != "" && s.logFile != logName {
-		os.Remove(filepath.Join(s.dir, s.logFile))
-	}
-	if s.snapFile != "" && s.snapFile != snapName {
-		os.Remove(filepath.Join(s.dir, s.snapFile))
-	}
-	s.log, s.snapFile, s.logFile, s.sinceSpill = nl, snapName, logName, 0
+	s.log, s.snapFile, s.coreFile, s.logFile = nl, snapName, coreName, logName
+	s.shardFiles, s.sinceSpill = shardNames, 0
+	s.sweepStale()
 	return nil
+}
+
+// sweepStale removes generation files (snapshot-*, shard-*, wal-*) that are
+// neither part of the current generation nor pinned by a recovery-adopted
+// compiled snapshot (whose non-resident shard refs may still fault from
+// them). Called after a committed spill, it retires the previous generation
+// and cleans up leftovers of spills that failed or crashed before their
+// manifest rename. Errors are ignored: a file that cannot be removed today
+// is swept after the next spill.
+func (s *session) sweepStale() {
+	keep := map[string]bool{
+		wal.ManifestName: true,
+		s.snapFile:       true, s.coreFile: true, s.logFile: true,
+	}
+	for _, n := range s.shardFiles {
+		keep[n] = true
+	}
+	for n := range s.pinned {
+		keep[n] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if keep[n] || e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(n, "snapshot-") || strings.HasPrefix(n, "shard-") || strings.HasPrefix(n, "wal-") {
+			os.Remove(filepath.Join(s.dir, n))
+		}
+	}
 }
 
 // deleteSession implements DELETE: it removes the id from the store, waits
@@ -285,11 +344,14 @@ func (a *api) recoverAll() error {
 }
 
 // recoverSession rebuilds one session log-suffix-over-snapshot and adds it
-// to the store. The fast path loads the manifest's snapshot and replays the
-// log from logOffset; a missing snapshot file falls back to a full replay
-// from the log's base record. A torn final frame is truncated away when the
-// log is reopened for appending; any interior corruption aborts with the
-// typed error from the wal package.
+// to the store. The fast path loads the manifest's compiled spill — core blob
+// plus per-shard codec files, skipping recompilation and reading zero shard
+// bytes until a request faults them — and replays the log from logOffset. A
+// manifest without spilled shards (or with any of its files missing or
+// unreadable) recompiles the snapshot graph instead, and a missing snapshot
+// falls back to a full replay from the log's base record. A torn final frame
+// is truncated away when the log is reopened for appending; any interior
+// corruption aborts with the typed error from the wal package.
 func (a *api) recoverSession(id string) (*session, error) {
 	dir := a.sessionDir(id)
 	m, err := wal.ReadManifest(dir)
@@ -300,6 +362,7 @@ func (a *api) recoverSession(id string) (*session, error) {
 	ctx := context.Background()
 
 	var prep *schemex.Prepared
+	pinned := map[string]bool{}
 	from := m.LogOffset
 	snapData, serr := os.ReadFile(filepath.Join(dir, m.Snapshot))
 	switch {
@@ -308,8 +371,18 @@ func (a *api) recoverSession(id string) (*session, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snapshot %s: %w", m.Snapshot, err)
 		}
-		if prep, err = schemex.PrepareContext(ctx, g); err != nil {
-			return nil, err
+		if prep = a.loadSpilled(ctx, dir, m, g); prep != nil {
+			// The adopted snapshot faults from this generation's shard files
+			// for as long as the session lives: pin them so later spills'
+			// stale-file sweeps leave them on disk.
+			pinned[m.Core] = true
+			for _, n := range m.Shards {
+				pinned[n] = true
+			}
+		} else {
+			if prep, err = schemex.PrepareOptions(ctx, g, schemex.Options{MemBudget: a.memBudget}); err != nil {
+				return nil, err
+			}
 		}
 		prep.SetBaseVersion(m.Version)
 	case os.IsNotExist(serr):
@@ -329,7 +402,7 @@ func (a *api) recoverSession(id string) (*session, error) {
 			if err != nil {
 				return fmt.Errorf("base record: %w", err)
 			}
-			p, err := schemex.PrepareContext(ctx, g)
+			p, err := schemex.PrepareOptions(ctx, g, schemex.Options{MemBudget: a.memBudget})
 			if err != nil {
 				return err
 			}
@@ -364,8 +437,39 @@ func (a *api) recoverSession(id string) (*session, error) {
 	}
 	s := &session{
 		id: id, prep: prep, dir: dir, log: lg,
-		snapFile: m.Snapshot, logFile: m.Log, sinceSpill: replayed,
+		snapFile: m.Snapshot, coreFile: m.Core, logFile: m.Log,
+		shardFiles: m.Shards, pinned: pinned, sinceSpill: replayed,
 	}
 	a.sessions.add(s)
 	return s, nil
+}
+
+// loadSpilled attempts the recompile-free recovery path: when the manifest
+// records a compiled spill, stat every shard file up front (an adopted
+// snapshot that later faults on a missing file would 500 the first request
+// to touch that shard — better to recompile now) and load the snapshot from
+// the core blob with lazy, budget-managed shard residency. Any failure
+// returns nil and the caller recompiles from the graph; the spill is an
+// optimization, never a correctness requirement.
+func (a *api) loadSpilled(ctx context.Context, dir string, m wal.Manifest, g *schemex.Graph) *schemex.Prepared {
+	if m.Core == "" || len(m.Shards) == 0 {
+		return nil
+	}
+	core, err := os.ReadFile(filepath.Join(dir, m.Core))
+	if err != nil {
+		return nil
+	}
+	paths := make([]string, len(m.Shards))
+	for i, n := range m.Shards {
+		paths[i] = filepath.Join(dir, n)
+		if _, err := os.Stat(paths[i]); err != nil {
+			return nil
+		}
+	}
+	prep, err := schemex.PrepareSpilled(ctx, g, core, paths, schemex.Options{MemBudget: a.memBudget})
+	if err != nil {
+		log.Printf("httpapi: %s: spilled snapshot rejected, recompiling: %v", dir, err)
+		return nil
+	}
+	return prep
 }

@@ -111,8 +111,9 @@ func TestDurableSpillRotatesLog(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		mutateOK(t, ts, id, nthDelta(i))
 	}
-	// 7 deltas with SpillEvery=3 spill at v3 and v6: exactly one snapshot
-	// and one log generation remain, named for the last spill.
+	// 7 deltas with SpillEvery=3 spill at v3 and v6: exactly one generation —
+	// graph snapshot, core blob, shard files, log — remains, named for the
+	// last spill.
 	sdir := filepath.Join(dir, sessionsSubdir, id)
 	entries, err := os.ReadDir(sdir)
 	if err != nil {
@@ -122,13 +123,15 @@ func TestDurableSpillRotatesLog(t *testing.T) {
 	for _, e := range entries {
 		names = append(names, e.Name())
 	}
-	for _, want := range []string{"MANIFEST", "snapshot-6.graph", "wal-6.log"} {
+	for _, want := range []string{"MANIFEST", "snapshot-6.graph", "snapshot-6.core", "shard-6-0.shard", "wal-6.log"} {
 		if _, err := os.Stat(filepath.Join(sdir, want)); err != nil {
 			t.Fatalf("missing %s after spills; dir holds %v", want, names)
 		}
 	}
-	if len(entries) != 3 {
-		t.Fatalf("stale generations not retired: %v", names)
+	for _, n := range names {
+		if n != "MANIFEST" && !strings.Contains(n, "-6") {
+			t.Fatalf("stale generation file survived cleanup: %s (dir holds %v)", n, names)
+		}
 	}
 	m, err := wal.ReadManifest(sdir)
 	if err != nil {

@@ -225,6 +225,13 @@ type Config struct {
 	// re-runs graph parsing and snapshot compilation per session, so the pool
 	// bounds both CPU and peak memory during a restart over a large DataDir.
 	RecoverConcurrency int
+	// MemBudget, when positive, bounds the bytes of compiled shard data each
+	// prepared snapshot lineage holds resident (schemex.Options.MemBudget):
+	// shards past the budget spill to disk and fault back in on access, with
+	// counters on /v1/metrics (schemex_shard_faults / _evictions / _pins).
+	// Applies to cache entries, sessions, and recovery alike; 0 keeps
+	// everything resident. Results are bit-identical at any budget.
+	MemBudget int64
 }
 
 // api is one handler instance's state: the snapshot cache, the session
@@ -241,6 +248,7 @@ type api struct {
 	spillEvery int
 	spillBytes int64
 	recoverPar int
+	memBudget  int64
 
 	// recoverMu serializes disk-level session lifecycle (rehydrate, delete,
 	// startup recovery) so two requests for the same evicted id cannot both
@@ -273,6 +281,9 @@ func newAPI(cfg Config) *api {
 	if cfg.RecoverConcurrency < 0 {
 		panic(fmt.Sprintf("httpapi: negative RecoverConcurrency in %+v", cfg))
 	}
+	if cfg.MemBudget < 0 {
+		panic(fmt.Sprintf("httpapi: negative MemBudget in %+v", cfg))
+	}
 	a := &api{
 		snapshots:  prepCache{max: cfg.CacheEntries},
 		sessions:   sessionStore{max: cfg.SessionEntries},
@@ -281,6 +292,7 @@ func newAPI(cfg Config) *api {
 		spillEvery: cfg.SpillEvery,
 		spillBytes: cfg.SpillBytes,
 		recoverPar: cfg.RecoverConcurrency,
+		memBudget:  cfg.MemBudget,
 		corrupt:    make(map[string]error),
 	}
 	// Eviction flushes rather than drops: close() syncs and closes the log
@@ -499,7 +511,7 @@ func (a *api) loadPrepared(ctx context.Context, data, format string) (*schemex.P
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	prep, err := schemex.PrepareContext(ctx, g)
+	prep, err := schemex.PrepareOptions(ctx, g, schemex.Options{MemBudget: a.memBudget})
 	if err != nil {
 		return nil, extractStatus(err), err
 	}

@@ -1,29 +1,74 @@
 // Operational counters on the standard expvar surface, served at
-// GET /v1/metrics. The counters are package globals published once at init —
-// expvar panics on duplicate names, and tests construct many handlers per
-// process — so they aggregate across every handler instance in the process,
-// which is also what a scraper of the process-wide endpoint expects.
+// GET /v1/metrics. All registrations go through metricInt/metricFunc, which
+// reuse an existing variable instead of re-registering — expvar panics on
+// duplicate names, and the package must stay safe to initialize (and its
+// servers safe to construct, many per process) in programs that already
+// published these names or that link two copies of the registration path.
+// The counters are process-wide: they aggregate across every handler
+// instance, which is also what a scraper of the endpoint expects.
 package httpapi
 
-import "expvar"
+import (
+	"expvar"
+
+	"schemex"
+)
+
+// metricInt returns the named expvar Int, registering it on first use. A
+// name already published as an Int is adopted rather than re-registered (no
+// panic); a name published as some other type is shadowed by an unpublished
+// Int so callers can still Add without crashing the process.
+func metricInt(name string) *expvar.Int {
+	if v, ok := expvar.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	if expvar.Get(name) != nil {
+		return new(expvar.Int)
+	}
+	return expvar.NewInt(name)
+}
+
+// metricFunc publishes a computed variable once; later calls with a name
+// already on the surface are no-ops.
+func metricFunc(name string, f func() interface{}) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(f))
+	}
+}
 
 var (
 	// Prepared-snapshot cache (keyed by request content hash).
-	metricSnapshotHits      = expvar.NewInt("schemex_snapshot_cache_hits")
-	metricSnapshotMisses    = expvar.NewInt("schemex_snapshot_cache_misses")
-	metricSnapshotEvictions = expvar.NewInt("schemex_snapshot_cache_evictions")
+	metricSnapshotHits      = metricInt("schemex_snapshot_cache_hits")
+	metricSnapshotMisses    = metricInt("schemex_snapshot_cache_misses")
+	metricSnapshotEvictions = metricInt("schemex_snapshot_cache_evictions")
 
 	// Delta-session store. A hit is a request resolving a live in-store
 	// session; a miss had to rehydrate from disk or report 404; an eviction is
 	// the LRU cap flushing a session out.
-	metricSessionHits      = expvar.NewInt("schemex_session_store_hits")
-	metricSessionMisses    = expvar.NewInt("schemex_session_store_misses")
-	metricSessionEvictions = expvar.NewInt("schemex_session_store_evictions")
+	metricSessionHits      = metricInt("schemex_session_store_hits")
+	metricSessionMisses    = metricInt("schemex_session_store_misses")
+	metricSessionEvictions = metricInt("schemex_session_store_evictions")
 
 	// Mutation outcomes: incremental counts deltas applied with structural
 	// sharing, fallback counts full recompiles (label-universe changes or
 	// atomic/complex flips). Results are identical either way; the ratio is
 	// the health signal for incremental maintenance.
-	metricApplyIncremental = expvar.NewInt("schemex_apply_incremental")
-	metricApplyFallback    = expvar.NewInt("schemex_apply_fallback")
+	metricApplyIncremental = metricInt("schemex_apply_incremental")
+	metricApplyFallback    = metricInt("schemex_apply_fallback")
 )
+
+// Shard residency counters (Config.MemBudget): read live from the library's
+// process-wide counters so they need no per-handler plumbing. Faults are
+// shards decoded back in from spill files, evictions shards dropped to meet
+// a budget, pins the phases that held their working set resident.
+func init() {
+	metricFunc("schemex_shard_faults", func() interface{} {
+		return schemex.ReadResidencyStats().ShardFaults
+	})
+	metricFunc("schemex_shard_evictions", func() interface{} {
+		return schemex.ReadResidencyStats().ShardEvictions
+	})
+	metricFunc("schemex_shard_pins", func() interface{} {
+		return schemex.ReadResidencyStats().ShardPins
+	})
+}

@@ -1,0 +1,257 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schemex/internal/compile"
+	"schemex/internal/wal"
+)
+
+// readShardMetrics fetches the shard residency gauges from /v1/metrics.
+func readShardMetrics(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var all map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, k := range []string{"schemex_shard_faults", "schemex_shard_evictions", "schemex_shard_pins"} {
+		f, ok := all[k].(float64)
+		if !ok {
+			t.Fatalf("metric %s missing from /v1/metrics", k)
+		}
+		out[k] = f
+	}
+	return out
+}
+
+// TestTwoServersOneProcess: constructing a second Server (and with it a
+// second pass over the metric registrations) in one process must not panic —
+// expvar refuses duplicate names, so registration has to be idempotent. Both
+// servers serve the shared process-wide counters.
+func TestTwoServersOneProcess(t *testing.T) {
+	s1, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []*Server{s1, s2} {
+		ts := httptest.NewServer(s.Handler())
+		readShardMetrics(t, ts)
+		id := createSession(t, ts, sampleText)
+		mutateOK(t, ts, id, nthDelta(i))
+		ts.Close()
+	}
+}
+
+// TestServerMemBudgetShardFaults: a server with a tight MemBudget serves
+// correct results while paging shards — the residency gauges on /v1/metrics
+// move, proving extraction really ran against spilled shards.
+func TestServerMemBudgetShardFaults(t *testing.T) {
+	t.Setenv(compile.TestShardsEnv, "4")
+	s, err := NewServer(Config{MemBudget: 6144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := readShardMetrics(t, ts)
+	id := createSession(t, ts, chainData(256))
+	schema := extractSchema(t, ts, id)
+	mutateOK(t, ts, id, "link n0 n128 next\n")
+	schema2 := extractSchema(t, ts, id)
+	if schema == "" || schema2 == "" {
+		t.Fatal("empty schema under memory budget")
+	}
+	after := readShardMetrics(t, ts)
+	if after["schemex_shard_faults"] <= before["schemex_shard_faults"] {
+		t.Fatalf("shard faults did not move under budget: before=%v after=%v", before, after)
+	}
+	if after["schemex_shard_evictions"] <= before["schemex_shard_evictions"] {
+		t.Fatalf("shard evictions did not move under budget: before=%v after=%v", before, after)
+	}
+
+	// The same session on an unbudgeted server yields the identical schema.
+	ts2 := httptest.NewServer(Handler())
+	defer ts2.Close()
+	id2 := createSession(t, ts2, chainData(256))
+	if got := extractSchema(t, ts2, id2); got != schema {
+		t.Fatalf("budgeted schema differs from resident schema:\n%s\nvs\n%s", schema, got)
+	}
+}
+
+// TestShardGranularRecovery: a restart recovers a spilled session from its
+// core blob and shard files without recompiling, and the recovered session
+// extracts the identical schema. With a tight budget the recovery path
+// faults shards in from the spilled files on demand.
+func TestShardGranularRecovery(t *testing.T) {
+	t.Setenv(compile.TestShardsEnv, "4")
+	dir := t.TempDir()
+	s1, ts1 := durableServer(t, Config{DataDir: dir, SpillEvery: 2, MemBudget: 2048})
+	id := createSession(t, ts1, chainData(256))
+	for i := 0; i < 4; i++ {
+		mutateOK(t, ts1, id, fmt.Sprintf("link n%d n%d next\n", i*8, i*8+64))
+	}
+	want := extractSchema(t, ts1, id)
+	ts1.Close()
+	s1.Close()
+
+	// The committed manifest names the shard-granular spill.
+	m, err := wal.ReadManifest(filepath.Join(dir, sessionsSubdir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Core == "" || len(m.Shards) == 0 {
+		t.Fatalf("manifest is not shard-granular: %+v", m)
+	}
+	for _, n := range append([]string{m.Core}, m.Shards...) {
+		if _, err := os.Stat(filepath.Join(dir, sessionsSubdir, id, n)); err != nil {
+			t.Fatalf("manifest names missing file %s: %v", n, err)
+		}
+	}
+
+	s2, ts2 := durableServer(t, Config{DataDir: dir, SpillEvery: 2, MemBudget: 2048})
+	if got := extractSchema(t, ts2, id); got != want {
+		t.Fatalf("recovered schema differs:\n%s\nvs\n%s", got, want)
+	}
+	// The recovered session keeps accepting mutations and spilling.
+	mutateOK(t, ts2, id, "link n1 n200 next\n")
+	mutateOK(t, ts2, id, "link n2 n201 next\n")
+	ts2.Close()
+	s2.Close()
+}
+
+// TestMissingShardFileFallsBackToRecompile: recovery with a missing shard
+// file must not refuse the session — the spill is an optimization, so the
+// up-front stat probe routes recovery to a recompile from the graph snapshot
+// and the session serves the identical schema.
+func TestMissingShardFileFallsBackToRecompile(t *testing.T) {
+	t.Setenv(compile.TestShardsEnv, "4")
+	dir := t.TempDir()
+	s1, ts1 := durableServer(t, Config{DataDir: dir, SpillEvery: 1})
+	id := createSession(t, ts1, chainData(256))
+	mutateOK(t, ts1, id, "link n255 n256 next\n")
+	want := extractSchema(t, ts1, id)
+	ts1.Close()
+	s1.Close()
+
+	m, err := wal.ReadManifest(filepath.Join(dir, sessionsSubdir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) < 2 {
+		t.Fatalf("want multiple shard files, got %v", m.Shards)
+	}
+	if err := os.Remove(filepath.Join(dir, sessionsSubdir, id, m.Shards[1])); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := durableServer(t, Config{DataDir: dir, SpillEvery: 1})
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := extractSchema(t, ts2, id); got != want {
+		t.Fatalf("schema after missing-shard fallback differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestTruncatedShardFileRejectedTyped: a shard file damaged after the spill
+// passes the existence probe, so the session is adopted lazily — the
+// corruption must then surface as a typed internal error at first access,
+// never as silently wrong data.
+func TestTruncatedShardFileRejectedTyped(t *testing.T) {
+	t.Setenv(compile.TestShardsEnv, "4")
+	dir := t.TempDir()
+	s1, ts1 := durableServer(t, Config{DataDir: dir, SpillEvery: 1})
+	id := createSession(t, ts1, chainData(256))
+	mutateOK(t, ts1, id, "link n0 n64 next\n")
+	ts1.Close()
+	s1.Close()
+
+	m, err := wal.ReadManifest(filepath.Join(dir, sessionsSubdir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, sessionsSubdir, id, m.Shards[1]), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := durableServer(t, Config{DataDir: dir, SpillEvery: 1})
+	defer func() { ts2.Close(); s2.Close() }()
+	status, out := post(t, ts2, "/v1/session/"+id+"/extract", mustJSON(t, map[string]interface{}{
+		"options": map[string]interface{}{"k": 2},
+	}))
+	if status != 500 {
+		t.Fatalf("extract over truncated shard: status %d, body %v", status, out)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "internal error") {
+		t.Fatalf("want typed internal error, got %q", msg)
+	}
+}
+
+// TestInterruptedSpillRecoversAndSweeps: a spill that dies between writing
+// its generation files and the manifest rename leaves the old generation
+// authoritative. Recovery serves the old state, and the next committed spill
+// sweeps the orphaned files.
+func TestInterruptedSpillRecoversAndSweeps(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := durableServer(t, Config{DataDir: dir, SpillEvery: 2})
+	id := createSession(t, ts1, sampleText)
+	mutateOK(t, ts1, id, nthDelta(1))
+	mutateOK(t, ts1, id, nthDelta(2)) // spills generation 2
+	want := extractSchema(t, ts1, id)
+	ts1.Close()
+	s1.Close()
+
+	// Simulate a crash mid-spill of generation 9: generation files exist but
+	// the manifest still names generation 2.
+	sdir := filepath.Join(dir, sessionsSubdir, id)
+	for _, n := range []string{"snapshot-9.graph", "snapshot-9.core", "shard-9-0.shard", "wal-9.log"} {
+		if err := os.WriteFile(filepath.Join(sdir, n), []byte("orphaned partial spill"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, ts2 := durableServer(t, Config{DataDir: dir, SpillEvery: 2})
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := extractSchema(t, ts2, id); got != want {
+		t.Fatalf("schema after interrupted spill differs:\n%s\nvs\n%s", got, want)
+	}
+	// Two more deltas commit a fresh generation, whose sweep removes the
+	// orphans alongside the retired old generation.
+	mutateOK(t, ts2, id, nthDelta(3))
+	mutateOK(t, ts2, id, nthDelta(4))
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "-9") {
+			t.Fatalf("orphaned spill file survived the sweep: %s", e.Name())
+		}
+		// The graph snapshot and log of the retired generation are gone; its
+		// core and shard files may legitimately remain while the recovered
+		// session's compiled snapshot is pinned to them.
+		if e.Name() == "snapshot-2.graph" || e.Name() == "wal-2.log" {
+			t.Fatalf("retired generation survived the sweep: %s", e.Name())
+		}
+	}
+}

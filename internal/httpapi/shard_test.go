@@ -194,22 +194,33 @@ func TestSpillBytesTrigger(t *testing.T) {
 			t.Fatalf("after delta %d: snapshot %s", i, m.Snapshot)
 		}
 	}
-	// Old generations are retired: exactly one snapshot and one log remain.
+	// Old generations are retired: exactly one graph snapshot, one core blob,
+	// and one log remain, and every generation file (shard files included)
+	// belongs to the current version.
 	entries, err := os.ReadDir(filepath.Join(dir, sessionsSubdir, id))
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps, logs := 0, 0
+	snaps, cores, logs, shards := 0, 0, 0, 0
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "snapshot-") {
+		n := e.Name()
+		switch {
+		case strings.HasSuffix(n, ".graph"):
 			snaps++
-		}
-		if strings.HasPrefix(e.Name(), "wal-") {
+		case strings.HasSuffix(n, ".core"):
+			cores++
+		case strings.HasPrefix(n, "wal-"):
 			logs++
+		case strings.HasPrefix(n, "shard-"):
+			shards++
+		}
+		if n != wal.ManifestName && !strings.Contains(n, "-3") {
+			t.Errorf("stale generation file survived cleanup: %s", n)
 		}
 	}
-	if snaps != 1 || logs != 1 {
-		t.Fatalf("generation cleanup: %d snapshots, %d logs (want 1 each)", snaps, logs)
+	if snaps != 1 || cores != 1 || logs != 1 || shards < 1 {
+		t.Fatalf("generation cleanup: %d graphs, %d cores, %d logs, %d shards (want 1/1/1/>=1)",
+			snaps, cores, logs, shards)
 	}
 }
 

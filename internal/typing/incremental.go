@@ -87,6 +87,11 @@ func EvalGFPSnapIncr(p *Program, snap *compile.Snapshot, parent *Extent, changed
 		ext, err := EvalGFPSnapCheck(p, snap, opts.Workers, opts.Check)
 		return ext, false, err
 	}
+	// Liveness probes and lazy count materialization chase edges from the
+	// affected set across arbitrary shards, repeatedly; like the full
+	// evaluator, pin the snapshot resident for the duration rather than
+	// thrash a sub-snapshot memory budget (no-op when unbudgeted).
+	defer snap.PinShards()()
 	n := snap.NumObjects()
 	nT := len(p.Types)
 	nTOld := len(parent.Member)

@@ -23,6 +23,17 @@ type Manifest struct {
 	Snapshot  string `json:"snapshot"`
 	Log       string `json:"log"`
 	LogOffset int64  `json:"logOffset"`
+	// Core and Shards, when present, make the spill shard-granular: Core
+	// names the compiled snapshot's core blob (label universe, global
+	// tables, histograms) and Shards one file per CSR shard, in shard order,
+	// all relative to the session directory. Recovery can then rebuild the
+	// compiled snapshot without recompiling, loading shards lazily as
+	// requests touch them. Absent (a manifest written before shard-granular
+	// spills, or after a codec version bump), recovery recompiles from
+	// Snapshot — the fields are an optimization, never a correctness
+	// requirement.
+	Core   string   `json:"core,omitempty"`
+	Shards []string `json:"shards,omitempty"`
 }
 
 // ReadManifest loads a session directory's manifest.

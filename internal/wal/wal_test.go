@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -346,7 +348,8 @@ func TestParseSyncPolicy(t *testing.T) {
 
 func TestManifestRoundTripAndAtomicity(t *testing.T) {
 	dir := t.TempDir()
-	m := Manifest{Version: 42, Snapshot: "snapshot-42.graph", Log: "wal-42.log", LogOffset: 137}
+	m := Manifest{Version: 42, Snapshot: "snapshot-42.graph", Log: "wal-42.log", LogOffset: 137,
+		Core: "snapshot-42.core", Shards: []string{"shard-42-0.shard", "shard-42-1.shard"}}
 	if err := WriteManifest(dir, m); err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +357,7 @@ func TestManifestRoundTripAndAtomicity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("round trip: %+v != %+v", got, m)
 	}
 	// Overwrite is atomic: the temp file never lingers and the new state
@@ -364,7 +367,7 @@ func TestManifestRoundTripAndAtomicity(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, err = ReadManifest(dir)
-	if err != nil || got != m2 {
+	if err != nil || !reflect.DeepEqual(got, m2) {
 		t.Fatalf("after overwrite: %+v err %v", got, err)
 	}
 	entries, _ := os.ReadDir(dir)
@@ -391,5 +394,61 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 	if _, err := l.Append(KindDelta, []byte("x")); err == nil {
 		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestWriteFileAtomicWriteFailure: an error from the write callback leaves
+// the destination untouched (previous contents intact) and removes the temp
+// file, so a failed atomic write can never be observed as a partial one.
+func TestWriteFileAtomicWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("half a new f")) // partial write, then failure
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old contents" {
+		t.Fatalf("destination disturbed by failed write: %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "target" {
+			t.Fatalf("temp file leaked after failed write: %q", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicRenameFailure: when the final rename cannot succeed
+// (here the destination is a non-empty directory), the error propagates and
+// the temp file is cleaned up rather than stranded beside the target.
+func TestWriteFileAtomicRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target")
+	if err := os.MkdirAll(filepath.Join(path, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents"))
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename over a non-empty directory reported success")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "target" {
+			t.Fatalf("temp file leaked after failed rename: %q", e.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(path, "occupied")); err != nil {
+		t.Fatalf("destination directory disturbed: %v", err)
 	}
 }

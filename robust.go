@@ -160,8 +160,17 @@ func Prepare(g *Graph) (*Prepared, error) {
 
 // PrepareContext is Prepare with cooperative cancellation.
 func PrepareContext(ctx context.Context, g *Graph) (p *Prepared, err error) {
+	return PrepareOptions(ctx, g, Options{})
+}
+
+// PrepareOptions is PrepareContext honoring the preparation-relevant options:
+// Parallelism (compile workers), Shards (snapshot layout), and MemBudget
+// (resident-shard bytes; snapshots derived through Apply inherit the budget).
+// All three are resource knobs only — extraction results are bit-identical
+// at any setting.
+func PrepareOptions(ctx context.Context, g *Graph, opts Options) (p *Prepared, err error) {
 	defer recoverInternal(&err)
-	cp, err := core.PrepareContext(ctx, g.db, 0, 0)
+	cp, err := core.PrepareBudget(ctx, g.db, opts.Parallelism, opts.Shards, opts.MemBudget)
 	if err != nil {
 		return nil, err
 	}
