@@ -12,8 +12,10 @@ build:
 test:
 	$(GO) test -timeout=5m ./...
 
+# The race detector slows the heavy GFP suites ~8x; internal/core alone
+# runs close to 5 minutes, so the race leg gets double the plain timeout.
 race:
-	$(GO) test -race -timeout=5m ./...
+	$(GO) test -race -timeout=10m ./...
 
 test-race: race
 

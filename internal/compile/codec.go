@@ -280,10 +280,14 @@ func encodeHist(e *enc, h Hist) {
 	}
 }
 
-func decodeHist(d *dec) Hist {
+// decodeHist reads one histogram. maxRows bounds nRows before makeHist runs:
+// when rowLen > 0 the remaining payload bounds nRows anyway, but a rowLen of
+// zero carries no payload bytes per row, and without the cap a crafted nRows
+// could still force a giant chunk-header allocation.
+func decodeHist(d *dec, maxRows int) Hist {
 	nRows := d.count(0)
 	rowLen := d.count(0)
-	if d.err || (rowLen > 0 && nRows > (len(d.b)-d.off)/(4*rowLen)) {
+	if d.err || nRows > maxRows || (rowLen > 0 && nRows > (len(d.b)-d.off)/(4*rowLen)) {
 		d.err = true
 		return Hist{}
 	}
@@ -319,8 +323,13 @@ func LoadSnapshot(db *graph.DB, core []byte, shardFiles []string, memBudget int6
 	db.Freeze()
 	d := dec{b: payload}
 	s := &Snapshot{db: db, shardShift: uint(d.u32()), nLinks: int(d.u64())}
-	n := d.count(0)
-	nLab := d.count(0)
+	// Counts that size allocations use positive per-element minima so a
+	// corrupt length (valid CRC, untrusted source) fails as a CodecError
+	// instead of attempting a multi-gigabyte make: every object costs at
+	// least 5 payload bytes (4 of Pos + 1 of Sorts), every label at least
+	// its 4-byte length field.
+	n := d.count(5)
+	nLab := d.count(4)
 	if d.err {
 		return nil, &CodecError{"core", "truncated header"}
 	}
@@ -333,7 +342,7 @@ func LoadSnapshot(db *graph.DB, core []byte, shardFiles []string, memBudget int6
 	}
 	s.Pos = d.i32s(n)
 	s.Sorts = d.bytes(n)
-	nSh := d.count(0)
+	nSh := d.count(16) // each shard carries 16 bytes of meta below
 	if d.err || nSh != numShards(n, s.shardShift) {
 		return nil, &CodecError{"core", "shard count inconsistent with object count"}
 	}
@@ -347,10 +356,10 @@ func LoadSnapshot(db *graph.DB, core []byte, shardFiles []string, memBudget int6
 			nOut: int(d.count(0)), nIn: int(d.count(0)),
 		}
 	}
-	s.OutComplex = decodeHist(&d)
-	s.OutAtomic = decodeHist(&d)
-	s.InComplex = decodeHist(&d)
-	s.OutAtomicSort = decodeHist(&d)
+	s.OutComplex = decodeHist(&d, n)
+	s.OutAtomic = decodeHist(&d, n)
+	s.InComplex = decodeHist(&d, n)
+	s.OutAtomicSort = decodeHist(&d, n)
 	if d.err || d.off != len(payload) {
 		return nil, &CodecError{"core", "length fields inconsistent with payload size"}
 	}

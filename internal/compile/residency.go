@@ -149,6 +149,7 @@ type shardRef struct {
 	pins int
 	elem *list.Element // non-nil iff in res.lru (resident && unpinned)
 	ptr  atomic.Pointer[Shard]
+	hits atomic.Uint32 // fast-path accesses since creation, drives LRU touches
 }
 
 // shardSize estimates a shard's resident bytes (array payloads; headers are
@@ -186,13 +187,12 @@ func (r *Residency) add(sh *Shard) (*shardRef, error) {
 // adopt registers an existing shard file (a serving layer's durable spill)
 // as a non-resident ref: nothing is read until the first fault. The file is
 // not owned — the serving layer controls its lifetime and must keep it
-// until the lineage is dropped.
+// until the lineage is dropped. size stays zero until the first fault
+// measures the decoded shard (fault stores shardSize before any budget
+// accounting touches the ref), so adopted refs never charge the budget with
+// an estimate — don't use size for admission decisions before a fault.
 func (r *Residency) adopt(file string, meta shardMeta) *shardRef {
-	n := meta.nOut + meta.nIn
-	return &shardRef{
-		res: r, file: file, size: int64(4*(2*(meta.posN+1)+2*n) + meta.posN),
-		meta: meta,
-	}
+	return &shardRef{res: r, file: file, meta: meta}
 }
 
 // evictLocked drops LRU-tail shards until resident bytes fit the budget.
@@ -212,25 +212,70 @@ func (r *Residency) evictLocked() {
 	}
 }
 
+// lruTouchPeriod bounds how stale a resident shard's LRU recency can get:
+// get's lock-free fast path promotes the ref to the LRU front every Nth hit
+// rather than on every hit, keeping recency meaningful for hot shards
+// without paying a lock per access.
+const lruTouchPeriod = 64
+
 // get returns the shard, faulting it in from its file if non-resident. The
-// resident fast path is one atomic load.
+// resident fast path is one atomic load plus a counter increment; every
+// lruTouchPeriod-th hit additionally refreshes the ref's LRU position so
+// eviction order tracks real access recency, not just fault order.
 func (ref *shardRef) get() *Shard {
 	if sh := ref.ptr.Load(); sh != nil {
+		if ref.hits.Add(1)%lruTouchPeriod == 0 {
+			ref.touch()
+		}
 		return sh
 	}
 	return ref.fault(false)
 }
 
+// touch refreshes the ref's LRU recency; a no-op if the shard was evicted
+// or pinned in the meantime (elem is nil in both cases).
+func (ref *shardRef) touch() {
+	r := ref.res
+	r.mu.Lock()
+	if ref.elem != nil {
+		r.lru.MoveToFront(ref.elem)
+	}
+	r.mu.Unlock()
+}
+
 // fault decodes the shard from its spill file and re-registers it resident.
 // pin additionally takes a pin before releasing the bookkeeping lock, so
 // the caller's pinned shard cannot be evicted in between.
+//
+// The body is a loop, never a recursive call: ref.mu is held for the whole
+// fault and sync.Mutex is not reentrant, so re-entering fault would
+// self-deadlock. When eviction races the optimistic resident check (the
+// shard is dropped between the ptr load and res.mu), the loop falls through
+// to the decode branch on the next iteration — and since ref.mu serializes
+// faults, nobody else can flip the shard back to resident in between.
 func (ref *shardRef) fault(pin bool) *Shard {
 	ref.mu.Lock()
 	defer ref.mu.Unlock()
 	r := ref.res
-	sh := ref.ptr.Load()
-	if sh == nil {
+	for {
+		if sh := ref.ptr.Load(); sh != nil {
+			r.mu.Lock()
+			sh = ref.ptr.Load()
+			if sh != nil { // still resident: touch / pin
+				if pin {
+					ref.pinLocked()
+				} else if ref.elem != nil {
+					r.lru.MoveToFront(ref.elem)
+				}
+			}
+			r.mu.Unlock()
+			if sh != nil {
+				return sh
+			}
+			continue // evicted between the load and the lock: decode
+		}
 		data, err := os.ReadFile(ref.file)
+		var sh *Shard
 		if err == nil {
 			sh, err = DecodeShard(data)
 		}
@@ -240,7 +285,7 @@ func (ref *shardRef) fault(pin bool) *Shard {
 			panic(fmt.Errorf("compile: faulting shard: %w", err))
 		}
 		statShardFaults.Add(1)
-		// The true decoded size replaces the adopt-time estimate so the
+		// The true decoded size replaces any pre-fault placeholder so the
 		// budget accounts real bytes.
 		ref.size = shardSize(sh)
 		r.mu.Lock()
@@ -256,21 +301,6 @@ func (ref *shardRef) fault(pin bool) *Shard {
 		r.mu.Unlock()
 		return sh
 	}
-	r.mu.Lock()
-	if sh = ref.ptr.Load(); sh != nil { // still resident: touch / pin
-		if pin {
-			ref.pinLocked()
-		} else if ref.elem != nil {
-			r.lru.MoveToFront(ref.elem)
-		}
-	}
-	r.mu.Unlock()
-	if sh == nil {
-		// Evicted between the load and the lock; decode on the next pass
-		// (ref.mu is held, so no other fault raced us here).
-		return ref.fault(pin)
-	}
-	return sh
 }
 
 // pin faults the shard in if needed and holds it resident until the

@@ -180,6 +180,43 @@ func TestResidencyConcurrentReaders(t *testing.T) {
 	}
 }
 
+// TestFaultEvictRace: pins, gets, and unpins race eviction on a one-byte
+// budget, so every unpin evicts and fault's optimistic resident check
+// constantly observes a shard that is gone by the time it reaches res.mu.
+// Regression test for the self-deadlock where that path re-entered fault
+// recursively while still holding ref.mu: the old code hung here, the loop
+// form must complete. Run under -race in CI.
+func TestFaultEvictRace(t *testing.T) {
+	s, err := CompileBudget(chainDB(t, 512), 8, 0, 1, nil) // evict on every unpin
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 50; pass++ {
+				for _, ref := range s.refs {
+					if ref == nil {
+						continue
+					}
+					_, unpin := ref.pin()
+					ref.get()
+					unpin()
+					ref.get()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for si := range s.refs {
+		if got := s.Shard(si); got == nil {
+			t.Fatalf("shard %d unreadable after race", si)
+		}
+	}
+}
+
 // TestMemBudgetEnvOverride: the env override applies only when no explicit
 // budget is given, mirroring TestShardsEnv.
 func TestMemBudgetEnvOverride(t *testing.T) {
