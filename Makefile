@@ -30,12 +30,13 @@ bench-json:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# One iteration of each warm-extraction benchmark under the race detector:
-# keeps the incremental Stage 1–3 paths exercised with concurrency checking
-# on without paying for a full benchmark run. The WAL rides along so its
-# group-commit ticker and append path stay race-clean.
+# One iteration of each warm-extraction and mutate-burst benchmark under the
+# race detector: keeps the incremental Stage 1–3 paths and the batching write
+# pipeline exercised with concurrency checking on without paying for a full
+# benchmark run. The WAL rides along so its group-commit ticker and append
+# path stay race-clean.
 bench-smoke:
-	$(GO) test -race -run='^$$' -bench='^BenchmarkWarmExtract' -benchtime=1x ./internal/experiments/
+	$(GO) test -race -run='^$$' -bench='^(BenchmarkWarmExtract|BenchmarkMutateBurst)' -benchtime=1x ./internal/experiments/
 	$(GO) test -race ./internal/wal/
 
 experiments:

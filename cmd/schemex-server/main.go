@@ -58,6 +58,12 @@ func main() {
 		"sessions recovered concurrently at startup (must be positive)")
 	memBudget := flag.Int64("mem-budget", 0,
 		"approximate bytes of CSR shards kept resident per snapshot lineage; spilled shards fault back on demand (0: everything stays resident)")
+	queueDepth := flag.Int("queue-depth", httpapi.DefaultQueueDepth,
+		"queued-but-unapplied mutations per session before shedding 429 (must be positive)")
+	batchMax := flag.Int("batch-max", httpapi.DefaultBatchMax,
+		"maximum queued deltas applied as one batch; 1 disables batching (must be positive)")
+	batchWindow := flag.Duration("batch-window", 0,
+		"how long the drainer waits for a burst to accumulate before each batch (0: drain immediately)")
 	drain := flag.Duration("drain", 30*time.Second,
 		"graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
@@ -85,6 +91,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "schemex-server: -mem-budget must be non-negative, got %d\n", *memBudget)
 		os.Exit(2)
 	}
+	if *queueDepth <= 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -queue-depth must be positive, got %d\n", *queueDepth)
+		os.Exit(2)
+	}
+	if *batchMax <= 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -batch-max must be positive, got %d\n", *batchMax)
+		os.Exit(2)
+	}
+	if *batchWindow < 0 {
+		fmt.Fprintf(os.Stderr, "schemex-server: -batch-window must be non-negative, got %s\n", *batchWindow)
+		os.Exit(2)
+	}
 	pol, err := wal.ParseSyncPolicy(*sync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schemex-server: -sync: %v\n", err)
@@ -101,6 +119,9 @@ func main() {
 		SpillBytes:         *spillBytes,
 		RecoverConcurrency: *recoverConc,
 		MemBudget:          *memBudget,
+		QueueDepth:         *queueDepth,
+		BatchMax:           *batchMax,
+		BatchWindow:        *batchWindow,
 	})
 	if err != nil {
 		log.Fatalf("schemex-server: %v", err)

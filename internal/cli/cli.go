@@ -307,6 +307,11 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 		}
 		defer wlog.Close()
 	}
+	// Parse every -d file up front, then apply them as one coalesced batch:
+	// one incremental apply over the union footprint and one WAL group append
+	// instead of an apply and an fsync per file. Results are bit-identical to
+	// applying the files in order.
+	parsed := make([]*schemex.Delta, 0, len(deltas))
 	for _, dpath := range deltas {
 		var r io.Reader
 		if dpath == "-" {
@@ -325,21 +330,41 @@ func cmdApply(ctx context.Context, args []string, env *Env) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", dpath, err)
 		}
-		next, info, err := sess.ApplyContext(ctx, d)
+		parsed = append(parsed, d)
+	}
+	if len(parsed) > 0 {
+		next, info, err := sess.ApplyBatchContext(ctx, parsed...)
 		if err != nil {
-			return fmt.Errorf("applying %s: %w", dpath, err)
+			// Nothing committed. Re-run the files sequentially on a scratch
+			// branch purely to name the one that fails.
+			scratch := sess
+			for i, d := range parsed {
+				if scratch, _, err = scratch.ApplyContext(ctx, d); err != nil {
+					return fmt.Errorf("applying %s: %w", deltas[i], err)
+				}
+			}
+			return fmt.Errorf("applying delta batch: %w", err)
 		}
 		if *verbose {
+			ops := 0
+			for _, d := range parsed {
+				ops += d.Len()
+			}
 			path := "incremental"
 			if !info.Incremental {
 				path = "full recompile"
 			}
-			fmt.Fprintf(env.Stderr, "# %s: %d ops, %s, touched %d objects (%d new)\n",
-				dpath, d.Len(), path, info.TouchedObjects, info.NewObjects)
+			st := next.IncrStats()
+			fmt.Fprintf(env.Stderr, "# batch: %d deltas, %d ops (%d coalesced away), %s, touched %d objects (%d new)\n",
+				len(parsed), ops, st.CoalescedOps, path, info.TouchedObjects, info.NewObjects)
 		}
 		if wlog != nil {
-			if _, err := wlog.Append(wal.KindDelta, []byte(d.String())); err != nil {
-				return fmt.Errorf("logging %s: %w", dpath, err)
+			payloads := make([][]byte, len(parsed))
+			for i, d := range parsed {
+				payloads[i] = []byte(d.String())
+			}
+			if _, err := wlog.AppendAll(wal.KindDelta, payloads); err != nil {
+				return fmt.Errorf("logging delta batch: %w", err)
 			}
 		}
 		sess = next

@@ -396,8 +396,13 @@ func TestApplyExtractAndVerbose(t *testing.T) {
 	if !strings.Contains(stdout, "after 2 deltas") || !strings.Contains(stdout, "type ") {
 		t.Errorf("missing extraction output:\n%s", stdout)
 	}
-	if !strings.Contains(stderr, "incremental") || !strings.Contains(stderr, "full recompile") {
-		t.Errorf("verbose apply paths missing:\n%s", stderr)
+	// Repeated -d files are applied as one coalesced batch; verbose reports
+	// the batch and which apply path it took.
+	if !strings.Contains(stderr, "# batch: 2 deltas") {
+		t.Errorf("verbose batch line missing:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "incremental") && !strings.Contains(stderr, "full recompile") {
+		t.Errorf("verbose apply path missing:\n%s", stderr)
 	}
 }
 

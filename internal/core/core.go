@@ -293,6 +293,8 @@ type IncrStats struct {
 	stage2Warm, stage2Full uint64
 	stage3Warm, stage3Full uint64
 	fastPath               uint64
+	batches, batchedDeltas uint64
+	coalescedOps           uint64
 }
 
 // IncrStatsSnapshot is a point-in-time copy of IncrStats.
@@ -307,6 +309,12 @@ type IncrStatsSnapshot struct {
 	// FastPath counts whole-result replays (repeat extraction with identical
 	// options and no intervening changes).
 	FastPath uint64
+	// Batches / BatchedDeltas count ApplyBatch passes and the deltas they
+	// covered; BatchedDeltas/Batches is the observed amortization factor.
+	Batches, BatchedDeltas uint64
+	// CoalescedOps counts ops dropped by delta coalescing before compilation
+	// (cancelling add/remove pairs, idempotent re-adds, subsumed ops).
+	CoalescedOps uint64
 }
 
 // record tallies one extraction's incremental decisions.
@@ -330,6 +338,17 @@ func (s *IncrStats) record(in IncrInfo) {
 	}
 }
 
+// recordBatch tallies one ApplyBatch pass: the number of deltas it stood in
+// for and the ops coalescing removed before compilation.
+func (s *IncrStats) recordBatch(deltas, dropped int) {
+	if s == nil {
+		return
+	}
+	atomic.AddUint64(&s.batches, 1)
+	atomic.AddUint64(&s.batchedDeltas, uint64(deltas))
+	atomic.AddUint64(&s.coalescedOps, uint64(dropped))
+}
+
 // Snapshot returns a consistent-enough copy of the counters (each counter is
 // read atomically; the set is not a single linearization point).
 func (s *IncrStats) Snapshot() IncrStatsSnapshot {
@@ -337,11 +356,14 @@ func (s *IncrStats) Snapshot() IncrStatsSnapshot {
 		return IncrStatsSnapshot{}
 	}
 	return IncrStatsSnapshot{
-		Stage2Warm: atomic.LoadUint64(&s.stage2Warm),
-		Stage2Full: atomic.LoadUint64(&s.stage2Full),
-		Stage3Warm: atomic.LoadUint64(&s.stage3Warm),
-		Stage3Full: atomic.LoadUint64(&s.stage3Full),
-		FastPath:   atomic.LoadUint64(&s.fastPath),
+		Stage2Warm:    atomic.LoadUint64(&s.stage2Warm),
+		Stage2Full:    atomic.LoadUint64(&s.stage2Full),
+		Stage3Warm:    atomic.LoadUint64(&s.stage3Warm),
+		Stage3Full:    atomic.LoadUint64(&s.stage3Full),
+		FastPath:      atomic.LoadUint64(&s.fastPath),
+		Batches:       atomic.LoadUint64(&s.batches),
+		BatchedDeltas: atomic.LoadUint64(&s.batchedDeltas),
+		CoalescedOps:  atomic.LoadUint64(&s.coalescedOps),
 	}
 }
 
@@ -625,11 +647,50 @@ func (p *Prepared) Apply(delta *graph.Delta) (*Prepared, *compile.ApplyInfo, err
 // ApplyContext is Apply with cooperative cancellation and an explicit worker
 // bound for the incremental compilation (<= 0 means one per CPU).
 func (p *Prepared) ApplyContext(ctx context.Context, delta *graph.Delta, parallelism int) (*Prepared, *compile.ApplyInfo, error) {
+	return p.applyAdvance(ctx, delta, parallelism, 1)
+}
+
+// ApplyBatch applies a burst of deltas as one pipeline pass: the batch is
+// merged (and, when provably safe, coalesced — cancelling add/remove pairs
+// and RemoveObject-subsumed ops dropped) into a single delta, compiled with
+// one incremental Apply over the union footprint, and the child's version
+// advances by len(deltas) so it is indistinguishable from sequential
+// application. The result is bit-identical to applying the deltas one at a
+// time; if any delta in the batch would fail, the whole batch fails and p is
+// unchanged — callers needing per-delta error attribution fall back to
+// sequential ApplyContext calls.
+func (p *Prepared) ApplyBatch(deltas []*graph.Delta) (*Prepared, *compile.ApplyInfo, error) {
+	return p.ApplyBatchContext(context.Background(), deltas, 0)
+}
+
+// ApplyBatchContext is ApplyBatch with cooperative cancellation and an
+// explicit worker bound.
+func (p *Prepared) ApplyBatchContext(ctx context.Context, deltas []*graph.Delta, parallelism int) (*Prepared, *compile.ApplyInfo, error) {
+	merged := graph.MergeDeltas(deltas...)
+	apply := merged
+	if co, ok := merged.Coalesce(p.db); ok {
+		apply = co
+	}
+	// When Coalesce bails the sequence is known to fail sequentially;
+	// applying the merged delta surfaces that same error without committing
+	// anything.
+	child, info, err := p.applyAdvance(ctx, apply, parallelism, uint64(len(deltas)))
+	if err != nil {
+		return nil, nil, err
+	}
+	p.stats.recordBatch(len(deltas), merged.Len()-apply.Len())
+	return child, info, nil
+}
+
+// applyAdvance is the shared Apply body: compile one delta incrementally and
+// derive a child advanced by `advance` versions (1 for a single delta, N for
+// a batch standing in for N sequential deltas).
+func (p *Prepared) applyAdvance(ctx context.Context, delta *graph.Delta, parallelism int, advance uint64) (*Prepared, *compile.ApplyInfo, error) {
 	snap, info, err := compile.ApplyCheck(p.snap, delta, par.Workers(parallelism), checkFunc(ctx))
 	if err != nil {
 		return nil, nil, err
 	}
-	child := &Prepared{db: snap.DB(), snap: snap, version: p.version + 1, stats: p.stats}
+	child := &Prepared{db: snap.DB(), snap: snap, version: p.version + advance, stats: p.stats}
 	// A warm start needs stable complex positions; whether the snapshot
 	// itself was rebuilt incrementally does not matter (Q_D rules name
 	// labels by string, so a renumbered label table is harmless).

@@ -5,13 +5,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"schemex/internal/cluster"
 	"schemex/internal/core"
 	"schemex/internal/dbg"
 	"schemex/internal/graph"
+	"schemex/internal/httpapi"
 	"schemex/internal/perfect"
 	"schemex/internal/recast"
 	"schemex/internal/synth"
@@ -53,6 +59,9 @@ type BenchResult struct {
 	WarmNsPerOp int64 `json:"warm_ns_per_op,omitempty"`
 	// WarmSpeedup is cold / warm.
 	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
+	// DeltasPerSec is acknowledged mutations per second through the batched
+	// write pipeline. Present only for the httpapi/mutate-burst workloads.
+	DeltasPerSec float64 `json:"deltas_per_sec,omitempty"`
 	// Stage1/2/3NsPerOp split one instrumented warm extraction by pipeline
 	// stage (Result.Timing). Present only for the delta/warm-extract-*
 	// workloads.
@@ -430,6 +439,50 @@ func RunBench() (*BenchReport, error) {
 		}
 	}
 
+	// Batched write pipeline: an async burst against one durable HTTP delta
+	// session (always-fsync WAL), accepted first and then committed by the
+	// session's drainer, per-request (BatchMax 1 — the pre-queue pipeline, one
+	// apply and one fsync per delta) against the batching queue (the drainer
+	// lands the burst as one coalesced apply and one WAL group append). Cold =
+	// per-request, warm = batched; both are normalized to ns per delta, so
+	// WarmSpeedup is the throughput ratio.
+	for _, burst := range []int{1, 16, 256} {
+		var perDelta [2]int64
+		for i, batchMax := range []int{1, 0} {
+			dir, err := os.MkdirTemp("", "schemex-bench-")
+			if err != nil {
+				return nil, err
+			}
+			srv, id, err := mutateBurstServer(dir, batchMax)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			next := 0
+			res := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if err := mutateBurst(srv.Handler(), id, next, burst); err != nil {
+						b.Fatal(err)
+					}
+					next += burst
+				}
+			})
+			srv.Close()
+			os.RemoveAll(dir)
+			perDelta[i] = res.NsPerOp() / int64(burst)
+		}
+		r := BenchResult{
+			Name:        fmt.Sprintf("httpapi/mutate-burst/%d", burst),
+			ColdNsPerOp: perDelta[0],
+			WarmNsPerOp: perDelta[1],
+		}
+		if perDelta[1] > 0 {
+			r.WarmSpeedup = float64(perDelta[0]) / float64(perDelta[1])
+			r.DeltasPerSec = 1e9 / float64(perDelta[1])
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
 	for _, scale := range []int{1, 4, 16} {
 		db, roles := dbg.Generate(dbg.Options{Scale: scale})
 		name := map[int]string{1: "pipeline/scale/dbg-x1", 4: "pipeline/scale/dbg-x4", 16: "pipeline/scale/dbg-x16"}[scale]
@@ -533,6 +586,99 @@ func benchDelta(db *graph.DB, frac float64) *graph.Delta {
 		}
 	}
 	return d
+}
+
+// mutateBurstServer builds a durable server (always-fsync WAL) holding one
+// delta session over the DBG bibliography graph — big enough that each apply
+// pays a real snapshot rebuild, which is the cost batching amortizes; batchMax
+// 1 reproduces the pre-queue per-request write pipeline, 0 takes the batching
+// defaults.
+func mutateBurstServer(dir string, batchMax int) (*httpapi.Server, string, error) {
+	// SpillEvery is pushed out of the way: snapshot spill cadence is the same
+	// per delta in both configurations, and leaving it at the default would
+	// bury the pipeline cost under periodic full-snapshot writes.
+	srv, err := httpapi.NewServer(httpapi.Config{DataDir: dir, BatchMax: batchMax, SpillEvery: 1 << 20})
+	if err != nil {
+		return nil, "", err
+	}
+	db, _ := dbg.Generate(dbg.Options{})
+	var data strings.Builder
+	if err := db.Write(&data); err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	body, err := json.Marshal(map[string]string{"data": data.String()})
+	if err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/session", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		srv.Close()
+		return nil, "", fmt.Errorf("creating bench session: %s", rec.Body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	return srv, info.ID, nil
+}
+
+// mutateBurst enqueues burst async mutations numbered from start — each a
+// distinct two-link delta on existing dbg labels, so applies stay on the
+// incremental path — then waits for the final job to reach a terminal state.
+// The queue is FIFO and batches complete in order, so the last job terminal
+// means the whole burst is committed durably.
+func mutateBurst(h http.Handler, id string, start, burst int) error {
+	var lastJob uint64
+	for k := 0; k < burst; k++ {
+		n := start + k
+		delta := fmt.Sprintf("link bp%d bf%d author\nlink bf%d bp%d publication\n", n, n, n, n)
+		body, err := json.Marshal(map[string]string{"delta": delta})
+		if err != nil {
+			return err
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/session/"+id+"/mutate?mode=async", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			return fmt.Errorf("mutate status %d: %s", rec.Code, rec.Body)
+		}
+		var js struct {
+			Job uint64 `json:"job"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+			return err
+		}
+		lastJob = js.Job
+	}
+	for {
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/session/%s/job/%d", id, lastJob), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("job status %d: %s", rec.Code, rec.Body)
+		}
+		var js struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+			return err
+		}
+		switch js.Status {
+		case "applied":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %d failed: %s", lastJob, js.Error)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 // shardLocalDelta builds a delta whose whole object footprint sits below

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// benchMutateBurst drives one async mutation burst per op against a durable
+// HTTP session — enqueue the whole burst, wait for the final job — at
+// BatchMax 1 (the per-request pipeline) or 0 (the batching queue defaults).
+// CI's bench-smoke runs both once to keep the write-pipeline path exercised
+// under -race.
+func benchMutateBurst(b *testing.B, burst, batchMax int) {
+	srv, id, err := mutateBurstServer(b.TempDir(), batchMax)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mutateBurst(srv.Handler(), id, next, burst); err != nil {
+			b.Fatal(err)
+		}
+		next += burst
+	}
+}
+
+func BenchmarkMutateBurst16PerRequest(b *testing.B) { benchMutateBurst(b, 16, 1) }
+func BenchmarkMutateBurst16Batched(b *testing.B)    { benchMutateBurst(b, 16, 0) }

@@ -1,0 +1,385 @@
+// Delta coalescing: canonicalize a burst of deltas into one equivalent delta
+// so a batching write pipeline pays for one application instead of N. The
+// rules are exact, not heuristic — MergeDeltas concatenation is equivalent to
+// sequential application by construction (ApplyDelta processes ops in order
+// and never looks at delta boundaries), and Coalesce only drops an op when a
+// simulation of the sequential application against the target database proves
+// the shorter delta reaches a bit-identical final state.
+package graph
+
+// MergeDeltas concatenates deltas into one, preserving op order. Applying the
+// merged delta is equivalent to applying d1..dn in sequence — ApplyDelta
+// processes ops one at a time, so the grouping never matters — except that a
+// failing op aborts the whole merged application, where sequential
+// application would keep the prefix deltas' effects. Callers that need
+// per-delta error isolation must fall back to applying the originals one by
+// one when the merged application fails.
+func MergeDeltas(ds ...*Delta) *Delta {
+	n := 0
+	for _, d := range ds {
+		if d != nil {
+			n += len(d.ops)
+		}
+	}
+	out := &Delta{ops: make([]deltaOp, 0, n)}
+	for _, d := range ds {
+		if d != nil {
+			out.ops = append(out.ops, d.ops...)
+		}
+	}
+	return out
+}
+
+// tripleKey addresses one potential link fact by name; the simulation tracks
+// modified facts per key so presence checks stay exact for objects the delta
+// creates or edits.
+type tripleKey struct {
+	from, to, label string
+}
+
+// edgeState is the simulated state of one link fact.
+type edgeState struct {
+	// present is the fact's presence in the sequential world after the ops
+	// processed so far.
+	present bool
+	// srcOp, when >= 0, is a currently-kept AddLink op that established
+	// present and whose drop (paired with a later remove) leaves the world
+	// unchanged. -1 when presence is from the base database, from a pinned
+	// (object-creating) add, or not cancellable.
+	srcOp int
+	// remOp, when >= 0, is a currently-kept RemoveLink op that removed a
+	// previously-present fact and may cancel against a later re-add. -1 when
+	// the absence is not restorable by dropping a pair (base-absent, cleared
+	// by a kept RemoveObject, or guarded by an intervening AddAtomic whose
+	// out-degree check relies on the absence).
+	remOp int
+}
+
+// atomState is the simulated atomic declaration of one object.
+type atomState struct {
+	isAtomic bool
+	val      Value
+	// setOp, when >= 0, is a currently-kept AddAtomic op that declared the
+	// value and may be dropped if a later RemoveObject clears it. -1 for
+	// base-database declarations and pinned (object-creating) declarations.
+	setOp int
+}
+
+// coalescer simulates sequential application of one delta against a base
+// database, deciding per op whether dropping it (alone or as a cancelling
+// pair) provably preserves the final state.
+type coalescer struct {
+	db      *DB
+	ops     []deltaOp
+	drop    []bool
+	created map[string]bool
+	edges   map[tripleKey]*edgeState
+	// touched indexes tracked triples by endpoint name so RemoveObject and
+	// AddAtomic can visit every fact the delta modified around one object.
+	touched map[string][]tripleKey
+	atoms   map[string]*atomState
+	outDeg  map[string]int
+}
+
+// Coalesce returns a delta equivalent to d for application to db, with
+// provable no-ops and cancelling pairs removed: an AddLink annulled by a later
+// RemoveLink (and vice versa), idempotent re-adds and re-declarations, and
+// ops a later RemoveObject subsumes. ok reports whether applying d to db
+// would succeed; when false the sequential application fails partway and no
+// coalesced delta is returned (the caller applies the originals individually
+// to surface the exact per-delta error).
+//
+// When ok, applying the returned delta to db yields a database bit-identical
+// to applying d (names interned in the same order, so ObjectIDs match), and
+// object creations are never dropped: an op that interns a new name is kept
+// even when a later op annuls its other effects, because sequential
+// application leaves the created object in the universe.
+func (d *Delta) Coalesce(db *DB) (*Delta, bool) {
+	if len(d.ops) == 0 {
+		return d, true
+	}
+	c := &coalescer{
+		db:      db,
+		ops:     d.ops,
+		drop:    make([]bool, len(d.ops)),
+		created: make(map[string]bool),
+		edges:   make(map[tripleKey]*edgeState),
+		touched: make(map[string][]tripleKey),
+		atoms:   make(map[string]*atomState),
+		outDeg:  make(map[string]int),
+	}
+	dropped := 0
+	for i, op := range d.ops {
+		var ok bool
+		switch op.kind {
+		case opAddLink:
+			ok = c.addLink(i, op)
+		case opRemoveLink:
+			ok = c.removeLink(i, op)
+		case opAddAtomic:
+			ok = c.addAtomic(i, op)
+		case opRemoveObject:
+			ok = c.removeObject(i, op)
+		}
+		if !ok {
+			return nil, false
+		}
+	}
+	for _, dr := range c.drop {
+		if dr {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return d, true
+	}
+	out := &Delta{ops: make([]deltaOp, 0, len(d.ops)-dropped)}
+	for i, op := range d.ops {
+		if !c.drop[i] {
+			out.ops = append(out.ops, op)
+		}
+	}
+	return out, true
+}
+
+func (c *coalescer) exists(name string) bool {
+	return c.created[name] || c.db.Lookup(name) != NoObject
+}
+
+// edge returns the tracked state of one fact, initializing it from the base
+// database on first touch.
+func (c *coalescer) edge(from, to, label string) *edgeState {
+	k := tripleKey{from, to, label}
+	if st, ok := c.edges[k]; ok {
+		return st
+	}
+	st := &edgeState{srcOp: -1, remOp: -1}
+	if fid := c.db.Lookup(from); fid != NoObject {
+		if tid := c.db.Lookup(to); tid != NoObject {
+			st.present = c.db.hasEdge(fid, tid, label)
+		}
+	}
+	c.edges[k] = st
+	c.touched[from] = append(c.touched[from], k)
+	if to != from {
+		c.touched[to] = append(c.touched[to], k)
+	}
+	return st
+}
+
+func (c *coalescer) atom(name string) *atomState {
+	if st, ok := c.atoms[name]; ok {
+		return st
+	}
+	st := &atomState{setOp: -1}
+	if id := c.db.Lookup(name); id != NoObject {
+		if v, ok := c.db.atomic[id]; ok {
+			st.isAtomic, st.val = true, v
+		}
+	}
+	c.atoms[name] = st
+	return st
+}
+
+func (c *coalescer) deg(name string) int {
+	if d, ok := c.outDeg[name]; ok {
+		return d
+	}
+	d := 0
+	if id := c.db.Lookup(name); id != NoObject {
+		d = len(c.db.out[id])
+	}
+	c.outDeg[name] = d
+	return d
+}
+
+func (c *coalescer) addLink(i int, op deltaOp) bool {
+	fNew := !c.exists(op.from)
+	// ApplyDelta interns both endpoints before any check; a fresh from can
+	// never be atomic, so only an existing one needs the constraint check.
+	if !fNew && c.atom(op.from).isAtomic {
+		return false // linking out of an atomic object fails sequentially
+	}
+	st := c.edge(op.from, op.to, op.label)
+	if st.present {
+		// Idempotent re-add: sequentially a silent no-op that interns nothing
+		// (presence implies both endpoints already exist), so dropping it is
+		// free.
+		c.drop[i] = true
+		return true
+	}
+	tNew := !c.exists(op.to)
+	if fNew {
+		c.created[op.from] = true
+	}
+	if tNew {
+		c.created[op.to] = true
+	}
+	if st.remOp >= 0 {
+		// This re-adds a fact a kept RemoveLink removed; dropping the pair
+		// leaves the original presence standing, which is the same final
+		// state. (remOp >= 0 implies the fact pre-existed, so both endpoints
+		// exist and this op interns nothing.)
+		c.drop[st.remOp] = true
+		c.drop[i] = true
+		st.present, st.srcOp, st.remOp = true, -1, -1
+		c.outDeg[op.from] = c.deg(op.from) + 1
+		return true
+	}
+	st.present, st.remOp = true, -1
+	if fNew || tNew {
+		// Pinned: dropping this op would lose the object creation (sequential
+		// application leaves the interned object in the universe even if the
+		// edge is later removed).
+		st.srcOp = -1
+	} else {
+		st.srcOp = i
+	}
+	c.outDeg[op.from] = c.deg(op.from) + 1
+	return true
+}
+
+func (c *coalescer) removeLink(i int, op deltaOp) bool {
+	if !c.exists(op.from) || !c.exists(op.to) {
+		return false // sequential application fails on the unknown name
+	}
+	st := c.edge(op.from, op.to, op.label)
+	if !st.present {
+		return false // removing a missing link fails sequentially
+	}
+	if st.srcOp >= 0 {
+		// Annihilate the add/remove pair: neither op runs and the world is
+		// exactly as before the add (the add was non-pinned, so no creation
+		// is lost).
+		c.drop[st.srcOp] = true
+		c.drop[i] = true
+		st.present, st.srcOp, st.remOp = false, -1, -1
+	} else {
+		st.present, st.srcOp, st.remOp = false, -1, i
+	}
+	c.outDeg[op.from] = c.deg(op.from) - 1
+	return true
+}
+
+func (c *coalescer) addAtomic(i int, op deltaOp) bool {
+	isNew := !c.exists(op.name)
+	ast := c.atom(op.name)
+	if !isNew {
+		if ast.isAtomic {
+			if ast.val != op.value {
+				return false // conflicting value fails sequentially
+			}
+			// Idempotent re-declaration: a silent no-op that interns nothing.
+			c.drop[i] = true
+			return true
+		}
+		if c.deg(op.name) > 0 {
+			return false // outgoing edges fail sequentially
+		}
+	}
+	if isNew {
+		c.created[op.name] = true
+	}
+	ast.isAtomic, ast.val = true, op.value
+	if isNew {
+		ast.setOp = -1 // pinned: dropping would lose the interned object
+	} else {
+		ast.setOp = i
+	}
+	// The kept op's out-degree check relies on every prior RemoveLink out of
+	// this object staying in the delta: cancelling one against a later re-add
+	// would leave the edge present when this op runs. Forbid the pairing.
+	for _, k := range c.touched[op.name] {
+		if k.from == op.name {
+			if st := c.edges[k]; !st.present {
+				st.remOp = -1
+			}
+		}
+	}
+	return true
+}
+
+func (c *coalescer) removeObject(i int, op deltaOp) bool {
+	if !c.exists(op.name) {
+		return false // unknown object fails sequentially
+	}
+	// Every fact incident to the object in the simulated world: the tracked
+	// triples the delta already touched plus the base database's adjacency.
+	seen := make(map[tripleKey]bool)
+	var keys []tripleKey
+	for _, k := range c.touched[op.name] {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	if id := c.db.Lookup(op.name); id != NoObject {
+		for _, e := range c.db.out[id] {
+			k := tripleKey{op.name, c.db.Name(e.To), e.Label}
+			if !seen[k] {
+				seen[k] = true
+				c.edge(k.from, k.to, k.label)
+				keys = append(keys, k)
+			}
+		}
+		for _, e := range c.db.in[id] {
+			k := tripleKey{c.db.Name(e.From), op.name, e.Label}
+			if !seen[k] {
+				seen[k] = true
+				c.edge(k.from, k.to, k.label)
+				keys = append(keys, k)
+			}
+		}
+	}
+	ast := c.atom(op.name)
+	var present []tripleKey
+	for _, k := range keys {
+		if c.edges[k].present {
+			present = append(present, k)
+		}
+	}
+	if len(present) == 0 && !ast.isAtomic {
+		// Sequentially a no-op: the object exists but has nothing to detach.
+		// Dropping it keeps every pending pair-cancellation valid, because
+		// the op clears nothing in either world.
+		c.drop[i] = true
+		return true
+	}
+	// Subsumption: everything this op would clear was itself established by
+	// droppable delta ops, so the whole group (including this op) vanishes —
+	// adds followed by a detach net out to nothing.
+	subsumable := !ast.isAtomic || ast.setOp >= 0
+	for _, k := range present {
+		if c.edges[k].srcOp < 0 {
+			subsumable = false
+			break
+		}
+	}
+	for _, k := range present {
+		st := c.edges[k]
+		if st.srcOp >= 0 {
+			c.drop[st.srcOp] = true
+		}
+		st.present, st.srcOp, st.remOp = false, -1, -1
+		c.outDeg[k.from] = c.deg(k.from) - 1
+	}
+	if ast.isAtomic && ast.setOp >= 0 {
+		c.drop[ast.setOp] = true
+	}
+	ast.isAtomic, ast.setOp = false, -1
+	c.outDeg[op.name] = 0
+	if subsumable {
+		c.drop[i] = true
+		return true
+	}
+	// The op stays: it clears base-database (or pinned) state. Absent
+	// incident facts lose their pending cancellation — re-adding such a fact
+	// after this bulk clear must stay a real op, or the kept RemoveObject
+	// would clear the base fact the dropped pair was supposed to preserve.
+	for _, k := range keys {
+		if st := c.edges[k]; !st.present {
+			st.remOp = -1
+		}
+	}
+	return true
+}

@@ -112,6 +112,37 @@ func (s *session) persistLocked(a *api, d *schemex.Delta, next *schemex.Prepared
 	return nil
 }
 
+// persistBatchLocked logs a just-applied batch of deltas as len(ds)
+// individual records with one write and one fsync (wal.AppendAll), keeping
+// the log replay-identical to sequential application — recovery replays one
+// ApplyContext per record, reproducing the same per-delta version advance the
+// batch took in one step. Spill thresholds account for all len(ds) records.
+// The caller holds s.mu and has not yet advanced s.prep; a nil return means
+// the whole batch is durable per the sync policy.
+func (s *session) persistBatchLocked(a *api, ds []*schemex.Delta, next *schemex.Prepared) error {
+	if s.log == nil {
+		return nil
+	}
+	if len(ds) == 1 {
+		return s.persistLocked(a, ds[0], next)
+	}
+	payloads := make([][]byte, len(ds))
+	for i, d := range ds {
+		payloads[i] = []byte(d.String())
+	}
+	if _, err := s.log.AppendAll(wal.KindDelta, payloads); err != nil {
+		return err
+	}
+	s.sinceSpill += len(ds)
+	if s.sinceSpill >= a.spillEvery || (a.spillBytes > 0 && s.log.Size() >= a.spillBytes) {
+		if err := s.spillTo(next, a.pol); err != nil {
+			log.Printf("httpapi: session %s: snapshot spill failed (will retry): %v", s.id, err)
+			s.sinceSpill = 0
+		}
+	}
+	return nil
+}
+
 // spillTo writes a new durable generation for the given state: graph
 // snapshot file, compiled-snapshot core blob plus one file per CSR shard
 // (the shard-granular spill that lets recovery skip recompilation and load
@@ -227,6 +258,10 @@ func (s *session) sweepStale() {
 // rehydrate the session in between and keep serving an id whose directory
 // is gone. Reports whether anything (in memory or on disk) was removed.
 func (a *api) deleteSession(id string) (bool, error) {
+	// Forget the mutation queue first: new mutates for the id start fresh
+	// (and fail 404 once the session is gone); jobs a live drainer already
+	// holds reach a terminal failed state the same way.
+	a.dropQueue(id)
 	if a.dataDir == "" {
 		s, ok := a.sessions.remove(id)
 		if ok {

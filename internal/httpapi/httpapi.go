@@ -232,6 +232,19 @@ type Config struct {
 	// Applies to cache entries, sessions, and recovery alike; 0 keeps
 	// everything resident. Results are bit-identical at any budget.
 	MemBudget int64
+	// QueueDepth bounds queued-but-unapplied mutations per session (default
+	// DefaultQueueDepth); past it mutate requests shed with 429 +
+	// Retry-After. See queue.go.
+	QueueDepth int
+	// BatchMax caps how many queued deltas one drainer pass applies as a
+	// single batch (default DefaultBatchMax). 1 disables batching: every
+	// mutation pays its own apply and fsync, the pre-queue behavior.
+	BatchMax int
+	// BatchWindow, when positive, makes the drainer wait this long before
+	// each pass so a burst can accumulate into one batch. Zero (the default)
+	// drains as fast as mutations arrive — bursts still batch because jobs
+	// queue up behind the in-flight pass.
+	BatchWindow time.Duration
 }
 
 // api is one handler instance's state: the snapshot cache, the session
@@ -257,6 +270,20 @@ type api struct {
 	// request. Both are touched only with recoverMu held.
 	recoverMu sync.Mutex
 	corrupt   map[string]error
+
+	// The batching write pipeline (queue.go): one mutation queue per active
+	// session id, each drained by a single goroutine tracked in queueWG.
+	// queuesClosed rejects new enqueues during shutdown so Close can wait for
+	// every drainer to flush. queuesMu guards the registry and the closed
+	// flag, and is held across WaitGroup registration so no drainer starts
+	// after Close begins waiting.
+	queuesMu     sync.Mutex
+	queues       map[string]*mutQueue
+	queuesClosed bool
+	queueWG      sync.WaitGroup
+	queueDepth   int
+	batchMax     int
+	batchWindow  time.Duration
 }
 
 func newAPI(cfg Config) *api {
@@ -284,6 +311,15 @@ func newAPI(cfg Config) *api {
 	if cfg.MemBudget < 0 {
 		panic(fmt.Sprintf("httpapi: negative MemBudget in %+v", cfg))
 	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	if cfg.QueueDepth < 0 || cfg.BatchMax < 0 || cfg.BatchWindow < 0 {
+		panic(fmt.Sprintf("httpapi: negative queue sizing in %+v", cfg))
+	}
 	a := &api{
 		snapshots:  prepCache{max: cfg.CacheEntries},
 		sessions:   sessionStore{max: cfg.SessionEntries},
@@ -294,6 +330,11 @@ func newAPI(cfg Config) *api {
 		recoverPar: cfg.RecoverConcurrency,
 		memBudget:  cfg.MemBudget,
 		corrupt:    make(map[string]error),
+
+		queues:      make(map[string]*mutQueue),
+		queueDepth:  cfg.QueueDepth,
+		batchMax:    cfg.BatchMax,
+		batchWindow: cfg.BatchWindow,
 	}
 	// Eviction flushes rather than drops: close() syncs and closes the log
 	// so the durable copy is complete before the in-memory one is forgotten.
@@ -346,6 +387,14 @@ func (s *Server) SessionEvictions() uint64 { return s.a.sessions.Evictions() }
 // callers (cmd/schemex-server) must report it rather than claim a clean
 // shutdown.
 func (s *Server) Close() error {
+	// Stop accepting mutations, then let every drainer flush its queued jobs
+	// — applied and logged, or failed with a terminal status — while the
+	// session logs are still open. Only then close the logs: no accepted job
+	// is ever left "queued" and no applied delta unlogged.
+	s.a.queuesMu.Lock()
+	s.a.queuesClosed = true
+	s.a.queuesMu.Unlock()
+	s.a.queueWG.Wait()
 	var errs []error
 	for _, sess := range s.a.sessions.drain() {
 		if err := sess.close(); err != nil {
@@ -357,22 +406,28 @@ func (s *Server) Close() error {
 
 func (a *api) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Every route is wrapped with the pattern as its metrics label, feeding
+	// the per-endpoint latency/size percentiles on /v1/metrics (metrics.go).
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrumentRoute(pattern, h))
+	}
+	handle("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	// Process-wide counters (see metrics.go) plus whatever else the process
 	// published on the standard expvar surface.
-	mux.Handle("GET /v1/metrics", expvar.Handler())
-	mux.HandleFunc("/v1/extract", a.handleExtract)
-	mux.HandleFunc("/v1/sweep", a.handleSweep)
-	mux.HandleFunc("/v1/check", handleCheck)
-	mux.HandleFunc("/v1/query", a.handleQuery)
-	mux.HandleFunc("POST /v1/session", a.handleSessionCreate)
-	mux.HandleFunc("GET /v1/session/{id}", a.handleSessionGet)
-	mux.HandleFunc("DELETE /v1/session/{id}", a.handleSessionDelete)
-	mux.HandleFunc("POST /v1/session/{id}/mutate", a.handleSessionMutate)
-	mux.HandleFunc("POST /v1/session/{id}/extract", a.handleSessionExtract)
+	handle("GET /v1/metrics", expvar.Handler().ServeHTTP)
+	handle("/v1/extract", a.handleExtract)
+	handle("/v1/sweep", a.handleSweep)
+	handle("/v1/check", handleCheck)
+	handle("/v1/query", a.handleQuery)
+	handle("POST /v1/session", a.handleSessionCreate)
+	handle("GET /v1/session/{id}", a.handleSessionGet)
+	handle("DELETE /v1/session/{id}", a.handleSessionDelete)
+	handle("POST /v1/session/{id}/mutate", a.handleSessionMutate)
+	handle("POST /v1/session/{id}/extract", a.handleSessionExtract)
+	handle("GET /v1/session/{id}/job/{jobID}", a.handleJobStatus)
 	return mux
 }
 

@@ -317,9 +317,20 @@ func (a *api) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"deleted": id})
 }
 
+// handleSessionMutate accepts one delta into the session's mutation queue
+// (see queue.go): the drainer applies queued bursts as single batches — one
+// coalesced apply, one WAL group append — and ?mode picks how the client
+// waits. sync (the default) responds once the job's batch commits, exactly
+// the old per-request semantics including durability before acknowledgment;
+// async responds 202 with a job id to poll. A full queue sheds with 429.
 func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 	var req mutateRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode != "" && mode != "sync" && mode != "async" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (sync, async)", mode))
 		return
 	}
 	s, ok := a.lookupSession(w, r)
@@ -331,107 +342,26 @@ func (a *api) handleSessionMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Optimistic shard-locked apply. Each attempt: resolve the current head,
-	// map the delta's footprint onto lock stripes, run the expensive Apply
-	// under only those stripes, then swap the head under the session mutex if
-	// it has not moved. Mutations on disjoint shards overlap their Apply
-	// work; a mutation that loses the swap race rebases onto the new head.
-	// After two failed attempts the footprint escalates to exclusive (all
-	// stripes), which guarantees the head cannot move and the swap succeeds.
-	for attempt := 0; ; attempt++ {
-		s.mu.Lock()
-		for s.evicted {
-			// The LRU flushed this session between lookup and lock (or DELETE
-			// raced us) and its log is closed. A durable session still exists
-			// on disk: re-resolve — rehydrate waits out the eviction's flush —
-			// and retry on the fresh copy. In-memory (or deleted) sessions are
-			// gone: same 404 as a store miss, never a write into a closed log.
-			s.mu.Unlock()
-			if a.dataDir == "" {
-				writeError(w, http.StatusNotFound, errUnknownSession(s.id))
-				return
-			}
-			if s, ok = a.rehydrate(s.id); !ok {
-				writeError(w, http.StatusNotFound, errUnknownSession(r.PathValue("id")))
-				return
-			}
-			s.mu.Lock()
+	j, status, err := a.enqueue(s.id, d)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
 		}
-		cur := s.prep
-		s.mu.Unlock()
-
-		shards, exclusive := cur.DeltaShards(d)
-		exclusive = exclusive || attempt >= 2
-		mask := stripeMask(shards, exclusive)
-		unlock := s.locks.lock(mask)
-
-		// Revalidate under the session mutex: if another mutation advanced
-		// the head while we computed the footprint, rebase onto the new head —
-		// allowed without re-locking only if its footprint stays inside the
-		// stripes we already hold.
-		s.mu.Lock()
-		if s.evicted {
-			s.mu.Unlock()
-			unlock()
-			continue
-		}
-		if s.prep != cur {
-			cur = s.prep
-			sh2, ex2 := cur.DeltaShards(d)
-			if m2 := stripeMask(sh2, ex2 || exclusive); m2&^mask != 0 {
-				s.mu.Unlock()
-				unlock()
-				continue
-			}
-		}
-		s.mu.Unlock()
-
-		// The expensive part, outside the session mutex: Apply never mutates
-		// cur, it branches.
-		next, info, err := cur.ApplyContext(r.Context(), d)
-		if err != nil {
-			// The session is untouched: a bad delta (e.g. unlinking a missing
-			// edge) rejects atomically.
-			unlock()
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-
-		s.mu.Lock()
-		if s.evicted || s.prep != cur {
-			// Lost the swap race (or the session was flushed mid-apply):
-			// discard this branch and rebase.
-			s.mu.Unlock()
-			unlock()
-			continue
-		}
-		// Durability before acknowledgment: the delta is logged (and, under
-		// the default sync policy, fsynced) before the session advances and
-		// the client sees success. A failed append leaves the session on its
-		// old state — the delta stays unacknowledged and may be retried.
-		if err := s.persistLocked(a, d, next); err != nil {
-			s.mu.Unlock()
-			unlock()
-			writeError(w, http.StatusInternalServerError, fmt.Errorf("logging delta: %v", err))
-			return
-		}
-		s.prep = next
-		s.mu.Unlock()
-		unlock()
-
-		if info.Incremental {
-			metricApplyIncremental.Add(1)
-		} else {
-			metricApplyFallback.Add(1)
-		}
-		writeJSON(w, mutateResponse{
-			sessionInfo:    infoOf(s, next),
-			Incremental:    info.Incremental,
-			TouchedObjects: info.TouchedObjects,
-			NewObjects:     info.NewObjects,
-		})
+		writeError(w, status, err)
 		return
 	}
+	if mode == "async" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, jobStatusResponse{Session: s.id, Job: j.id, Status: jobQueued})
+		return
+	}
+	<-j.done
+	if j.err != nil {
+		writeError(w, j.errStatus, j.err)
+		return
+	}
+	writeJSON(w, *j.resp)
 }
 
 func (a *api) handleSessionExtract(w http.ResponseWriter, r *http.Request) {

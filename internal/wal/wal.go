@@ -305,6 +305,75 @@ func (l *Log) Append(kind byte, payload []byte) (int64, error) {
 	return l.size, nil
 }
 
+// AppendAll writes one record per payload with a single write and at most one
+// fsync, returning the log's end offset after the last record. It is the
+// group-commit primitive behind batched session mutations: N acknowledged
+// deltas cost one durability round trip instead of N, while replay still sees
+// N independent records. Durability semantics match Append — under the
+// default SyncPolicy all records are durable on return; with a batched policy
+// the records count as pending appends toward the next count- or
+// interval-triggered sync. An empty batch is a no-op.
+func (l *Log) AppendAll(kind byte, payloads [][]byte) (int64, error) {
+	need := 0
+	for _, p := range payloads {
+		if len(p) > MaxRecordBytes {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(p))
+		}
+		need += headerLen + len(p)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: %s: append on closed log", l.path)
+	}
+	if len(payloads) == 0 {
+		return l.size, nil
+	}
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	frames := l.buf[:need]
+	off := 0
+	for _, p := range payloads {
+		frame := frames[off : off+headerLen+len(p)]
+		putU32(frame[0:4], uint32(len(p)))
+		frame[4] = kind
+		putU32(frame[5:9], Checksum(p))
+		copy(frame[headerLen:], p)
+		off += headerLen + len(p)
+	}
+
+	if l.failNext >= 0 {
+		// Same torn-write failpoint as Append: the batch is one physical
+		// write, so a crash tears at an arbitrary byte within it.
+		n := l.failNext
+		if n > len(frames) {
+			n = len(frames)
+		}
+		l.failNext = -1
+		if n > 0 {
+			l.f.WriteAt(frames[:n], l.size)
+			l.f.Sync()
+		}
+		l.closed = true
+		l.f.Close()
+		return 0, errInjected
+	}
+
+	if _, err := l.f.WriteAt(frames, l.size); err != nil {
+		return 0, err
+	}
+	l.size += int64(need)
+	l.pending += len(payloads)
+	if l.pending >= l.pol.every() {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.pending = 0
+	}
+	return l.size, nil
+}
+
 // Sync forces pending appends to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()

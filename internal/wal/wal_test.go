@@ -90,6 +90,105 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendAllRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch [][]byte
+	for i := 0; i < 5; i++ {
+		batch = append(batch, []byte(fmt.Sprintf("link a b l%d\n", i)))
+	}
+	end, err := l.AppendAll(KindDelta, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != end {
+		t.Fatalf("Size=%d want %d", got, end)
+	}
+	// An empty batch is a no-op at the current offset.
+	if e2, err := l.AppendAll(KindDelta, nil); err != nil || e2 != end {
+		t.Fatalf("empty AppendAll: end=%d err=%v, want %d nil", e2, err, end)
+	}
+	// Records interleave transparently with single appends.
+	if _, err := l.Append(KindDelta, []byte("link x y z\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayAll(t, path, 0)
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	for i, want := range batch {
+		if recs[i].Kind != KindDelta || !bytes.Equal(recs[i].Payload, want) {
+			t.Fatalf("record %d: payload %q, want %q", i, recs[i].Payload, want)
+		}
+	}
+}
+
+func TestAppendAllBatchedSyncCounts(t *testing.T) {
+	// pending advances by the number of records, not the number of writes:
+	// with Every=3 a 2-record batch leaves 2 pending and one more record
+	// triggers the sync.
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{Every: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendAll(KindDelta, [][]byte{[]byte("a\n"), []byte("b\n")}); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	pending := l.pending
+	l.mu.Unlock()
+	if pending != 2 {
+		t.Fatalf("pending=%d want 2", pending)
+	}
+	if _, err := l.Append(KindDelta, []byte("c\n")); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	pending = l.pending
+	l.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("pending=%d want 0 after count-triggered sync", pending)
+	}
+}
+
+func TestAppendAllTornBatch(t *testing.T) {
+	// A crash mid-batch tears at an arbitrary byte: complete leading frames
+	// survive, the torn one is dropped on reopen.
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindDelta, []byte("keep\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear inside the second frame of the batch: first frame is 9+3 bytes.
+	l.FailNextAppend(12 + 5)
+	if _, err := l.AppendAll(KindDelta, [][]byte{[]byte("aa\n"), []byte("bb\n")}); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	l2, err := Open(path, SyncPolicy{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	recs, _, _ := replayAll(t, path, 0)
+	if len(recs) != 2 || string(recs[1].Payload) != "aa\n" {
+		t.Fatalf("got %d records (last %q), want keep+aa", len(recs), recs[len(recs)-1].Payload)
+	}
+}
+
 func TestTornTailDropped(t *testing.T) {
 	dir := t.TempDir()
 	// Cut the file at every offset inside the final frame: each is a
